@@ -1,0 +1,50 @@
+"""Ablation — cost of the §6.1 padding rule.
+
+The algorithm pads ``n`` up to the next multiple of ``m · q(q+1)`` so
+row blocks exist and split evenly over their Q sets. This ablation
+quantifies the overhead: communication is charged at the padded
+dimension, so the worst case (n just past a multiple) pays up to one
+extra block-row of exchange while results stay exact.
+"""
+
+import numpy as np
+
+from repro.core.bounds import optimal_bandwidth_cost
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+
+
+def test_padding_overhead(benchmark, partition_q2):
+    unit = partition_q2.m * partition_q2.steiner.point_replication()  # 30
+
+    def sweep():
+        rows = []
+        for n in (60, 61, 75, 89, 90):
+            tensor = random_symmetric(n, seed=n)
+            x = np.random.default_rng(n).normal(size=n)
+            machine = Machine(partition_q2.P)
+            algo = ParallelSTTSV(partition_q2, n)
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            assert np.allclose(
+                algo.gather_result(machine), sttsv_packed(tensor, x)
+            )
+            rows.append((n, algo.n_padded, machine.ledger.max_words_sent()))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\n[ablation — padding overhead, q=2 (unit=30)]")
+    print(f"{'n':>4} {'padded':>7} {'words':>6} {'ideal@n':>8} {'overhead':>9}")
+    for n, padded, words in rows:
+        assert padded % unit == 0
+        assert words == int(optimal_bandwidth_cost(padded, 2))
+        ideal = optimal_bandwidth_cost(n, 2)
+        overhead = words / ideal - 1.0
+        print(f"{n:>4} {padded:>7} {words:>6} {ideal:>8.1f} {overhead:>8.1%}")
+        # Overhead bounded by one padding unit's worth of exchange.
+        assert words <= optimal_bandwidth_cost(n + unit, 2) + 1e-9
+    # Exact multiples pay nothing.
+    assert rows[0][2] == int(optimal_bandwidth_cost(60, 2))
+    assert rows[-1][2] == int(optimal_bandwidth_cost(90, 2))

@@ -1,0 +1,45 @@
+"""Ablation — what the Steiner structure buys.
+
+Compares the exchange volume of the tetrahedral partition against a
+random balanced assignment of the *same* blocks. Without the design,
+each processor's blocks touch nearly all m row blocks and the exchange
+degenerates toward an allgather (2(n − n/P) words); the Steiner
+assignment needs only r = q+1 row blocks per processor. The accounting
+model reproduces the paper's optimal formula exactly on the Steiner
+side, so the printed ratio is the provable benefit of §6's design.
+"""
+
+import pytest
+
+from repro.core.bounds import optimal_bandwidth_cost
+from repro.core.random_assignment import structure_advantage
+
+
+def test_steiner_structure_advantage(benchmark, partition_q2, partition_q3):
+    def compare():
+        rows = []
+        for q, partition in ((2, partition_q2), (3, partition_q3)):
+            b = partition.steiner.point_replication()
+            steiner, random_cost, ratio = structure_advantage(partition, b, seed=0)
+            rows.append((q, partition, b, steiner, random_cost, ratio))
+        return rows
+
+    rows = benchmark(compare)
+    print("\n[ablation — Steiner vs random balanced assignment]")
+    print(f"{'q':>3} {'P':>4} {'steiner words':>14} {'random words':>13}"
+          f" {'ratio':>6} {'rand needs':>11}")
+    for q, partition, b, steiner, random_cost, ratio in rows:
+        n = partition.m * b
+        # Accounting model == the paper's closed form on the Steiner side.
+        assert steiner.words_per_processor == pytest.approx(
+            optimal_bandwidth_cost(n, q)
+        )
+        assert steiner.max_row_blocks_needed == q + 1
+        # Random assignment needs (almost) every row block.
+        assert random_cost.max_row_blocks_needed >= partition.m - 1
+        assert ratio > 1.5
+        print(
+            f"{q:>3} {partition.P:>4} {steiner.words_per_processor:>14.1f}"
+            f" {random_cost.words_per_processor:>13.1f} {ratio:>6.2f}"
+            f" {random_cost.max_row_blocks_needed:>6}/{partition.m:<4}"
+        )

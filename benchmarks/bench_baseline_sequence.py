@@ -1,0 +1,58 @@
+"""Experiment C6 — the §8 "sequence" approach vs Algorithm 5.
+
+Measures the 1-D TTM-then-TTV baseline's Θ(n) bandwidth against the
+optimal algorithm across the spherical family, asserting the crossover:
+the sequence approach moves fewer words only at q = 2 (P = 10); from
+q = 3 the communication-optimal algorithm wins, by a factor growing
+like P^{1/3}.
+"""
+
+import numpy as np
+
+from repro.core import bounds
+from repro.core.baselines import sequence_baseline_sttsv
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+
+
+def test_sequence_vs_optimal(benchmark, partition_q2, partition_q3):
+    n = 120  # divisible by both machines' requirements
+    tensor = random_symmetric(n, seed=0)
+    x = np.random.default_rng(1).normal(size=n)
+    reference = sttsv_packed(tensor, x)
+
+    def run_all():
+        rows = []
+        for q, partition in ((2, partition_q2), (3, partition_q3)):
+            machine_opt = Machine(partition.P)
+            algo = ParallelSTTSV(partition, n)
+            algo.load(machine_opt, tensor, x)
+            algo.run(machine_opt)
+            machine_seq = Machine(partition.P)
+            y_seq = sequence_baseline_sttsv(machine_seq, tensor, x)
+            rows.append(
+                (
+                    q,
+                    partition.P,
+                    machine_opt.ledger.max_words_sent(),
+                    machine_seq.ledger.max_words_sent(),
+                    y_seq,
+                    algo.gather_result(machine_opt),
+                )
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print("\n[C6 — optimal vs 1-D sequence approach, n=120]")
+    print(f"{'q':>3} {'P':>4} {'optimal':>8} {'sequence':>9} {'winner':>9}")
+    for q, P, optimal, sequence, y_seq, y_opt in rows:
+        assert np.allclose(y_seq, reference)
+        assert np.allclose(y_opt, reference)
+        assert sequence == int(bounds.sequence_approach_bandwidth(n, P))
+        winner = "sequence" if sequence < optimal else "optimal"
+        print(f"{q:>3} {P:>4} {optimal:>8} {sequence:>9} {winner:>9}")
+    # Crossover: sequence wins at q=2, optimal from q=3 (paper §8 shape).
+    assert rows[0][3] < rows[0][2]
+    assert rows[1][3] > rows[1][2]

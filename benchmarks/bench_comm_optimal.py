@@ -1,0 +1,55 @@
+"""Experiment C2 — measured optimal (point-to-point) bandwidth.
+
+Runs Algorithm 5 with the §7.2.2 schedule on the simulator for
+q ∈ {2, 3} and asserts the ledger-measured per-processor words equal
+``2(n(q+1)/(q²+1) − n/P)`` *exactly*, uniformly across processors, and
+sit above the Theorem 5.2 lower bound while matching its leading term.
+"""
+
+import numpy as np
+
+from repro.core import bounds
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+
+CASES = [(2, 2), (3, 1)]  # (q, size multiplier)
+
+
+def run_case(partition, n):
+    machine = Machine(partition.P)
+    algo = ParallelSTTSV(partition, n)
+    algo.load(machine, random_symmetric(n, seed=0), np.ones(n))
+    algo.run(machine)
+    return machine.ledger
+
+
+def test_comm_optimal(benchmark, partition_q2, partition_q3):
+    partitions = {2: partition_q2, 3: partition_q3}
+    rows = []
+
+    def sweep():
+        results = []
+        for q, multiplier in CASES:
+            partition = partitions[q]
+            n = multiplier * partition.m * partition.steiner.point_replication()
+            ledger = run_case(partition, n)
+            results.append((q, n, partition.P, ledger))
+        return results
+
+    results = benchmark(sweep)
+    print("\n[C2 — optimal algorithm measured vs formula vs lower bound]")
+    print(f"{'q':>3} {'P':>4} {'n':>6} {'measured':>9} {'formula':>9} {'lower':>9} {'rounds':>7}")
+    for q, n, P, ledger in results:
+        formula = bounds.optimal_bandwidth_cost(n, q)
+        lower = bounds.sttsv_lower_bound(n, P)
+        assert ledger.words_sent == [int(formula)] * P
+        assert ledger.words_received == [int(formula)] * P
+        assert ledger.all_rounds_are_permutations()
+        assert ledger.round_count() == 2 * bounds.schedule_step_count(q)
+        assert formula >= lower
+        rows.append((q, n, P, ledger.max_words_sent(), formula, lower))
+        print(
+            f"{q:>3} {P:>4} {n:>6} {ledger.max_words_sent():>9}"
+            f" {formula:>9.1f} {lower:>9.1f} {ledger.round_count():>7}"
+        )

@@ -1,0 +1,40 @@
+"""Experiment C4 — computation cost and load balance (§7.1).
+
+Counts per-processor ternary multiplications from the block inventory
+and asserts the §7.1 facts: max load equals the closed-form per-
+processor count, the leading term is n³/(2P), the total equals
+Algorithm 4's sequential count (no redundant work), and the imbalance
+(only the optional central block) is tiny.
+"""
+
+import pytest
+
+from repro.core import bounds
+from repro.util.combinatorics import ternary_multiplication_count_symmetric
+
+
+def test_load_balance(benchmark, partition_q3):
+    b = 24
+    n = partition_q3.m * b
+
+    def count_loads():
+        return [
+            partition_q3.ternary_multiplications(p, b)
+            for p in range(partition_q3.P)
+        ]
+
+    loads = benchmark(count_loads)
+    assert max(loads) == bounds.computation_cost_exact(n, 3)
+    assert sum(loads) == ternary_multiplication_count_symmetric(n)
+    leading = bounds.computation_cost_leading(n, partition_q3.P)
+    assert max(loads) == pytest.approx(leading, rel=0.12)
+    # Imbalance = one central block's work over a full share:
+    # ≈ (b³/2) / (n³/2P) = P/m³ = 3% at q=3, shrinking as 1/q⁵.
+    imbalance = (max(loads) - min(loads)) / max(loads)
+    assert imbalance < partition_q3.P / partition_q3.m**3 * 1.5
+    print("\n[C4 — per-processor ternary multiplications, q=3, n=%d]" % n)
+    print(f"  max load      = {max(loads)}")
+    print(f"  min load      = {min(loads)}")
+    print(f"  n³/(2P)       = {leading:.0f}")
+    print(f"  imbalance     = {imbalance:.4%} (central-block holders only)")
+    print(f"  total == Alg4 = {sum(loads) == ternary_multiplication_count_symmetric(n)}")

@@ -1,0 +1,40 @@
+"""Experiment C1 — Theorem 5.2 lower-bound landscape.
+
+Evaluates the memory-independent lower bound
+``2(n(n−1)(n−2)/P)^{1/3} − 2n/P`` over an (n, P) sweep, asserts its
+derivation chain (Lemma 5.1 solution minus initial ownership), and
+prints the bound table the analysis section implies.
+"""
+
+import pytest
+
+from repro.core import bounds
+
+SWEEP_N = [120, 240, 480, 960]
+SWEEP_P = [10, 30, 68, 130]
+
+
+def evaluate_grid():
+    return {
+        (n, P): bounds.sttsv_lower_bound(n, P) for n in SWEEP_N for P in SWEEP_P
+    }
+
+
+def test_lower_bound_sweep(benchmark):
+    grid = benchmark(evaluate_grid)
+    for (n, P), value in grid.items():
+        # Derivation: minimal access minus initial ownership.
+        assert value == pytest.approx(
+            bounds.minimal_data_access(n, P) - bounds.initial_ownership(n, P)
+        )
+        assert value > 0
+        # Monotone: more data to move per processor for larger n.
+    for P in SWEEP_P:
+        column = [grid[(n, P)] for n in SWEEP_N]
+        assert all(a < b for a, b in zip(column, column[1:]))
+    print("\n[C1 — Theorem 5.2 lower bound (words/processor)]")
+    header = f"{'n':>6} |" + "".join(f" P={P:>4}" for P in SWEEP_P)
+    print(header)
+    for n in SWEEP_N:
+        row = f"{n:>6} |" + "".join(f" {grid[(n, P)]:>6.0f}" for P in SWEEP_P)
+        print(row)

@@ -1,0 +1,48 @@
+"""Extension — symmetric MTTKRP (paper §8 future work).
+
+Times the batched symmetric MTTKRP kernel (one pass over the packed
+tensor for all r columns) against the column-by-column reference, and
+asserts the parallel variant's communication is exactly r optimal
+STTSV exchanges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.mttkrp import (
+    parallel_symmetric_mttkrp,
+    symmetric_mttkrp,
+    symmetric_mttkrp_batched,
+)
+from repro.core.bounds import optimal_bandwidth_cost
+from repro.tensor.dense import random_symmetric
+
+N, R = 80, 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_symmetric(N, seed=0), np.random.default_rng(1).normal(size=(N, R))
+
+
+def test_mttkrp_batched(benchmark, workload):
+    tensor, X = workload
+    Y = benchmark(lambda: symmetric_mttkrp_batched(tensor, X))
+    assert np.allclose(Y, symmetric_mttkrp(tensor, X))
+
+
+def test_mttkrp_parallel_cost(benchmark, workload, partition_q2):
+    tensor, X = workload
+    small_X = X[:60, :4]
+    small_tensor = random_symmetric(60, seed=2)
+    Y, ledger = benchmark(
+        lambda: parallel_symmetric_mttkrp(partition_q2, small_tensor, small_X)
+    )
+    assert np.allclose(Y, symmetric_mttkrp(small_tensor, small_X))
+    assert ledger.max_words_sent() == pytest.approx(
+        4 * optimal_bandwidth_cost(60, 2)
+    )
+    print(
+        f"\n[mttkrp — n=60, r=4, P=10] words/processor ="
+        f" {ledger.max_words_sent()} = 4 STTSVs"
+    )

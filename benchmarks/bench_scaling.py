@@ -1,0 +1,50 @@
+"""Experiment — scaling behaviour of the measured communication.
+
+Strong-scaling view at fixed n (already in bench_tightness via q); here
+the *weak* axis: at fixed machine (q = 2, P = 10), measured words grow
+exactly linearly in n — the paper's cost is `2(n(q+1)/(q²+1) − n/P)`,
+homogeneous of degree 1 in n — while per-processor flops grow
+cubically. Confirms the regime where communication dominates shrinks as
+problems grow (surface-to-volume).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import computation_cost_leading, optimal_bandwidth_cost
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+
+SIZES = [30, 60, 120, 240]
+
+
+def test_linear_comm_scaling(benchmark, partition_q2):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            machine = Machine(partition_q2.P)
+            algo = ParallelSTTSV(partition_q2, n)
+            algo.load(machine, random_symmetric(n, seed=n), np.ones(n))
+            algo.run(machine)
+            rows.append((n, machine.ledger.max_words_sent()))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\n[scaling — words/proc vs n at q=2, P=10]")
+    print(f"{'n':>5} {'words':>7} {'words/n':>8} {'flops':>10} {'flops/words':>12}")
+    base = rows[0][1] / rows[0][0]
+    for n, words in rows:
+        assert words == int(optimal_bandwidth_cost(n, 2))
+        # Exact linearity in n.
+        assert words / n == pytest.approx(base)
+        flops = computation_cost_leading(n, partition_q2.P)
+        print(f"{n:>5} {words:>7} {words / n:>8.3f} {flops:>10.0f}"
+              f" {flops / words:>12.1f}")
+    # Arithmetic intensity (flops per word) grows quadratically.
+    intensities = [
+        computation_cost_leading(n, partition_q2.P) / words for n, words in rows
+    ]
+    assert intensities[-1] / intensities[0] == pytest.approx(
+        (SIZES[-1] / SIZES[0]) ** 2, rel=1e-6
+    )

@@ -1,0 +1,41 @@
+"""Experiment C7 — per-processor tensor storage ≈ n³/(6P) (§6.1.3).
+
+Counts canonical words per processor from the block inventory and
+asserts the exact §6.1.3 formula, the n³/(6P) leading term, and that
+the union over processors is exactly one copy of the lower tetrahedron
+(no replication) — the assumption Theorem 5.2 relies on. Also compares
+against the non-symmetric 3-D-grid baseline's n³/P (6x more).
+"""
+
+import pytest
+
+from repro.core import bounds
+from repro.util.combinatorics import tetrahedral_number
+
+
+def test_storage(benchmark, partition_q3):
+    q, b = 3, 24
+    n = partition_q3.m * b
+
+    def count():
+        return [
+            partition_q3.storage_words(p, b) for p in range(partition_q3.P)
+        ]
+
+    words = benchmark(count)
+    exact = (
+        (q + 1) * q * (q - 1) // 6 * b**3
+        + q * b * b * (b + 1) // 2
+    )
+    central = b * (b + 1) * (b + 2) // 6
+    for p, w in enumerate(words):
+        assert w == exact + (central if partition_q3.D[p] else 0)
+    assert sum(words) == tetrahedral_number(n)  # exactly one copy total
+    leading = bounds.storage_words_leading(n, partition_q3.P)
+    assert max(words) == pytest.approx(leading, rel=0.25)
+    grid_words = n**3 / partition_q3.P
+    print(f"\n[C7 — storage words per processor, q=3, n={n}]")
+    print(f"  symmetric partition (max) = {max(words)}")
+    print(f"  n³/(6P) leading term      = {leading:.0f}")
+    print(f"  non-symmetric grid n³/P   = {grid_words:.0f}"
+          f" ({grid_words / max(words):.2f}x more)")

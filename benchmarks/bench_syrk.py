@@ -1,0 +1,39 @@
+"""Extension — parallel SYRK on the triangle partition (§2 lineage).
+
+The paper's partition scheme descends from the SYRK bounds of Al Daas
+et al. (2023). This bench runs ``C = A Aᵀ`` with the triangle-block
+owner-computes rule and asserts its signature property: a *single*
+gather phase (no output communication), per-processor words exactly
+``r(λ₁−1)·shard·k ≈ k n/√P``.
+"""
+
+import numpy as np
+
+from repro.machine.machine import Machine
+from repro.matrix.partition import TriangleBlockPartition
+from repro.matrix.syrk import ParallelSYRK, syrk_reference
+from repro.steiner.pairwise import projective_plane_system
+
+
+def test_syrk(benchmark):
+    partition = TriangleBlockPartition(projective_plane_system(3))  # P = 13
+    n, k = 156, 8
+    A = np.random.default_rng(0).normal(size=(n, k))
+
+    def run():
+        machine = Machine(partition.P)
+        algo = ParallelSYRK(partition, n, k)
+        algo.load(machine, A)
+        algo.run(machine)
+        return machine, algo
+
+    machine, algo = benchmark(run)
+    assert np.allclose(algo.gather_result(machine), syrk_reference(A))
+    expected = algo.expected_words_per_processor()
+    assert machine.ledger.words_sent == [expected] * partition.P
+    leading = k * n / partition.P**0.5
+    print(
+        f"\n[SYRK — P={partition.P}, n={n}, k={k}] words/proc = {expected}"
+        f" (k·n/√P = {leading:.0f});"
+        f" rounds = {machine.ledger.round_count()} (single gather phase)"
+    )

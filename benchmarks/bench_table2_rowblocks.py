@@ -1,0 +1,21 @@
+"""Experiment Table 2 — row block sets Q_i for m=10, P=30.
+
+Regenerates the paper's Table 2 and asserts every row block of each
+vector is required by exactly q(q+1) = 12 processors (Lemma 6.4), with
+total incidences P·r = 120.
+"""
+
+from repro.reporting.tables import render_row_block_table
+
+
+def test_table2_rowblocks(benchmark, partition_q3):
+    q_sets = benchmark(lambda: partition_q3._row_block_sets())
+    assert len(q_sets) == 10
+    assert all(len(qq) == 12 for qq in q_sets)
+    assert sum(len(qq) for qq in q_sets) == 120
+    # Cross-consistency with R sets.
+    for i, processors in enumerate(q_sets):
+        for p in processors:
+            assert i in partition_q3.R[p]
+    print("\n[Table 2 regenerated — row block sets]")
+    print(render_row_block_table(partition_q3))

@@ -1,0 +1,35 @@
+"""Experiment Table 3 — partition from the Steiner (8,4,3) system.
+
+Regenerates the paper's Appendix A example: SQS(8), m=8, P=14, with
+|N_p| = 4 per processor, 8 of 14 processors holding one central block,
+and |Q_i| = 7.
+"""
+
+from repro.core.partition import TetrahedralPartition
+from repro.reporting.tables import (
+    render_processor_table,
+    render_row_block_table,
+    summary_statistics,
+)
+from repro.steiner import boolean_steiner_system
+
+
+def build():
+    return TetrahedralPartition(boolean_steiner_system(3, verify=False))
+
+
+def test_table3_sqs8(benchmark):
+    partition = benchmark(build)
+    partition.validate()
+    stats = summary_statistics(partition)
+    assert stats["P"] == 14 and stats["m"] == 8
+    assert stats["R_size"] == 4
+    assert stats["N_size"] == 4
+    assert stats["D_total"] == 8
+    assert stats["Q_size"] == 7
+    empty_d = sum(1 for dd in partition.D if not dd)
+    assert empty_d == 6  # paper Table 3 has six empty D_p cells
+    print("\n[Table 3 regenerated — SQS(8), m=8, P=14]")
+    print(render_processor_table(partition))
+    print()
+    print(render_row_block_table(partition))

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks double as experiment regenerators: each one both times its
+workload (pytest-benchmark) and asserts the paper-facing numbers, and
+prints the regenerated rows (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import TetrahedralPartition
+from repro.steiner import boolean_steiner_system, spherical_steiner_system
+
+
+@pytest.fixture(scope="session")
+def partition_q2():
+    return TetrahedralPartition(spherical_steiner_system(2))
+
+
+@pytest.fixture(scope="session")
+def partition_q3():
+    return TetrahedralPartition(spherical_steiner_system(3))
+
+
+@pytest.fixture(scope="session")
+def partition_sqs8():
+    return TetrahedralPartition(boolean_steiner_system(3))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,75 @@
+"""Communication cost landscape: measured vs closed-form vs lower bound.
+
+Sweeps the spherical family q ∈ {2, 3, 4} (P ∈ {10, 30, 68}), runs
+Algorithm 5 with both communication backends on the simulator, and
+prints measured per-processor words against the paper's §7.2.2 formulas
+and Theorem 5.2's lower bound, plus the 1-D sequence baseline for the
+crossover discussion of §8.
+
+Run:  python examples/communication_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    CommBackend,
+    Machine,
+    ParallelSTTSV,
+    TetrahedralPartition,
+    random_symmetric,
+    spherical_steiner_system,
+)
+from repro.core.baselines import sequence_baseline_sttsv
+from repro.core.bounds import (
+    all_to_all_bandwidth_cost,
+    optimal_bandwidth_cost,
+    sequence_approach_bandwidth,
+    sttsv_lower_bound,
+)
+
+HEADER = (
+    f"{'q':>3} {'P':>4} {'n':>6} | {'lower bnd':>10} | {'p2p meas':>9}"
+    f" {'p2p form':>9} | {'a2a meas':>9} {'a2a form':>9} | {'1-D seq':>8}"
+)
+
+
+def measure(partition, n, backend):
+    machine = Machine(partition.P)
+    algo = ParallelSTTSV(partition, n, backend)
+    tensor = random_symmetric(n, seed=0)
+    x = np.ones(n)
+    algo.load(machine, tensor, x)
+    algo.run(machine)
+    return machine.ledger.max_words_sent()
+
+
+def main() -> None:
+    print(HEADER)
+    print("-" * len(HEADER))
+    for q, multiplier in ((2, 4), (3, 2), (4, 1)):
+        partition = TetrahedralPartition(spherical_steiner_system(q))
+        P = partition.P
+        n = multiplier * partition.m * partition.steiner.point_replication()
+        p2p = measure(partition, n, CommBackend.POINT_TO_POINT)
+        a2a = measure(partition, n, CommBackend.ALL_TO_ALL)
+        machine = Machine(P)
+        if n % P == 0:
+            sequence_baseline_sttsv(machine, random_symmetric(n, seed=0), np.ones(n))
+            seq = machine.ledger.max_words_sent()
+        else:
+            seq = round(sequence_approach_bandwidth(n, P))
+        print(
+            f"{q:>3} {P:>4} {n:>6} | {sttsv_lower_bound(n, P):>10.1f} |"
+            f" {p2p:>9} {optimal_bandwidth_cost(n, q):>9.1f} |"
+            f" {a2a:>9} {all_to_all_bandwidth_cost(n, q):>9.1f} |"
+            f" {seq:>8}"
+        )
+    print(
+        "\nReading: p2p matches its formula exactly and tracks the lower"
+        "\nbound's leading term; a2a costs ~2x; the 1-D sequence approach"
+        "\nis Θ(n) and loses from q = 3 (P = 30) onward."
+    )
+
+
+if __name__ == "__main__":
+    main()

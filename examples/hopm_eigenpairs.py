@@ -1,0 +1,71 @@
+"""Tensor Z-eigenpairs via the parallel Higher-Order Power Method.
+
+The paper's Algorithm 1 with STTSV as the bottleneck (its motivating
+application). We build an orthogonally decomposable symmetric tensor
+whose robust Z-eigenpairs are known, run parallel HOPM from several
+starts, and report which eigenpairs were found, the residuals, and the
+per-iteration communication cost (one optimal STTSV exchange plus an
+O(log P) scalar allreduce).
+
+Run:  python examples/hopm_eigenpairs.py
+"""
+
+import numpy as np
+
+from repro import Machine, TetrahedralPartition, spherical_steiner_system
+from repro.apps.eigen import z_eigen_residual
+from repro.apps.hopm import parallel_hopm
+from repro.core.bounds import optimal_bandwidth_cost
+from repro.tensor.dense import odeco_tensor
+
+
+def main() -> None:
+    q = 2
+    partition = TetrahedralPartition(spherical_steiner_system(q))  # P = 10
+    n, rank = 60, 4
+    tensor, weights, factors = odeco_tensor(n, rank, seed=7)
+    print(f"Odeco tensor: n={n}, rank={rank}")
+    print("True robust eigenvalues:", np.round(weights, 6))
+    print(f"P = {partition.P}, optimal STTSV words/processor ="
+          f" {optimal_bandwidth_cost(n, q):.0f}\n")
+
+    found = {}
+    for trial in range(8):
+        result = parallel_hopm(
+            partition, tensor, seed=trial, max_iterations=300
+        )
+        matched = int(
+            np.argmin(
+                [
+                    min(
+                        np.linalg.norm(result.eigenvector - factors[:, t]),
+                        np.linalg.norm(result.eigenvector + factors[:, t]),
+                    )
+                    for t in range(rank)
+                ]
+            )
+        )
+        # Z-eigenpairs come in (λ, x) / (−λ, −x) pairs for odd-order
+        # tensors; canonicalize by |λ|.
+        key = round(abs(result.eigenvalue), 8)
+        if key not in found:
+            found[key] = (matched, result)
+            print(
+                f"trial {trial}: λ = {result.eigenvalue:.6f}"
+                f" (true λ_{matched} = {weights[matched]:.6f}),"
+                f" {result.iterations} iterations,"
+                f" residual {result.residual:.2e},"
+                f" words/iter {result.words_per_iteration}"
+            )
+
+    print(f"\nDistinct robust eigenpairs found: {len(found)} of {rank}")
+    best = max(found)
+    matched, result = found[best]
+    print(
+        f"Largest found: λ = {best:.6f}; final residual"
+        f" ||A×₂x×₃x − λx|| = {z_eigen_residual(tensor, result.eigenvector):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

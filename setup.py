@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml (PEP 660) when wheel is
+available; this shim keeps `python setup.py develop` working in fully
+offline environments.
+"""
+
+from setuptools import setup
+
+setup()

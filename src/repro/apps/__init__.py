@@ -1,0 +1,44 @@
+"""Motivating applications (paper §1): tensor Z-eigenpairs via the
+higher-order power method (Algorithm 1) and the symmetric CP gradient
+(Algorithm 2), each with a sequential reference and a parallel variant
+whose per-iteration communication is exactly one (or r) STTSV
+exchange(s)."""
+
+from repro.apps.hopm import HOPMResult, hopm, parallel_hopm
+from repro.apps.cp_gradient import (
+    cp_gradient,
+    cp_objective,
+    parallel_cp_gradient,
+    symmetric_cp_decompose,
+    CPDecompositionResult,
+)
+from repro.apps.eigen import (
+    z_eigen_residual,
+    rayleigh_quotient,
+    is_z_eigenpair,
+)
+from repro.apps.mttkrp import (
+    symmetric_mttkrp,
+    symmetric_mttkrp_batched,
+    parallel_symmetric_mttkrp,
+)
+from repro.apps.deflation import DeflationResult, deflated_eigenpairs
+
+__all__ = [
+    "symmetric_mttkrp",
+    "symmetric_mttkrp_batched",
+    "parallel_symmetric_mttkrp",
+    "DeflationResult",
+    "deflated_eigenpairs",
+    "HOPMResult",
+    "hopm",
+    "parallel_hopm",
+    "cp_gradient",
+    "cp_objective",
+    "parallel_cp_gradient",
+    "symmetric_cp_decompose",
+    "CPDecompositionResult",
+    "z_eigen_residual",
+    "rayleigh_quotient",
+    "is_z_eigenpair",
+]

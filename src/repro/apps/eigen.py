@@ -1,0 +1,54 @@
+"""Z-eigenpair utilities for symmetric 3-D tensors.
+
+A Z-eigenpair (Lim 2005, Qi 2005; paper §1) of a symmetric tensor
+``A`` is a unit vector ``x`` and scalar ``λ`` with
+``A ×₂ x ×₃ x = λ x``. The STTSV kernel evaluates the left side; these
+helpers evaluate residuals and Rayleigh quotients for convergence
+checks and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.errors import ConfigurationError
+from repro.tensor.packed import PackedSymmetricTensor
+
+
+def rayleigh_quotient(tensor: PackedSymmetricTensor, x: np.ndarray) -> float:
+    """``λ(x) = A ×₁ x ×₂ x ×₃ x / ||x||³`` — the generalized Rayleigh
+    quotient whose critical points on the unit sphere are Z-eigenpairs."""
+    x = np.asarray(x, dtype=np.float64)
+    norm = np.linalg.norm(x)
+    if norm == 0:
+        raise ConfigurationError("Rayleigh quotient of the zero vector")
+    unit = x / norm
+    return float(unit @ sttsv_packed(tensor, unit))
+
+
+def z_eigen_residual(
+    tensor: PackedSymmetricTensor, x: np.ndarray, eigenvalue: float = None
+) -> float:
+    """``||A ×₂ x ×₃ x − λ x||₂`` for unit-normalized ``x``.
+
+    If ``eigenvalue`` is omitted the Rayleigh quotient is used (the
+    residual-minimizing choice).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    unit = x / np.linalg.norm(x)
+    y = sttsv_packed(tensor, unit)
+    if eigenvalue is None:
+        eigenvalue = float(unit @ y)
+    return float(np.linalg.norm(y - eigenvalue * unit))
+
+
+def is_z_eigenpair(
+    tensor: PackedSymmetricTensor,
+    x: np.ndarray,
+    eigenvalue: float,
+    tolerance: float = 1e-8,
+) -> bool:
+    """True iff ``(λ, x/||x||)`` satisfies the Z-eigen equation within
+    ``tolerance``."""
+    return z_eigen_residual(tensor, x, eigenvalue) <= tolerance

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      regenerate the paper's partition tables (Tables 1–3)
+``schedule``    print the point-to-point schedule (Figure 1 style)
+``bound``       evaluate the Theorem 5.2 lower bound (or its order-d
+                generalization)
+``analyze``     run Algorithm 5 on the simulator and compare measured
+                communication with the closed forms
+``admissible``  list constructible processor counts
+
+Every command prints plain text and returns a process exit code, so the
+CLI is scriptable and the test suite drives it directly through
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import bounds
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.core.partition import TetrahedralPartition
+from repro.core.schedule import build_exchange_schedule
+from repro.core.sttsv_ndim import sttsv_ndim_lower_bound
+from repro.errors import ReproError
+from repro.machine.machine import Machine
+from repro.reporting.tables import (
+    render_processor_table,
+    render_row_block_table,
+    render_schedule,
+    summary_statistics,
+)
+from repro.steiner import (
+    admissible_processor_counts,
+    boolean_steiner_system,
+    spherical_steiner_system,
+)
+from repro.tensor.dense import random_symmetric
+
+
+def _partition_from_args(args) -> TetrahedralPartition:
+    if args.sqs is not None:
+        system = boolean_steiner_system(args.sqs)
+    else:
+        system = spherical_steiner_system(args.q)
+    partition = TetrahedralPartition(system)
+    partition.validate()
+    return partition
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--q", type=int, default=3,
+        help="prime power for the spherical family (P = q(q²+1); default 3)",
+    )
+    group.add_argument(
+        "--sqs", type=int, default=None,
+        help="k for the Boolean family SQS(2^k) (the paper's Table 3 uses k=3)",
+    )
+
+
+def _command_tables(args) -> int:
+    partition = _partition_from_args(args)
+    print(render_processor_table(partition))
+    print()
+    print(render_row_block_table(partition))
+    print()
+    print("summary:", summary_statistics(partition))
+    return 0
+
+
+def _command_schedule(args) -> int:
+    partition = _partition_from_args(args)
+    schedule = build_exchange_schedule(partition)
+    print(render_schedule(schedule))
+    print(
+        f"\n{schedule.step_count} steps for P = {partition.P}"
+        f" (P - 1 = {partition.P - 1});"
+        f" {schedule.degrees.two_block} two-block +"
+        f" {schedule.degrees.one_block} one-block neighbors per processor"
+    )
+    return 0
+
+
+def _command_bound(args) -> int:
+    if args.d == 3:
+        value = bounds.sttsv_lower_bound(args.n, args.p)
+    else:
+        value = sttsv_ndim_lower_bound(args.n, args.p, args.d)
+    print(
+        f"lower bound (n={args.n}, P={args.p}, d={args.d}):"
+        f" {value:.2f} words per processor"
+    )
+    print(f"leading term 2n/P^(1/d): {2 * args.n / args.p ** (1 / args.d):.2f}")
+    return 0
+
+
+def _command_analyze(args) -> int:
+    from repro.core.verification import verify_sttsv_run
+
+    partition = _partition_from_args(args)
+    replication = partition.steiner.point_replication()
+    n = args.n if args.n else partition.m * replication
+    tensor = random_symmetric(n, seed=args.seed)
+    x = np.random.default_rng(args.seed + 1).normal(size=n)
+    print(
+        f"Algorithm 5 on P = {partition.P} processors, n = {n}"
+        f" (padded to {ParallelSTTSV(partition, n).n_padded})"
+    )
+    all_ok = True
+    for backend in CommBackend:
+        verdict = verify_sttsv_run(partition, tensor, x, backend)
+        print(
+            f"  {backend.value:>16}: {verdict.words_per_processor:>8}"
+            f" words/proc, {verdict.rounds:>4} rounds,"
+            f" max error {verdict.max_error:.2e}"
+        )
+        if args.audit:
+            print("   ", verdict.summary())
+            if not verdict.audit.ok:
+                print("   ", str(verdict.audit))
+        all_ok &= verdict.ok
+    print(
+        f"  {'lower bound':>16}: {bounds.sttsv_lower_bound(n, partition.P):>8.1f}"
+        f" words/proc (Theorem 5.2)"
+    )
+    if args.audit:
+        print("audit:", "all runs PASS" if all_ok else "FAILURES detected")
+        return 0 if all_ok else 1
+    return 0
+
+
+def _command_admissible(args) -> int:
+    counts = admissible_processor_counts(args.limit)
+    print(f"constructible processor counts <= {args.limit}:")
+    print("  " + ", ".join(str(c) for c in counts))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-optimal parallel STTSV (SPAA 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tables = subparsers.add_parser("tables", help="regenerate Tables 1-3")
+    _add_system_arguments(tables)
+    tables.set_defaults(func=_command_tables)
+
+    schedule = subparsers.add_parser("schedule", help="print the Figure 1 schedule")
+    _add_system_arguments(schedule)
+    schedule.set_defaults(func=_command_schedule)
+
+    bound = subparsers.add_parser("bound", help="Theorem 5.2 lower bound")
+    bound.add_argument("--n", type=int, required=True)
+    bound.add_argument("--p", type=int, required=True)
+    bound.add_argument("--d", type=int, default=3, help="tensor order (default 3)")
+    bound.set_defaults(func=_command_bound)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="run Algorithm 5 on the simulator and compare costs"
+    )
+    _add_system_arguments(analyze)
+    analyze.add_argument("--n", type=int, default=None, help="tensor dimension")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the full ledger audit and exit nonzero on any violation",
+    )
+    analyze.set_defaults(func=_command_analyze)
+
+    admissible = subparsers.add_parser(
+        "admissible", help="list constructible processor counts"
+    )
+    admissible.add_argument("--limit", type=int, default=1000)
+    admissible.set_defaults(func=_command_admissible)
+
+    symv = subparsers.add_parser(
+        "symv",
+        help="run the 2-D substrate (triangle-partition parallel SYMV)",
+    )
+    symv.add_argument(
+        "--q", type=int, default=2,
+        help="projective-plane order (P = q²+q+1; default 2 = Fano)",
+    )
+    symv.add_argument("--n", type=int, default=None)
+    symv.add_argument("--seed", type=int, default=0)
+    symv.set_defaults(func=_command_symv)
+
+    return parser
+
+
+def _command_symv(args) -> int:
+    from repro.matrix.bounds import symv_lower_bound
+    from repro.matrix.kernels import symv as symv_kernel
+    from repro.matrix.packed import random_symmetric_matrix
+    from repro.matrix.parallel_symv import ParallelSYMV
+    from repro.matrix.partition import TriangleBlockPartition
+    from repro.steiner.pairwise import projective_plane_system
+
+    partition = TriangleBlockPartition(projective_plane_system(args.q))
+    partition.validate()
+    n = args.n if args.n else partition.m * partition.steiner.point_replication()
+    matrix = random_symmetric_matrix(n, seed=args.seed)
+    x = np.random.default_rng(args.seed + 1).normal(size=n)
+    machine = Machine(partition.P)
+    algo = ParallelSYMV(partition, n)
+    algo.load(machine, matrix, x)
+    algo.run(machine)
+    error = float(np.max(np.abs(algo.gather_result(machine) - symv_kernel(matrix, x))))
+    print(
+        f"parallel SYMV on P = {partition.P} (PG(2,{args.q})), n = {n}:"
+        f" {machine.ledger.max_words_sent()} words/proc,"
+        f" {machine.ledger.round_count()} rounds, max error {error:.2e}"
+    )
+    print(f"2-D lower bound: {symv_lower_bound(n, partition.P):.1f} words/proc")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: STTSV kernels, tetrahedral block
+partitioning, the communication-optimal parallel algorithm, lower
+bounds, and baselines."""
+
+from repro.core.sttsv_sequential import (
+    sttsv_packed_bincount,
+    sttsv_naive,
+    sttsv_symmetric,
+    sttsv_packed,
+    sttsv_dense_reference,
+)
+from repro.core.partition import TetrahedralPartition
+from repro.core.parallel_sttsv import ParallelSTTSV, CommBackend
+from repro.core.bounds import (
+    sttsv_lower_bound,
+    minimal_access_solution,
+    optimal_bandwidth_cost,
+    all_to_all_bandwidth_cost,
+    computation_cost_leading,
+    schedule_step_count,
+)
+from repro.core.schedule import ExchangeSchedule, build_exchange_schedule
+from repro.core.sttsv_blocked import sttsv_blocked
+from repro.core.verification import RunVerdict, verify_sttsv_run
+from repro.core.sparse_parallel import SparseParallelSTTSV
+from repro.core.serialization import save_partition, load_partition
+from repro.core.baselines import (
+    sequence_baseline_sttsv,
+    grid_baseline_sttsv,
+)
+
+__all__ = [
+    "sttsv_packed_bincount",
+    "sttsv_blocked",
+    "RunVerdict",
+    "verify_sttsv_run",
+    "SparseParallelSTTSV",
+    "save_partition",
+    "load_partition",
+    "sttsv_naive",
+    "sttsv_symmetric",
+    "sttsv_packed",
+    "sttsv_dense_reference",
+    "TetrahedralPartition",
+    "ParallelSTTSV",
+    "CommBackend",
+    "sttsv_lower_bound",
+    "minimal_access_solution",
+    "optimal_bandwidth_cost",
+    "all_to_all_bandwidth_cost",
+    "computation_cost_leading",
+    "schedule_step_count",
+    "ExchangeSchedule",
+    "build_exchange_schedule",
+    "sequence_baseline_sttsv",
+    "grid_baseline_sttsv",
+]

@@ -1,0 +1,225 @@
+"""Baseline parallel STTSV algorithms for comparison (paper §8 + §2).
+
+Two comparison points bracket Algorithm 5:
+
+* :func:`sequence_baseline_sttsv` — the "sequence" approach the paper
+  discusses in §8: compute ``M = A ×₃ x`` then ``y = M x`` on a 1-D
+  row-slab distribution. One allgather of ``x`` suffices, costing
+  ``n (1 − 1/P)`` words per processor — Θ(n), asymptotically *more*
+  communication than Algorithm 5's Θ(n/P^{1/3}) whenever ``P`` grows,
+  and it stores the tensor without exploiting symmetry.
+* :func:`grid_baseline_sttsv` — a non-symmetric 3-D-grid atomic
+  algorithm (the classic cubic distribution for non-symmetric tensor
+  kernels): processor ``(a, b, c)`` owns the dense brick
+  ``A[a, b, c]`` of the *full* cube, gathers ``x[b]`` and ``x[c]``,
+  and reduces its partial ``y[a]``. Per-processor communication is
+  Θ(n/P^{1/3}) like the optimal algorithm but with a worse constant,
+  and storage is ``n³/P`` — six times Algorithm 5's ``n³/(6P)``.
+
+Both baselines run on the same simulated machine and ledger, so
+benchmarks compare *measured* word counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MachineError
+from repro.machine.collectives import all_gather
+from repro.machine.machine import Machine
+from repro.machine.message import Message
+from repro.tensor.packed import PackedSymmetricTensor
+
+
+# --------------------------------------------------------------------------
+# 1-D "sequence" baseline
+# --------------------------------------------------------------------------
+
+
+def _dense_slab(tensor: PackedSymmetricTensor, row_lo: int, row_hi: int) -> np.ndarray:
+    """Dense rows ``[row_lo, row_hi)`` of the virtual full cube."""
+    n = tensor.n
+    rows = np.arange(row_lo, row_hi)
+    gi, gj, gk = np.meshgrid(rows, np.arange(n), np.arange(n), indexing="ij")
+    stacked = np.stack([gi, gj, gk])
+    stacked.sort(axis=0)
+    lo, mid, hi = stacked[0], stacked[1], stacked[2]
+    offsets = hi * (hi + 1) * (hi + 2) // 6 + mid * (mid + 1) // 2 + lo
+    return tensor.data[offsets]
+
+
+def sequence_baseline_sttsv(
+    machine: Machine, tensor: PackedSymmetricTensor, x: np.ndarray
+) -> np.ndarray:
+    """STTSV via the §8 sequence approach on a 1-D slab distribution.
+
+    Processor ``p`` owns rows ``p·n/P .. (p+1)·n/P`` of the full cube
+    (no symmetry exploited) and the matching shard of ``x``. One ring
+    allgather replicates ``x``; each processor then computes
+    ``M_p = A_p ×₃ x`` followed by ``y_p = M_p x`` locally (the
+    2n³ + 2n² elementary-operation sequence the paper describes).
+
+    Requires ``P | n``. Returns the assembled ``y`` (gathered out of
+    model for verification); per-processor communication is measured in
+    ``machine.ledger``: exactly ``n (1 − 1/P)`` words sent each.
+    """
+    n = tensor.n
+    P = machine.P
+    if n % P != 0:
+        raise ConfigurationError(f"sequence baseline needs P | n ({P} vs {n})")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (n,):
+        raise ConfigurationError(f"vector must have shape ({n},)")
+    rows = n // P
+    shards = [x[p * rows : (p + 1) * rows] for p in range(P)]
+    gathered = all_gather(machine, shards, tag="sequence-x-allgather")
+    y = np.empty(n)
+    for p in range(P):
+        slab = _dense_slab(tensor, p * rows, (p + 1) * rows)
+        x_full = np.concatenate(gathered[p])
+        intermediate = np.einsum("ijk,k->ij", slab, x_full, optimize=True)
+        y[p * rows : (p + 1) * rows] = intermediate @ x_full
+    return y
+
+
+# --------------------------------------------------------------------------
+# 3-D grid baseline
+# --------------------------------------------------------------------------
+
+
+def _ring_broadcast(
+    machine: Machine,
+    participants: Sequence[int],
+    root: int,
+    value: np.ndarray,
+    tag: str,
+) -> None:
+    """Pipeline (ring) broadcast inside a processor group.
+
+    Every participant except the last sends the full payload once, so
+    per-processor bandwidth is ``|value|`` — the relevant metric for the
+    baseline comparison. Rounds are sequential single messages.
+    """
+    order = list(participants)
+    if root not in order:
+        raise MachineError("broadcast root not in participant group")
+    order.remove(root)
+    order.insert(0, root)
+    words = int(np.asarray(value).size)
+    for src, dst in zip(order, order[1:]):
+        machine.ledger.begin_round(f"{tag}:hop")
+        machine.ledger.record(Message(src, dst, words, tag))
+        machine.ledger.end_round()
+
+
+def _ring_reduce(
+    machine: Machine,
+    participants: Sequence[int],
+    root: int,
+    arrays: List[np.ndarray],
+    tag: str,
+) -> np.ndarray:
+    """Chain reduction of one array per participant to ``root``.
+
+    Each non-root participant sends the running partial sum once
+    (``|array|`` words); the root only receives.
+    """
+    order = [p for p in participants if p != root] + [root]
+    by_rank = dict(zip(participants, arrays))
+    running = by_rank[order[0]].copy()
+    words = int(running.size)
+    for src, dst in zip(order, order[1:]):
+        machine.ledger.begin_round(f"{tag}:hop")
+        machine.ledger.record(Message(src, dst, words, tag))
+        machine.ledger.end_round()
+        running = running + by_rank[dst]
+    return running
+
+
+def grid_side(P: int) -> int:
+    """The grid side ``g`` with ``P = g³``; raises if ``P`` is not a cube."""
+    g = round(P ** (1.0 / 3.0))
+    for candidate in (g - 1, g, g + 1):
+        if candidate > 0 and candidate**3 == P:
+            return candidate
+    raise ConfigurationError(f"grid baseline needs a cubic P, got {P}")
+
+
+def grid_baseline_sttsv(
+    machine: Machine, tensor: PackedSymmetricTensor, x: np.ndarray
+) -> np.ndarray:
+    """Non-symmetric 3-D-grid atomic STTSV.
+
+    Layout: with ``P = g³`` and ``g | n``, processor ``(a, b, c)``
+    (rank ``a g² + b g + c``) owns dense brick
+    ``A[a·h:(a+1)h, b·h:(b+1)h, c·h:(c+1)h]`` with ``h = n/g``. Row
+    block ``x[j]`` starts on the diagonal processor ``(j, j, j)`` (one
+    copy of ``x`` machine-wide), is broadcast to the ``2g² − g``
+    processors whose brick touches mode-2 or mode-3 slot ``j``, and the
+    partial outputs ``y[a]`` are chain-reduced over each mode-1 plane
+    back to ``(a, a, a)``.
+
+    Per-processor send volume is ≈ ``3 n/g = 3 n/P^{1/3}`` (two
+    broadcast forwards plus one reduction hop) versus Algorithm 5's
+    ``2 n/P^{1/3}``, with ``n³/P`` words of tensor storage versus
+    ``n³/(6P)`` and no symmetry savings in flops.
+    """
+    n = tensor.n
+    P = machine.P
+    g = grid_side(P)
+    if n % g != 0:
+        raise ConfigurationError(f"grid baseline needs g | n ({g} vs {n})")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (n,):
+        raise ConfigurationError(f"vector must have shape ({n},)")
+    h = n // g
+
+    def rank(a: int, b: int, c: int) -> int:
+        return a * g * g + b * g + c
+
+    # Phase 1: broadcast each x[j] from its diagonal owner to all
+    # processors whose brick needs it in mode 2 or mode 3.
+    for j in range(g):
+        group = sorted(
+            {rank(a, j, c) for a in range(g) for c in range(g)}
+            | {rank(a, b, j) for a in range(g) for b in range(g)}
+        )
+        _ring_broadcast(
+            machine, group, rank(j, j, j), x[j * h : (j + 1) * h], f"grid-x{j}"
+        )
+
+    # Phase 2 + 3: per mode-1 plane, compute partial y[a] on each brick
+    # and chain-reduce to the diagonal processor (a, a, a).
+    y = np.empty(n)
+    for a in range(g):
+        partials: List[np.ndarray] = []
+        participants: List[int] = []
+        for b in range(g):
+            for c in range(g):
+                rows = np.arange(a * h, (a + 1) * h)
+                cols = np.arange(b * h, (b + 1) * h)
+                fibs = np.arange(c * h, (c + 1) * h)
+                gi, gj, gk = np.meshgrid(rows, cols, fibs, indexing="ij")
+                stacked = np.stack([gi, gj, gk])
+                stacked.sort(axis=0)
+                low, mid, high = stacked[0], stacked[1], stacked[2]
+                offsets = (
+                    high * (high + 1) * (high + 2) // 6 + mid * (mid + 1) // 2 + low
+                )
+                brick = tensor.data[offsets]
+                partials.append(
+                    np.einsum(
+                        "ijk,j,k->i",
+                        brick,
+                        x[b * h : (b + 1) * h],
+                        x[c * h : (c + 1) * h],
+                        optimize=True,
+                    )
+                )
+                participants.append(rank(a, b, c))
+        y[a * h : (a + 1) * h] = _ring_reduce(
+            machine, participants, rank(a, a, a), partials, f"grid-y{a}"
+        )
+    return y

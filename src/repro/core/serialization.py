@@ -1,0 +1,86 @@
+"""Partition serialization: save/load tetrahedral partitions as JSON.
+
+Partition construction involves Steiner generation plus two matchings;
+for production deployments the assignment should be computed once and
+shipped with the job. The JSON schema stores the generating system's
+blocks and the diagonal assignments; loading revalidates everything, so
+a tampered or corrupted file can never produce a silently-wrong
+distribution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.partition import TetrahedralPartition
+from repro.errors import PartitionError
+from repro.steiner.system import SteinerSystem
+
+SCHEMA_VERSION = 1
+
+
+def partition_to_dict(partition: TetrahedralPartition) -> dict:
+    """JSON-serializable description of a partition."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "tetrahedral",
+        "m": partition.m,
+        "r": partition.r,
+        "P": partition.P,
+        "steiner_blocks": [list(block) for block in partition.R],
+        "non_central": [
+            [list(block) for block in owned] for owned in partition.N
+        ],
+        "central": [[list(block) for block in owned] for owned in partition.D],
+    }
+
+
+def partition_from_dict(payload: dict) -> TetrahedralPartition:
+    """Rebuild (and fully revalidate) a partition from its description."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise PartitionError(
+            f"unsupported schema {payload.get('schema')!r}"
+            f" (expected {SCHEMA_VERSION})"
+        )
+    if payload.get("kind") != "tetrahedral":
+        raise PartitionError(f"unsupported partition kind {payload.get('kind')!r}")
+    system = SteinerSystem(
+        payload["m"], payload["r"], payload["steiner_blocks"], verify=True
+    )
+    partition = TetrahedralPartition.__new__(TetrahedralPartition)
+    partition.steiner = system
+    partition.P = len(system)
+    partition.m = system.m
+    partition.r = system.r
+    partition.R = system.blocks
+    numerator = partition.r * (partition.r - 1) * (partition.r - 2)
+    partition.non_central_per_processor = numerator // (partition.m - 2)
+    partition.N = tuple(
+        tuple(tuple(block) for block in owned) for owned in payload["non_central"]
+    )
+    partition.D = tuple(
+        tuple(tuple(block) for block in owned) for owned in payload["central"]
+    )
+    partition.Q = tuple(
+        tuple(system.point_to_blocks()[i]) for i in range(partition.m)
+    )
+    if payload["P"] != partition.P:
+        raise PartitionError(
+            f"declared P={payload['P']} but system has {partition.P} blocks"
+        )
+    partition.validate()
+    return partition
+
+
+def save_partition(
+    partition: TetrahedralPartition, path: Union[str, Path]
+) -> None:
+    """Write a partition to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(partition_to_dict(partition), indent=1))
+
+
+def load_partition(path: Union[str, Path]) -> TetrahedralPartition:
+    """Load and revalidate a partition from JSON."""
+    return partition_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch everything from this package with a single handler while
+still distinguishing configuration problems from algorithmic failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter combination is invalid.
+
+    Examples: a processor count that is not of the form ``q * (q**2 + 1)``
+    for a prime power ``q``, a tensor dimension incompatible with the
+    requested block structure, or a negative size.
+    """
+
+
+class FieldError(ReproError, ValueError):
+    """A finite-field construction or operation is invalid.
+
+    Raised for non-prime-power orders, division by zero in GF(p^k), or
+    mixing elements from different fields.
+    """
+
+
+class SteinerError(ReproError, ValueError):
+    """A Steiner system construction failed or verification rejected it."""
+
+
+class MatchingError(ReproError, RuntimeError):
+    """A required matching or flow could not be found.
+
+    For the assignments used in this library, Hall's condition guarantees
+    existence; this error therefore signals either an internal bug or an
+    input graph that does not satisfy the documented preconditions.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """A tetrahedral block partition is inconsistent or unconstructible."""
+
+
+class MachineError(ReproError, RuntimeError):
+    """Misuse of the simulated parallel machine.
+
+    Examples: a processor sending a message to itself through the network,
+    mismatched collective participation, or reading another processor's
+    private memory outside a communication primitive.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative application (HOPM, CP gradient descent) failed to
+    converge within its iteration budget."""

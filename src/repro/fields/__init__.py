@@ -1,0 +1,32 @@
+"""Finite fields GF(p^k).
+
+The spherical Steiner construction (paper Theorem 6.5) needs arithmetic
+in ``F_{q**2}`` for a prime power ``q``, i.e. fields of order ``p**(2a)``.
+This package provides:
+
+* :mod:`repro.fields.primes` — primality and prime-power recognition,
+* :mod:`repro.fields.polynomials` — dense polynomial arithmetic over
+  GF(p) and irreducible-polynomial search,
+* :mod:`repro.fields.gf` — the :class:`GF` field class with elements
+  represented as integers (polynomial coefficient vectors packed in
+  base p), supporting +, -, *, /, powers and inverses.
+"""
+
+from repro.fields.primes import (
+    is_prime,
+    is_prime_power,
+    prime_power_decomposition,
+    prime_powers_up_to,
+    next_prime_power,
+)
+from repro.fields.gf import GF, GFElement
+
+__all__ = [
+    "is_prime",
+    "is_prime_power",
+    "prime_power_decomposition",
+    "prime_powers_up_to",
+    "next_prime_power",
+    "GF",
+    "GFElement",
+]

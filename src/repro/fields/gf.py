@@ -1,0 +1,322 @@
+"""Finite fields GF(p^k) with table-accelerated arithmetic.
+
+Elements are integers in ``range(q)`` encoding polynomial coefficient
+vectors in base ``p`` (the integer ``c0 + c1*p + c2*p**2 + ...``
+encodes ``c0 + c1 x + c2 x**2 + ...``). The field precomputes
+discrete-log tables over a primitive element, so multiplication,
+division and inversion are O(1) lookups — important because the
+spherical Steiner construction evaluates ``(q**2+1) q**2 (q**2-1)``
+Möbius maps.
+
+The wrapper class :class:`GFElement` provides natural operator syntax
+and is what :mod:`repro.projective` works with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import FieldError
+from repro.fields import polynomials as poly
+from repro.fields.primes import prime_power_decomposition
+
+
+class GF:
+    """The finite field of order ``q = p**k``.
+
+    Parameters
+    ----------
+    order:
+        Field order; must be a prime power.
+    modulus:
+        Optional explicit irreducible polynomial (coefficient tuple,
+        lowest degree first, of degree ``k``) to quotient by. If omitted
+        the lexicographically first monic irreducible is used, making
+        constructions deterministic across runs.
+
+    Examples
+    --------
+    >>> F9 = GF(9)
+    >>> a = F9.element(5)
+    >>> (a * a.inverse()).value
+    1
+    """
+
+    def __init__(self, order: int, modulus: Optional[tuple] = None):
+        decomposition = prime_power_decomposition(order)
+        if decomposition is None:
+            raise FieldError(f"{order} is not a prime power")
+        self.order = order
+        self.characteristic, self.degree = decomposition
+        p, k = decomposition
+        if modulus is None:
+            modulus = poly.find_irreducible(p, k)
+        else:
+            modulus = poly.normalize(modulus, p)
+            if poly.degree(modulus) != k:
+                raise FieldError(
+                    f"modulus degree {poly.degree(modulus)} != field degree {k}"
+                )
+            if not poly.is_irreducible(modulus, p):
+                raise FieldError(f"modulus {modulus} is reducible over GF({p})")
+        self.modulus = modulus
+        self._build_tables()
+
+    # -- encoding ---------------------------------------------------------
+
+    def _encode(self, coeffs: tuple) -> int:
+        value = 0
+        for c in reversed(coeffs):
+            value = value * self.characteristic + c
+        return value
+
+    def _decode(self, value: int) -> tuple:
+        coeffs = []
+        p = self.characteristic
+        while value:
+            coeffs.append(value % p)
+            value //= p
+        return tuple(coeffs)
+
+    # -- table construction ------------------------------------------------
+
+    def _raw_mul(self, a: int, b: int) -> int:
+        product = poly.mod(
+            poly.multiply(self._decode(a), self._decode(b), self.characteristic),
+            self.modulus,
+            self.characteristic,
+        )
+        return self._encode(product)
+
+    def _build_tables(self) -> None:
+        q = self.order
+        # Addition is componentwise mod p; precompute as a flat table for
+        # small fields (q^2 entries), else compute on demand.
+        generator = self._find_generator()
+        self._exp: List[int] = [0] * (2 * (q - 1))
+        self._log: List[int] = [0] * q  # log[0] unused
+        acc = 1
+        for i in range(q - 1):
+            self._exp[i] = acc
+            self._log[acc] = i
+            acc = self._raw_mul(acc, generator)
+        if acc != 1:
+            raise FieldError("generator order mismatch while building tables")
+        for i in range(q - 1, 2 * (q - 1)):
+            self._exp[i] = self._exp[i - (q - 1)]
+        self.generator = generator
+
+    def _multiplicative_order(self, a: int) -> int:
+        if a == 0:
+            raise FieldError("0 has no multiplicative order")
+        acc = a
+        order = 1
+        while acc != 1:
+            acc = self._raw_mul(acc, a)
+            order += 1
+        return order
+
+    def _find_generator(self) -> int:
+        target = self.order - 1
+        for candidate in range(2, self.order):
+            if candidate == 0:
+                continue
+            if self._multiplicative_order(candidate) == target:
+                return candidate
+        if self.order == 2:
+            return 1
+        raise FieldError("no generator found (internal error)")
+
+    # -- arithmetic on raw integer codes ------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition on integer codes (componentwise mod p)."""
+        p = self.characteristic
+        if self.degree == 1:
+            return (a + b) % p
+        result = 0
+        scale = 1
+        while a or b:
+            result += ((a % p) + (b % p)) % p * scale
+            a //= p
+            b //= p
+            scale *= p
+        return result
+
+    def neg(self, a: int) -> int:
+        """Additive inverse on integer codes."""
+        p = self.characteristic
+        if self.degree == 1:
+            return (-a) % p
+        result = 0
+        scale = 1
+        while a:
+            result += (-(a % p)) % p * scale
+            a //= p
+            scale *= p
+        return result
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction on integer codes."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via discrete-log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a == 0:
+            raise FieldError("division by zero in GF")
+        return self._exp[(self.order - 1 - self._log[a]) % (self.order - 1)]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation ``a ** e`` (e may be negative for a != 0)."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise FieldError("0 cannot be raised to a negative power")
+            return 0
+        exponent = self._log[a] * e % (self.order - 1)
+        return self._exp[exponent]
+
+    # -- element API --------------------------------------------------------
+
+    def element(self, value: int) -> "GFElement":
+        """Wrap an integer code in range(q) as a field element."""
+        if not 0 <= value < self.order:
+            raise FieldError(
+                f"value {value} out of range for GF({self.order})"
+            )
+        return GFElement(self, value)
+
+    def zero(self) -> "GFElement":
+        """The additive identity."""
+        return GFElement(self, 0)
+
+    def one(self) -> "GFElement":
+        """The multiplicative identity."""
+        return GFElement(self, 1)
+
+    def elements(self) -> List["GFElement"]:
+        """All q field elements in code order."""
+        return [GFElement(self, v) for v in range(self.order)]
+
+    def subfield_codes(self, suborder: int) -> List[int]:
+        """Integer codes of the subfield of order ``suborder``.
+
+        ``GF(p^m)`` contains ``GF(p^d)`` iff ``d | m``; its elements are
+        exactly the solutions of ``x**suborder == x``. This realizes the
+        paper's "natural inclusion of F_q ∪ {∞} in F_{q^α} ∪ {∞}"
+        (Theorem 6.5) concretely inside our representation.
+        """
+        decomposition = prime_power_decomposition(suborder)
+        if decomposition is None:
+            raise FieldError(f"{suborder} is not a prime power")
+        p, d = decomposition
+        if p != self.characteristic or self.degree % d != 0:
+            raise FieldError(
+                f"GF({suborder}) is not a subfield of GF({self.order})"
+            )
+        return [a for a in range(self.order) if self.pow(a, suborder) == a]
+
+    # -- dunder -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.order
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GF)
+            and other.order == self.order
+            and other.modulus == self.modulus
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.order, self.modulus))
+
+    def __repr__(self) -> str:
+        return f"GF({self.order})"
+
+
+class GFElement:
+    """An element of a :class:`GF` field with operator overloads.
+
+    Instances are immutable value objects; arithmetic between elements
+    of different fields raises :class:`~repro.errors.FieldError`.
+    """
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: GF, value: int):
+        self.field = field
+        self.value = value
+
+    def _coerce(self, other) -> int:
+        if isinstance(other, GFElement):
+            if other.field != self.field:
+                raise FieldError("mixing elements of different fields")
+            return other.value
+        if isinstance(other, int):
+            # The canonical ring homomorphism Z -> GF(p^k) sends n to
+            # n * 1, i.e. the constant polynomial n mod p.
+            return other % self.field.characteristic
+        raise FieldError(f"cannot coerce {other!r} into {self.field!r}")
+
+    def __add__(self, other):
+        return GFElement(self.field, self.field.add(self.value, self._coerce(other)))
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return GFElement(self.field, self.field.sub(self.value, self._coerce(other)))
+
+    def __rsub__(self, other):
+        return GFElement(self.field, self.field.sub(self._coerce(other), self.value))
+
+    def __mul__(self, other):
+        return GFElement(self.field, self.field.mul(self.value, self._coerce(other)))
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        return GFElement(self.field, self.field.div(self.value, self._coerce(other)))
+
+    def __rtruediv__(self, other):
+        return GFElement(self.field, self.field.div(self._coerce(other), self.value))
+
+    def __neg__(self):
+        return GFElement(self.field, self.field.neg(self.value))
+
+    def __pow__(self, exponent: int):
+        return GFElement(self.field, self.field.pow(self.value, exponent))
+
+    def inverse(self) -> "GFElement":
+        """Multiplicative inverse."""
+        return GFElement(self.field, self.field.inv(self.value))
+
+    def is_zero(self) -> bool:
+        """True iff this is the additive identity."""
+        return self.value == 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, GFElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.order, self.value))
+
+    def __repr__(self) -> str:
+        return f"GF{self.field.order}({self.value})"

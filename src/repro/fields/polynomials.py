@@ -1,0 +1,177 @@
+"""Dense polynomial arithmetic over GF(p) and irreducibility testing.
+
+Polynomials are represented as tuples of coefficients, *lowest degree
+first*, with no trailing zeros (the zero polynomial is the empty
+tuple). All coefficients live in ``range(p)`` for a prime modulus
+``p``. This is the machinery used to build GF(p^k) as
+``GF(p)[x] / (f)`` for an irreducible ``f`` of degree ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.errors import FieldError
+from repro.fields.primes import is_prime
+
+Poly = Tuple[int, ...]
+
+
+def normalize(coeffs: Iterable[int], p: int) -> Poly:
+    """Reduce coefficients mod p and strip trailing zeros."""
+    reduced = [c % p for c in coeffs]
+    while reduced and reduced[-1] == 0:
+        reduced.pop()
+    return tuple(reduced)
+
+
+def degree(poly: Poly) -> int:
+    """Degree of ``poly``; the zero polynomial has degree -1."""
+    return len(poly) - 1
+
+
+def add(a: Poly, b: Poly, p: int) -> Poly:
+    """Sum of two polynomials over GF(p)."""
+    length = max(len(a), len(b))
+    out = [0] * length
+    for idx, coeff in enumerate(a):
+        out[idx] += coeff
+    for idx, coeff in enumerate(b):
+        out[idx] += coeff
+    return normalize(out, p)
+
+
+def negate(a: Poly, p: int) -> Poly:
+    """Additive inverse over GF(p)."""
+    return normalize([-c for c in a], p)
+
+
+def subtract(a: Poly, b: Poly, p: int) -> Poly:
+    """Difference ``a - b`` over GF(p)."""
+    return add(a, negate(b, p), p)
+
+
+def multiply(a: Poly, b: Poly, p: int) -> Poly:
+    """Product of two polynomials over GF(p) (schoolbook; degrees are tiny)."""
+    if not a or not b:
+        return ()
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return normalize(out, p)
+
+
+def divmod_poly(a: Poly, b: Poly, p: int) -> Tuple[Poly, Poly]:
+    """Quotient and remainder of ``a / b`` over GF(p).
+
+    Raises
+    ------
+    FieldError
+        If ``b`` is the zero polynomial.
+    """
+    if not b:
+        raise FieldError("polynomial division by zero")
+    remainder = list(a)
+    quotient = [0] * max(len(a) - len(b) + 1, 0)
+    lead_inv = pow(b[-1], p - 2, p)
+    while len(remainder) >= len(b) and any(remainder):
+        # Strip leading zeros that cancellation may have produced.
+        while remainder and remainder[-1] == 0:
+            remainder.pop()
+        if len(remainder) < len(b):
+            break
+        shift = len(remainder) - len(b)
+        factor = remainder[-1] * lead_inv % p
+        quotient[shift] = factor
+        for idx, coeff in enumerate(b):
+            remainder[shift + idx] = (remainder[shift + idx] - factor * coeff) % p
+    return normalize(quotient, p), normalize(remainder, p)
+
+
+def mod(a: Poly, b: Poly, p: int) -> Poly:
+    """Remainder of ``a`` modulo ``b`` over GF(p)."""
+    return divmod_poly(a, b, p)[1]
+
+
+def pow_mod(base: Poly, exponent: int, modulus: Poly, p: int) -> Poly:
+    """``base ** exponent`` reduced modulo ``modulus`` over GF(p)."""
+    result: Poly = (1,)
+    base = mod(base, modulus, p)
+    e = exponent
+    while e > 0:
+        if e & 1:
+            result = mod(multiply(result, base, p), modulus, p)
+        base = mod(multiply(base, base, p), modulus, p)
+        e >>= 1
+    return result
+
+
+def gcd(a: Poly, b: Poly, p: int) -> Poly:
+    """Monic greatest common divisor over GF(p)."""
+    while b:
+        a, b = b, mod(a, b, p)
+    if a:
+        inv = pow(a[-1], p - 2, p)
+        a = normalize([c * inv for c in a], p)
+    return a
+
+
+def is_irreducible(poly: Poly, p: int) -> bool:
+    """Rabin's irreducibility test for ``poly`` over GF(p).
+
+    ``f`` of degree ``k`` is irreducible iff ``x**(p**k) == x (mod f)``
+    and ``gcd(x**(p**(k/r)) - x, f) == 1`` for every prime divisor
+    ``r`` of ``k``.
+    """
+    k = degree(poly)
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    x: Poly = (0, 1)
+    # Distinct prime divisors of k.
+    divisors = []
+    kk = k
+    d = 2
+    while d * d <= kk:
+        if kk % d == 0:
+            divisors.append(d)
+            while kk % d == 0:
+                kk //= d
+        d += 1
+    if kk > 1:
+        divisors.append(kk)
+    for r in divisors:
+        power = pow_mod(x, p ** (k // r), poly, p)
+        if gcd(subtract(power, x, p), poly, p) != (1,):
+            return False
+    final = pow_mod(x, p**k, poly, p)
+    return final == x
+
+
+def find_irreducible(p: int, k: int) -> Poly:
+    """Find a monic irreducible polynomial of degree ``k`` over GF(p).
+
+    Deterministic exhaustive search in lexicographic order of the low
+    ``k`` coefficients — fine for the small degrees used by the Steiner
+    constructions (k <= 8 in practice). Degree-1 returns ``x``.
+    """
+    if not is_prime(p):
+        raise FieldError(f"modulus {p} is not prime")
+    if k < 1:
+        raise FieldError(f"degree must be >= 1, got {k}")
+    if k == 1:
+        return (0, 1)
+    for code in range(p**k):
+        coeffs = []
+        c = code
+        for _ in range(k):
+            coeffs.append(c % p)
+            c //= p
+        candidate = normalize(coeffs + [1], p)
+        if degree(candidate) == k and is_irreducible(candidate, p):
+            return candidate
+    raise FieldError(f"no irreducible polynomial of degree {k} over GF({p})")

@@ -1,0 +1,121 @@
+"""Primality and prime-power utilities.
+
+The partition machinery requires ``P = q (q**2 + 1)`` for a *prime
+power* ``q`` (paper §6.1); these helpers recognize admissible ``q``
+values and enumerate candidates for sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FieldError
+from repro.util.validation import check_positive_int
+
+# Deterministic Miller-Rabin witnesses valid for all 64-bit integers.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (Miller-Rabin, exact below 3.3e24)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _integer_nth_root(n: int, k: int) -> int:
+    """Floor of the k-th root of n, exact integer arithmetic."""
+    if n < 0:
+        raise FieldError("nth root of negative number")
+    if n in (0, 1):
+        return n
+    lo, hi = 1, 1 << ((n.bit_length() + k - 1) // k + 1)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if mid**k <= n:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def prime_power_decomposition(n: int) -> Optional[Tuple[int, int]]:
+    """Return ``(p, k)`` with ``n == p**k`` and ``p`` prime, else ``None``.
+
+    >>> prime_power_decomposition(9)
+    (3, 2)
+    >>> prime_power_decomposition(12) is None
+    True
+    """
+    n = check_positive_int(n, "n")
+    if n == 1:
+        return None
+    for k in range(n.bit_length(), 0, -1):
+        root = _integer_nth_root(n, k)
+        if root**k == n and is_prime(root):
+            return root, k
+    return None
+
+
+def is_prime_power(n: int) -> bool:
+    """True iff ``n == p**k`` for prime ``p`` and integer ``k >= 1``."""
+    return prime_power_decomposition(n) is not None
+
+
+def prime_powers_up_to(limit: int) -> List[int]:
+    """All prime powers ``q`` with ``2 <= q <= limit``, ascending."""
+    limit = check_positive_int(limit, "limit")
+    return [q for q in range(2, limit + 1) if is_prime_power(q)]
+
+
+def next_prime_power(n: int) -> int:
+    """Smallest prime power ``>= n`` (``n >= 2`` required)."""
+    n = check_positive_int(n, "n")
+    if n < 2:
+        n = 2
+    q = n
+    while not is_prime_power(q):
+        q += 1
+    return q
+
+
+def factorize(n: int) -> List[Tuple[int, int]]:
+    """Full prime factorization as sorted ``(prime, exponent)`` pairs.
+
+    Trial division; adequate for the parameter ranges used here
+    (processor counts and field orders, well below 10**12).
+    """
+    n = check_positive_int(n, "n")
+    factors: List[Tuple[int, int]] = []
+    remaining = n
+    candidate = 2
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            exponent = 0
+            while remaining % candidate == 0:
+                remaining //= candidate
+                exponent += 1
+            factors.append((candidate, exponent))
+        candidate += 1 if candidate == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return factors

@@ -1,0 +1,59 @@
+"""Simulated distributed-memory machine in the α-β-γ (MPI) model.
+
+The paper's model (§3.1): ``P`` processors, each with private local
+memory, connected by a fully connected network with bidirectional
+links; a processor can send and receive at most one message at a time.
+Communication cost = latency (α · #messages) + bandwidth (β · #words);
+the paper analyses bandwidth (word counts), which this simulator
+reproduces *exactly* — every word that crosses between two simulated
+processors is recorded in a :class:`~repro.machine.ledger.CommunicationLedger`.
+
+Design notes
+------------
+The simulator is sequential and deterministic: SPMD algorithms are
+expressed as loops over per-processor state with all cross-processor
+data movement funneled through the collectives in
+:mod:`repro.machine.collectives`. Nothing stops Python code from
+peeking at another processor's memory — instead, correctness is
+enforced by the test suite, which verifies that algorithms produce
+correct results *and* that their ledgers match the paper's closed-form
+communication costs (an algorithm that cheated by peeking would show a
+word count below the proven lower bound, which a test asserts cannot
+happen).
+"""
+
+from repro.machine.message import Message
+from repro.machine.ledger import CommunicationLedger, RoundRecord
+from repro.machine.processor import Processor
+from repro.machine.machine import Machine
+from repro.machine.topology import CostModel
+from repro.machine.auditing import AuditReport, audit_ledger
+from repro.machine.collectives import (
+    all_to_all,
+    all_to_all_words,
+    reduce_scatter,
+    all_reduce_vector,
+    point_to_point_rounds,
+    all_gather,
+    all_reduce_scalar,
+    broadcast,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_ledger",
+    "reduce_scatter",
+    "all_reduce_vector",
+    "Message",
+    "CommunicationLedger",
+    "RoundRecord",
+    "Processor",
+    "Machine",
+    "CostModel",
+    "all_to_all",
+    "all_to_all_words",
+    "point_to_point_rounds",
+    "all_gather",
+    "all_reduce_scalar",
+    "broadcast",
+]

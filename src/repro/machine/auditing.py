@@ -1,0 +1,117 @@
+"""Ledger auditing: machine-model invariants as a checkable report.
+
+The simulator's value is that claims can't drift from runs. The auditor
+condenses a :class:`CommunicationLedger` into pass/fail invariants used
+by tests and by the CLI:
+
+* **single-port** — every round a (partial) permutation (§3.1);
+* **conservation** — per tag, total sent == total received (no words
+  invented or lost in transit);
+* **symmetry** — when expected (the optimal schedule exchanges are
+  mutual), every processor's sent equals its received volume;
+* **uniformity** — all processors moved the same volume (the paper's
+  per-processor formulas hold with equality for *every* processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.machine.ledger import CommunicationLedger
+
+
+@dataclass
+class AuditReport:
+    """Result of :func:`audit_ledger`."""
+
+    single_port: bool
+    conservation: bool
+    symmetric_volumes: bool
+    uniform_volumes: bool
+    per_tag_words: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All invariants hold."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "VIOLATIONS"
+        lines = [f"ledger audit: {status}"]
+        lines += [f"  - {v}" for v in self.violations]
+        lines.append(f"  tags: {self.per_tag_words}")
+        return "\n".join(lines)
+
+
+def audit_ledger(
+    ledger: CommunicationLedger,
+    *,
+    expect_symmetric: bool = True,
+    expect_uniform: bool = True,
+) -> AuditReport:
+    """Check the model invariants on a completed ledger.
+
+    Parameters
+    ----------
+    expect_symmetric:
+        Require per-processor sent == received (true for the mutual
+        exchanges of Algorithm 5; false for e.g. broadcasts).
+    expect_uniform:
+        Require identical volumes on all processors (true for the
+        optimal algorithms; false for tree collectives).
+    """
+    violations: List[str] = []
+
+    single_port = ledger.all_rounds_are_permutations()
+    if not single_port:
+        offenders = [
+            index
+            for index, record in enumerate(ledger.rounds)
+            if not record.is_permutation_round()
+        ]
+        violations.append(
+            f"single-port violated in rounds {offenders[:5]}"
+            + ("..." if len(offenders) > 5 else "")
+        )
+
+    per_tag_sent: Dict[str, int] = {}
+    for record in ledger.rounds:
+        for message in record.messages:
+            per_tag_sent[message.tag] = per_tag_sent.get(message.tag, 0) + message.words
+    conservation = sum(per_tag_sent.values()) == sum(ledger.words_received)
+    if not conservation:
+        violations.append(
+            f"conservation violated: {sum(per_tag_sent.values())} sent vs"
+            f" {sum(ledger.words_received)} received"
+        )
+
+    symmetric = all(
+        s == r for s, r in zip(ledger.words_sent, ledger.words_received)
+    )
+    if expect_symmetric and not symmetric:
+        asym = [
+            p
+            for p, (s, r) in enumerate(
+                zip(ledger.words_sent, ledger.words_received)
+            )
+            if s != r
+        ]
+        violations.append(f"asymmetric volumes at processors {asym[:5]}")
+
+    uniform = len(set(ledger.words_sent)) <= 1
+    if expect_uniform and not uniform:
+        violations.append(
+            f"non-uniform volumes: min {min(ledger.words_sent)},"
+            f" max {max(ledger.words_sent)}"
+        )
+
+    return AuditReport(
+        single_port=single_port,
+        conservation=conservation,
+        symmetric_volumes=symmetric,
+        uniform_volumes=uniform,
+        per_tag_words=per_tag_sent,
+        violations=violations,
+    )

@@ -1,0 +1,319 @@
+"""Collective communication operations with exact word accounting.
+
+Each collective is implemented as a sequence of synchronous rounds in
+which every processor sends at most one message and receives at most
+one message (the single-port model of paper §3.1); the ledger verifies
+this invariant in tests. Word counts follow the standard
+bandwidth-optimal algorithms referenced by the paper (Thakur et al.):
+
+* **All-to-All** — ``P - 1`` rounds; in round ``r`` processor ``p``
+  sends its buffer for processor ``(p + r) mod P``. Per-processor cost
+  is the sum of its outgoing buffer sizes (paper §7.2.2 "All-to-All
+  collectives" analysis).
+* **Allgather** — ring algorithm, ``P - 1`` rounds; per-processor cost
+  ``(P - 1) / P`` of the gathered total.
+* **Scalar allreduce / broadcast** — binomial trees,
+  ``O(log P)`` rounds of one word each.
+* **Scheduled point-to-point** — caller-provided permutation rounds
+  (the paper's Theorem 7.2 schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.machine import Machine
+from repro.machine.message import Message, word_count
+
+
+SendBuffers = Sequence[Dict[int, np.ndarray]]
+
+
+def _validate_sendbufs(machine: Machine, sendbufs: SendBuffers) -> None:
+    if len(sendbufs) != machine.P:
+        raise MachineError(
+            f"need one send-buffer dict per processor ({machine.P}),"
+            f" got {len(sendbufs)}"
+        )
+    for src, buffers in enumerate(sendbufs):
+        for dst in buffers:
+            if not 0 <= dst < machine.P:
+                raise MachineError(f"processor {src} addressing unknown rank {dst}")
+
+
+def all_to_all(
+    machine: Machine, sendbufs: SendBuffers, tag: str = "all-to-all"
+) -> List[Dict[int, np.ndarray]]:
+    """Personalized All-to-All exchange.
+
+    Parameters
+    ----------
+    sendbufs:
+        ``sendbufs[src][dst]`` is the array ``src`` sends to ``dst``.
+        Missing keys mean "nothing to send"; a self-entry
+        (``dst == src``) is delivered locally at zero cost.
+
+    Returns
+    -------
+    list of dict
+        ``recv[dst][src]`` — arrays received (copies, so later mutation
+        on the sender side cannot leak across processors).
+    """
+    _validate_sendbufs(machine, sendbufs)
+    P = machine.P
+    recv: List[Dict[int, np.ndarray]] = [{} for _ in range(P)]
+    # Local deliveries are free.
+    for src in range(P):
+        if src in sendbufs[src]:
+            recv[src][src] = np.array(sendbufs[src][src], copy=True)
+    for shift in range(1, P):
+        machine.ledger.begin_round(f"{tag}:shift{shift}")
+        for src in range(P):
+            dst = (src + shift) % P
+            payload = sendbufs[src].get(dst)
+            if payload is None:
+                continue
+            words = word_count(payload)
+            if words == 0:
+                continue
+            machine.ledger.record(Message(src, dst, words, tag))
+            recv[dst][src] = np.array(payload, copy=True)
+        machine.ledger.end_round()
+    return recv
+
+
+def all_to_all_words(sendbufs: SendBuffers) -> List[int]:
+    """Per-processor outgoing word counts of an All-to-All, excluding
+    self-deliveries (useful for asserting costs without running one)."""
+    totals = []
+    for src, buffers in enumerate(sendbufs):
+        totals.append(
+            sum(word_count(v) for d, v in buffers.items() if d != src)
+        )
+    return totals
+
+
+def point_to_point_rounds(
+    machine: Machine,
+    rounds: Sequence[Dict[int, int]],
+    payload_for: Callable[[int, int], Optional[np.ndarray]],
+    tag: str = "p2p",
+) -> List[Dict[int, np.ndarray]]:
+    """Execute a precomputed permutation-round schedule.
+
+    Parameters
+    ----------
+    rounds:
+        Each round maps sender -> receiver and must be (a partial
+        function of) a permutation: no sender twice, no receiver twice.
+    payload_for:
+        Callback giving the array ``src`` sends to ``dst``; returning
+        ``None`` or an empty array suppresses the message.
+
+    Returns
+    -------
+    list of dict
+        ``recv[dst][src]`` — arrays received over the whole schedule.
+    """
+    P = machine.P
+    recv: List[Dict[int, np.ndarray]] = [{} for _ in range(P)]
+    for index, round_map in enumerate(rounds):
+        senders = list(round_map.keys())
+        receivers = list(round_map.values())
+        if len(set(senders)) != len(senders) or len(set(receivers)) != len(receivers):
+            raise MachineError(f"round {index} is not a permutation")
+        machine.ledger.begin_round(f"{tag}:round{index}")
+        for src, dst in round_map.items():
+            if src == dst:
+                raise MachineError(f"round {index}: self-send at {src}")
+            payload = payload_for(src, dst)
+            words = word_count(payload)
+            if words == 0:
+                continue
+            machine.ledger.record(Message(src, dst, words, tag))
+            recv[dst][src] = np.array(payload, copy=True)
+        machine.ledger.end_round()
+    return recv
+
+
+def all_gather(
+    machine: Machine, contributions: Sequence[np.ndarray], tag: str = "allgather"
+) -> List[List[np.ndarray]]:
+    """Ring allgather: everyone ends with every contribution.
+
+    Returns ``gathered[p][src]`` (copies). Per-processor send volume is
+    ``Σ_{src != p-ring-position} |contribution[src]|`` — the
+    bandwidth-optimal ``(P-1)/P`` fraction when contributions are
+    uniform.
+    """
+    P = machine.P
+    if len(contributions) != P:
+        raise MachineError("need one contribution per processor")
+    gathered: List[List[Optional[np.ndarray]]] = [
+        [None] * P for _ in range(P)
+    ]
+    for p in range(P):
+        gathered[p][p] = np.array(contributions[p], copy=True)
+    for step in range(P - 1):
+        machine.ledger.begin_round(f"{tag}:step{step}")
+        for p in range(P):
+            dst = (p + 1) % P
+            origin = (p - step) % P
+            payload = gathered[p][origin]
+            if payload is None:
+                raise MachineError("ring allgather lost a piece (internal)")
+            words = word_count(payload)
+            if words > 0:
+                machine.ledger.record(Message(p, dst, words, tag))
+        # Apply deliveries after recording the full round (synchronous step).
+        for p in range(P):
+            dst = (p + 1) % P
+            origin = (p - step) % P
+            gathered[dst][origin] = np.array(gathered[p][origin], copy=True)
+        machine.ledger.end_round()
+    return [list(row) for row in gathered]
+
+
+def _binomial_tree_rounds(P: int) -> List[int]:
+    """Distances used by binomial broadcast/reduce: 1, 2, 4, ... < P."""
+    distances = []
+    d = 1
+    while d < P:
+        distances.append(d)
+        d *= 2
+    return distances
+
+
+def broadcast(
+    machine: Machine, root: int, value: np.ndarray, tag: str = "bcast"
+) -> List[np.ndarray]:
+    """Binomial-tree broadcast of ``value`` from ``root`` to everyone.
+
+    Returns the per-processor copies. ``ceil(log2 P)`` rounds; in each
+    round every processor that already holds the value forwards it one
+    "distance" further (ranks taken relative to the root).
+    """
+    P = machine.P
+    payload = np.atleast_1d(np.asarray(value, dtype=np.float64))
+    holders = {root}
+    results: List[Optional[np.ndarray]] = [None] * P
+    results[root] = payload.copy()
+    for distance in reversed(_binomial_tree_rounds(P)):
+        machine.ledger.begin_round(f"{tag}:d{distance}")
+        new_holders = set()
+        for src in holders:
+            relative = (src - root) % P
+            if relative % (2 * distance) == 0:
+                dst_rel = relative + distance
+                if dst_rel < P:
+                    dst = (root + dst_rel) % P
+                    machine.ledger.record(
+                        Message(src, dst, int(payload.size), tag)
+                    )
+                    results[dst] = payload.copy()
+                    new_holders.add(dst)
+        holders |= new_holders
+        machine.ledger.end_round()
+    if any(r is None for r in results):
+        raise MachineError("broadcast failed to reach every processor")
+    return [r for r in results]
+
+
+def reduce_scatter(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    tag: str = "reduce-scatter",
+) -> List[np.ndarray]:
+    """Ring reduce-scatter: elementwise-sum ``P`` equal-length arrays and
+    leave slice ``p`` (of ``P`` equal slices) on processor ``p``.
+
+    Bandwidth-optimal ring: ``P - 1`` rounds, each processor sends one
+    slice-sized partial per round — ``(P-1)/P`` of the array total.
+    Array length must be divisible by ``P``.
+    """
+    P = machine.P
+    if len(contributions) != P:
+        raise MachineError("need one contribution per processor")
+    arrays = [np.asarray(c, dtype=np.float64) for c in contributions]
+    length = arrays[0].size
+    if any(a.shape != (length,) for a in arrays):
+        raise MachineError("contributions must be equal-length vectors")
+    if length % P != 0:
+        raise MachineError(f"length {length} not divisible by P={P}")
+    slice_size = length // P
+    # running[p] holds the partial sums currently resident on p, keyed
+    # by slice index.
+    running: List[Dict[int, np.ndarray]] = [
+        {s: arrays[p][s * slice_size : (s + 1) * slice_size].copy() for s in range(P)}
+        for p in range(P)
+    ]
+    for step in range(P - 1):
+        machine.ledger.begin_round(f"{tag}:step{step}")
+        transfers = []
+        for p in range(P):
+            dst = (p + 1) % P
+            slice_index = (p - step) % P
+            payload = running[p].pop(slice_index)
+            if slice_size > 0:
+                machine.ledger.record(Message(p, dst, slice_size, tag))
+            transfers.append((dst, slice_index, payload))
+        for dst, slice_index, payload in transfers:
+            running[dst][slice_index] = running[dst][slice_index] + payload
+        machine.ledger.end_round()
+    results = []
+    for p in range(P):
+        # After P-1 steps processor p holds exactly slice (p+1) mod P.
+        ((slice_index, value),) = running[p].items()
+        results.append((slice_index, value))
+    # Re-key so result[p] is slice p (deliver locally, zero cost).
+    by_slice = {slice_index: value for slice_index, value in results}
+    return [by_slice[s] for s in range(P)]
+
+
+def all_reduce_vector(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    tag: str = "allreduce-vec",
+) -> List[np.ndarray]:
+    """Bandwidth-optimal vector allreduce: reduce-scatter + allgather.
+
+    Per-processor cost ``2 (P-1)/P · length`` words — the classic
+    Rabenseifner composition. Length must be divisible by ``P``.
+    """
+    P = machine.P
+    slices = reduce_scatter(machine, contributions, tag=f"{tag}:rs")
+    gathered = all_gather(machine, slices, tag=f"{tag}:ag")
+    return [np.concatenate(gathered[p]) for p in range(P)]
+
+
+def all_reduce_scalar(
+    machine: Machine,
+    values: Sequence[float],
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+    tag: str = "allreduce",
+) -> List[float]:
+    """Allreduce of one scalar per processor (binomial reduce + broadcast).
+
+    Used by the parallel HOPM for norm computation; costs
+    ``2 ceil(log2 P)`` rounds of one word each.
+    """
+    P = machine.P
+    if len(values) != P:
+        raise MachineError("need one value per processor")
+    partial = list(values)
+    alive = list(range(P))
+    # Reduce to rank 0 along a binomial tree.
+    for distance in _binomial_tree_rounds(P):
+        machine.ledger.begin_round(f"{tag}:reduce-d{distance}")
+        for p in range(P):
+            if p % (2 * distance) == distance:
+                dst = p - distance
+                machine.ledger.record(Message(p, dst, 1, tag))
+                partial[dst] = op(partial[dst], partial[p])
+        machine.ledger.end_round()
+    total = partial[0]
+    results = broadcast(machine, 0, np.array([total]), tag=f"{tag}:bcast")
+    return [float(r[0]) for r in results]

@@ -1,0 +1,154 @@
+"""Exact communication accounting for the simulated machine.
+
+The ledger records every :class:`~repro.machine.message.Message`
+grouped into synchronous *rounds* (the paper's communication steps:
+each processor sends at most one and receives at most one message per
+round, Theorem 7.2). From the raw records it derives the quantities
+the paper's analysis is stated in:
+
+* per-processor words sent / received (bandwidth cost, §7.2),
+* per-processor message counts (latency cost),
+* number of rounds,
+* the α-β critical-path estimate ``Σ_rounds (α + β · max_words)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.machine.message import Message
+
+
+@dataclass
+class RoundRecord:
+    """All messages of one synchronous communication round."""
+
+    label: str
+    messages: List[Message] = field(default_factory=list)
+
+    def max_words(self) -> int:
+        """Largest per-processor send volume within the round."""
+        per_proc: Dict[int, int] = {}
+        for msg in self.messages:
+            per_proc[msg.source] = per_proc.get(msg.source, 0) + msg.words
+        return max(per_proc.values(), default=0)
+
+    def is_permutation_round(self) -> bool:
+        """True iff every processor sends <= 1 and receives <= 1 message."""
+        senders = [m.source for m in self.messages]
+        receivers = [m.dest for m in self.messages]
+        return len(senders) == len(set(senders)) and len(receivers) == len(
+            set(receivers)
+        )
+
+
+class CommunicationLedger:
+    """Accumulates messages for a ``P``-processor run."""
+
+    def __init__(self, n_processors: int):
+        if n_processors < 1:
+            raise MachineError("need at least one processor")
+        self.P = n_processors
+        self.words_sent: List[int] = [0] * n_processors
+        self.words_received: List[int] = [0] * n_processors
+        self.messages_sent: List[int] = [0] * n_processors
+        self.messages_received: List[int] = [0] * n_processors
+        self.rounds: List[RoundRecord] = []
+        self._open_round: Optional[RoundRecord] = None
+
+    # -- round management ------------------------------------------------------
+
+    def begin_round(self, label: str = "") -> None:
+        """Open a new synchronous round; messages recorded until
+        :meth:`end_round` belong to it."""
+        if self._open_round is not None:
+            raise MachineError("previous round still open")
+        self._open_round = RoundRecord(label=label)
+
+    def end_round(self) -> RoundRecord:
+        """Close the current round and archive it."""
+        if self._open_round is None:
+            raise MachineError("no round open")
+        closed = self._open_round
+        self._open_round = None
+        self.rounds.append(closed)
+        return closed
+
+    def record(self, message: Message) -> None:
+        """Record one message (a round must be open)."""
+        if self._open_round is None:
+            raise MachineError("record() outside of a round")
+        if not (0 <= message.source < self.P and 0 <= message.dest < self.P):
+            raise MachineError(f"message {message} references unknown processor")
+        self._open_round.messages.append(message)
+        self.words_sent[message.source] += message.words
+        self.words_received[message.dest] += message.words
+        self.messages_sent[message.source] += 1
+        self.messages_received[message.dest] += 1
+
+    # -- derived quantities -------------------------------------------------------
+
+    def total_words(self) -> int:
+        """Total words moved across the network (sum over messages)."""
+        return sum(self.words_sent)
+
+    def max_words_sent(self) -> int:
+        """Bandwidth cost: the largest per-processor send volume."""
+        return max(self.words_sent)
+
+    def max_words_received(self) -> int:
+        """Largest per-processor receive volume."""
+        return max(self.words_received)
+
+    def max_words_moved(self) -> int:
+        """Largest per-processor sent+received volume.
+
+        The paper's lower bound counts words a processor must *send or
+        receive*; for the symmetric exchanges here sent == received per
+        processor, so this equals twice :meth:`max_words_sent` for the
+        optimal algorithm.
+        """
+        return max(
+            s + r for s, r in zip(self.words_sent, self.words_received)
+        )
+
+    def round_count(self) -> int:
+        """Number of completed synchronous rounds."""
+        return len(self.rounds)
+
+    def all_rounds_are_permutations(self) -> bool:
+        """True iff every round obeys the single-port model (§3.1)."""
+        return all(r.is_permutation_round() for r in self.rounds)
+
+    def per_processor_summary(self) -> List[Dict[str, int]]:
+        """One dict per processor with its four counters."""
+        return [
+            {
+                "rank": p,
+                "words_sent": self.words_sent[p],
+                "words_received": self.words_received[p],
+                "messages_sent": self.messages_sent[p],
+                "messages_received": self.messages_received[p],
+            }
+            for p in range(self.P)
+        ]
+
+    def merge(self, other: "CommunicationLedger") -> None:
+        """Fold another ledger's records into this one (e.g. per-iteration
+        ledgers of an iterative app)."""
+        if other.P != self.P:
+            raise MachineError("merging ledgers of different machine sizes")
+        for p in range(self.P):
+            self.words_sent[p] += other.words_sent[p]
+            self.words_received[p] += other.words_received[p]
+            self.messages_sent[p] += other.messages_sent[p]
+            self.messages_received[p] += other.messages_received[p]
+        self.rounds.extend(other.rounds)
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunicationLedger(P={self.P}, rounds={len(self.rounds)},"
+            f" total_words={self.total_words()})"
+        )

@@ -1,0 +1,56 @@
+"""The simulated machine: processors + network ledger."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import MachineError
+from repro.machine.ledger import CommunicationLedger
+from repro.machine.processor import Processor
+from repro.util.validation import check_positive_int
+
+
+class Machine:
+    """``P`` fully connected processors in the α-β-γ model (paper §3.1).
+
+    The machine owns the :class:`CommunicationLedger`; all collectives
+    in :mod:`repro.machine.collectives` take the machine as their first
+    argument and account every transferred word through it.
+
+    Examples
+    --------
+    >>> machine = Machine(4)
+    >>> machine.P
+    4
+    >>> [p.rank for p in machine]
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, n_processors: int):
+        self.P = check_positive_int(n_processors, "n_processors")
+        self.processors: List[Processor] = [Processor(r) for r in range(self.P)]
+        self.ledger = CommunicationLedger(self.P)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def __len__(self) -> int:
+        return self.P
+
+    def __getitem__(self, rank: int) -> Processor:
+        if not 0 <= rank < self.P:
+            raise MachineError(f"rank {rank} out of range for P={self.P}")
+        return self.processors[rank]
+
+    def reset_ledger(self) -> CommunicationLedger:
+        """Swap in a fresh ledger, returning the old one.
+
+        Iterative applications (HOPM) use this to measure per-iteration
+        communication while accumulating a total.
+        """
+        old = self.ledger
+        self.ledger = CommunicationLedger(self.P)
+        return old
+
+    def __repr__(self) -> str:
+        return f"Machine(P={self.P})"

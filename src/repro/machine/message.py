@@ -1,0 +1,50 @@
+"""Message records exchanged on the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+def word_count(payload: Any) -> int:
+    """Number of words (float64 elements) a payload occupies on the wire.
+
+    NumPy arrays count their element totals; scalars count 1; ``None``
+    counts 0 (an empty slot in an All-to-All exchange).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if np.isscalar(payload):
+        return 1
+    raise TypeError(f"cannot size payload of type {type(payload)!r}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer on the simulated network.
+
+    Attributes
+    ----------
+    source, dest:
+        Processor ranks; ``source != dest`` always (local data movement
+        is free in the α-β-γ model and never enters the ledger).
+    words:
+        Number of words transferred.
+    tag:
+        Free-form label used by tests and traces (e.g. ``"x-exchange"``).
+    """
+
+    source: int
+    dest: int
+    words: int
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.source == self.dest:
+            raise ValueError("message source equals destination")
+        if self.words < 0:
+            raise ValueError("negative word count")

@@ -1,0 +1,66 @@
+"""Per-processor private state for the simulated machine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+class Processor:
+    """A simulated processor: a rank plus a private key-value memory.
+
+    Algorithms store named arrays (tensor blocks, vector shards,
+    receive buffers) in :attr:`memory`. The class tracks a high-water
+    mark of resident words so memory-usage claims (paper §6.1.3) can be
+    checked, though the paper's analysis is memory-*independent*.
+    """
+
+    def __init__(self, rank: int):
+        if rank < 0:
+            raise MachineError(f"rank must be >= 0, got {rank}")
+        self.rank = rank
+        self.memory: Dict[str, Any] = {}
+        self._peak_words = 0
+
+    def store(self, key: str, value: Any) -> None:
+        """Bind ``key`` to ``value`` in private memory."""
+        self.memory[key] = value
+        self._update_peak()
+
+    def load(self, key: str) -> Any:
+        """Read a private value; raises if absent."""
+        try:
+            return self.memory[key]
+        except KeyError:
+            raise MachineError(
+                f"processor {self.rank} has no value named {key!r}"
+            ) from None
+
+    def discard(self, key: str) -> None:
+        """Drop a value if present."""
+        self.memory.pop(key, None)
+
+    def resident_words(self) -> int:
+        """Current float64 words resident in private memory (arrays only)."""
+        total = 0
+        for value in self.memory.values():
+            if isinstance(value, np.ndarray):
+                total += value.size
+            elif isinstance(value, dict):
+                total += sum(
+                    v.size for v in value.values() if isinstance(v, np.ndarray)
+                )
+        return total
+
+    def peak_words(self) -> int:
+        """High-water mark of :meth:`resident_words` across stores."""
+        return self._peak_words
+
+    def _update_peak(self) -> None:
+        self._peak_words = max(self._peak_words, self.resident_words())
+
+    def __repr__(self) -> str:
+        return f"Processor(rank={self.rank}, keys={sorted(self.memory)})"

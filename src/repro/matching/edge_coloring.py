@@ -1,0 +1,111 @@
+"""Decomposition of regular bipartite graphs into perfect matchings.
+
+Paper Lemma 7.1: a d-regular bipartite graph with ``|X| = |Y|``
+decomposes into ``d`` disjoint perfect matchings. Proof is by Hall's
+theorem plus induction — remove a perfect matching (which exists
+because every d-regular bipartite graph satisfies Hall) and the graph
+stays (d-1)-regular. That induction *is* the algorithm implemented
+here.
+
+Theorem 7.2 turns each matching into one synchronous communication
+step: every processor sends exactly one message and receives exactly
+one message per step; :func:`permutation_rounds` produces that schedule
+for an exchange multigraph given as directed (sender, receiver) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MatchingError
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+def decompose_regular_bipartite(
+    n: int, adjacency: Sequence[Sequence[int]]
+) -> List[Dict[int, int]]:
+    """Split a d-regular bipartite graph into d perfect matchings.
+
+    Parameters
+    ----------
+    n:
+        Vertices per side (``|X| = |Y| = n``).
+    adjacency:
+        ``adjacency[u]`` lists the right neighbors of left vertex ``u``,
+        *with multiplicity* (parallel edges allowed — a multigraph edge
+        appears once per copy).
+
+    Returns
+    -------
+    list of dict
+        ``d`` matchings, each a bijection ``{left: right}``; their
+        multisets of edges partition the input edges.
+
+    Raises
+    ------
+    MatchingError
+        If the graph is not regular (all degrees equal on both sides).
+    """
+    degrees_left = [len(nbrs) for nbrs in adjacency]
+    if len(set(degrees_left)) > 1:
+        raise MatchingError(f"left degrees not uniform: {sorted(set(degrees_left))}")
+    d = degrees_left[0] if degrees_left else 0
+    degree_right = [0] * n
+    for nbrs in adjacency:
+        for v in nbrs:
+            if not 0 <= v < n:
+                raise MatchingError(f"right vertex {v} out of range")
+            degree_right[v] += 1
+    if any(deg != d for deg in degree_right):
+        raise MatchingError("right degrees not uniform; graph is not regular")
+
+    remaining: List[List[int]] = [list(nbrs) for nbrs in adjacency]
+    matchings: List[Dict[int, int]] = []
+    for round_index in range(d):
+        # Hopcroft-Karp ignores parallel edges; dedupe for the search,
+        # then remove one copy of each matched edge from the multiset.
+        simple = [sorted(set(nbrs)) for nbrs in remaining]
+        matching = hopcroft_karp(n, n, simple)
+        if len(matching) != n:
+            raise MatchingError(
+                f"round {round_index}: no perfect matching in remaining"
+                f" {d - round_index}-regular graph (internal error)"
+            )
+        matchings.append(matching)
+        for u, v in matching.items():
+            remaining[u].remove(v)
+    if any(remaining_edges for remaining_edges in remaining):
+        raise MatchingError("edges left over after decomposition (internal)")
+    return matchings
+
+
+def permutation_rounds(
+    n_processors: int, exchanges: Sequence[Tuple[int, int]]
+) -> List[Dict[int, int]]:
+    """Schedule directed exchanges into single-send/single-receive rounds.
+
+    Parameters
+    ----------
+    n_processors:
+        Number of processors ``P``.
+    exchanges:
+        Directed (sender, receiver) pairs, one per required message.
+        Every processor must appear as sender exactly as many times as
+        it appears as receiver, and all processors must have the same
+        degree ``d`` (the paper's setting in Theorem 7.2). Self-loops
+        are rejected: local data never crosses the network.
+
+    Returns
+    -------
+    list of dict
+        ``d`` rounds; round ``t`` maps each sender to its receiver and
+        is a permutation of ``range(P)``.
+    """
+    adjacency: List[List[int]] = [[] for _ in range(n_processors)]
+    for sender, receiver in exchanges:
+        if sender == receiver:
+            raise MatchingError(f"self-exchange at processor {sender}")
+        if not (0 <= sender < n_processors and 0 <= receiver < n_processors):
+            raise MatchingError(f"exchange ({sender}, {receiver}) out of range")
+        adjacency[sender].append(receiver)
+    return decompose_regular_bipartite(n_processors, adjacency)

@@ -1,0 +1,89 @@
+"""Hopcroft–Karp maximum bipartite matching, O(E sqrt(V)).
+
+Graphs are given as adjacency lists: ``adjacency[u]`` is an iterable of
+right-vertex indices for each left vertex ``u``. Left and right sides
+are indexed independently from 0.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]
+) -> Dict[int, int]:
+    """Compute a maximum matching.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Number of vertices on each side.
+    adjacency:
+        ``adjacency[u]`` lists right neighbors of left vertex ``u``.
+
+    Returns
+    -------
+    dict
+        Mapping left vertex -> matched right vertex (only matched
+        vertices appear).
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(
+            f"adjacency has {len(adjacency)} rows for {n_left} left vertices"
+        )
+    match_left: List[int] = [-1] * n_left
+    match_right: List[int] = [-1] * n_right
+    distance: List[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                distance[u] = 0.0
+                queue.append(u)
+            else:
+                distance[u] = _INF
+        found_augmenting = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_augmenting = True
+                elif distance[w] == _INF:
+                    distance[w] = distance[u] + 1
+                    queue.append(w)
+        return found_augmenting
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (distance[w] == distance[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INF
+        return False
+
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dfs(u)
+
+    return {u: v for u, v in enumerate(match_left) if v != -1}
+
+
+def maximum_matching(
+    n_left: int, n_right: int, edges: Sequence[tuple]
+) -> Dict[int, int]:
+    """Convenience wrapper taking an edge list ``[(u, v), ...]``."""
+    adjacency: List[List[int]] = [[] for _ in range(n_left)]
+    for u, v in edges:
+        if not (0 <= u < n_left and 0 <= v < n_right):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        adjacency[u].append(v)
+    return hopcroft_karp(n_left, n_right, adjacency)

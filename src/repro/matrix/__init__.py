@@ -1,0 +1,47 @@
+"""Symmetric *matrix* computations — the 2-D substrate the paper extends.
+
+The tetrahedral block partition of §6 generalizes the *triangle block
+partition* of symmetric matrices introduced by Beaumont et al. (2022)
+and developed for the parallel memory-independent setting by Al Daas et
+al. (2023, 2025). This package reproduces that foundation for the
+symmetric matrix-vector product ``y = A x`` (SYMV — the 2-D analogue of
+STTSV, sharing the "same vector on the remaining modes" structure):
+
+* packed lower-triangular storage and exact SYMV kernels,
+* :class:`TriangleBlockPartition` from a Steiner ``(m, r, 2)`` system,
+* a communication-optimal parallel SYMV whose per-processor bandwidth
+  matches the 2-D memory-independent lower bound's leading term
+  ``2 n / P^{1/2}``,
+* the 2-D lower bound, derived exactly like the paper's §5 with the
+  symmetrized Loomis–Whitney inequality one dimension down.
+
+Having both dimensions in one library lets the benchmarks show the
+pattern the paper's introduction sketches: symmetry saves a factor
+``d!`` in storage and the partitioned algorithms hit ``2n/P^{1/d}``
+communication in both cases.
+"""
+
+from repro.matrix.packed import PackedSymmetricMatrix, sym_packed_index
+from repro.matrix.kernels import symv, symv_packed, symv_dense_reference
+from repro.matrix.partition import TriangleBlockPartition
+from repro.matrix.parallel_symv import ParallelSYMV
+from repro.matrix.syrk import ParallelSYRK, syrk_bandwidth, syrk_reference
+from repro.matrix.bounds import (
+    symv_lower_bound,
+    symv_optimal_bandwidth_projective,
+)
+
+__all__ = [
+    "ParallelSYRK",
+    "syrk_bandwidth",
+    "syrk_reference",
+    "PackedSymmetricMatrix",
+    "sym_packed_index",
+    "symv",
+    "symv_packed",
+    "symv_dense_reference",
+    "TriangleBlockPartition",
+    "ParallelSYMV",
+    "symv_lower_bound",
+    "symv_optimal_bandwidth_projective",
+]

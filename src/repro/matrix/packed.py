@@ -1,0 +1,136 @@
+"""Packed lower-triangular storage for symmetric matrices.
+
+The 2-D analogue of :mod:`repro.tensor.packed`: entry ``(i, j)`` with
+``i >= j`` lives at offset ``i(i+1)/2 + j``; ``n(n+1)/2`` words total —
+the half-storage saving the paper's introduction attributes to BLAS
+symmetric routines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.combinatorics import triangular_number
+from repro.util.seeding import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+
+def sym_packed_size(n: int) -> int:
+    """Stored entries for dimension ``n``: ``n(n+1)/2``."""
+    return triangular_number(n)
+
+
+def sym_packed_index(i: int, j: int) -> int:
+    """Offset of the canonical pair ``i >= j >= 0``."""
+    if not i >= j >= 0:
+        raise ConfigurationError(f"indices ({i}, {j}) not canonical")
+    return i * (i + 1) // 2 + j
+
+
+def sym_unpacked(offset: int) -> Tuple[int, int]:
+    """Inverse of :func:`sym_packed_index`."""
+    if offset < 0:
+        raise ConfigurationError("offset must be >= 0")
+    i = int((2 * offset) ** 0.5)
+    while i * (i + 1) // 2 > offset:
+        i -= 1
+    while (i + 1) * (i + 2) // 2 <= offset:
+        i += 1
+    return i, offset - i * (i + 1) // 2
+
+
+class PackedSymmetricMatrix:
+    """An ``n × n`` symmetric matrix stored as its lower triangle.
+
+    Examples
+    --------
+    >>> m = PackedSymmetricMatrix(3)
+    >>> m[0, 2] = 4.0
+    >>> m[2, 0]
+    4.0
+    """
+
+    def __init__(self, n: int, data: np.ndarray = None):
+        self.n = check_positive_int(n, "n")
+        size = sym_packed_size(self.n)
+        if data is None:
+            data = np.zeros(size)
+        else:
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != (size,):
+                raise ConfigurationError(
+                    f"packed data must have shape ({size},), got {data.shape}"
+                )
+        self.data = data
+
+    def _offset(self, i: int, j: int) -> int:
+        if i < j:
+            i, j = j, i
+        if i >= self.n or j < 0:
+            raise ConfigurationError(
+                f"index ({i}, {j}) out of range for dimension {self.n}"
+            )
+        return sym_packed_index(i, j)
+
+    def __getitem__(self, ij: Tuple[int, int]) -> float:
+        return float(self.data[self._offset(*ij)])
+
+    def __setitem__(self, ij: Tuple[int, int], value: float) -> None:
+        self.data[self._offset(*ij)] = value
+
+    @staticmethod
+    def index_arrays(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(I, J)`` arrays aligned with packed offsets."""
+        size = sym_packed_size(n)
+        I = np.empty(size, dtype=np.int64)
+        J = np.empty(size, dtype=np.int64)
+        offset = 0
+        for i in range(n):
+            I[offset : offset + i + 1] = i
+            J[offset : offset + i + 1] = np.arange(i + 1)
+            offset += i + 1
+        return I, J
+
+    def canonical_entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(i, j, value)`` over the lower triangle."""
+        offset = 0
+        for i in range(self.n):
+            for j in range(i + 1):
+                yield i, j, float(self.data[offset])
+                offset += 1
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to the full symmetric ``n × n`` array."""
+        I, J = self.index_arrays(self.n)
+        dense = np.empty((self.n, self.n))
+        dense[I, J] = self.data
+        dense[J, I] = self.data
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "PackedSymmetricMatrix":
+        """Pack a symmetric dense matrix (validates symmetry)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ConfigurationError(f"expected a square matrix, got {dense.shape}")
+        if not np.allclose(dense, dense.T, atol=1e-12, rtol=1e-12):
+            raise ConfigurationError("input matrix is not symmetric")
+        n = dense.shape[0]
+        I, J = cls.index_arrays(n)
+        return cls(n, dense[I, J].copy())
+
+    def copy(self) -> "PackedSymmetricMatrix":
+        """Deep copy."""
+        return PackedSymmetricMatrix(self.n, self.data.copy())
+
+    def __repr__(self) -> str:
+        return f"PackedSymmetricMatrix(n={self.n}, entries={self.data.size})"
+
+
+def random_symmetric_matrix(n: int, seed: SeedLike = None) -> PackedSymmetricMatrix:
+    """Random symmetric matrix with iid N(0,1) canonical entries."""
+    rng = as_generator(seed)
+    return PackedSymmetricMatrix(n, rng.normal(size=sym_packed_size(n)))

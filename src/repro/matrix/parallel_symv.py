@@ -1,0 +1,220 @@
+"""Communication-optimal parallel SYMV on the simulated machine.
+
+The 2-D mirror of Algorithm 5: gather the needed ``x`` row blocks from
+the ``Q_i`` co-owners, apply per-block kernels (off-diagonal blocks
+contribute to two output row blocks — once straight and once
+transposed — diagonal blocks to one), and scatter-reduce the partial
+``y`` row blocks back to their shard owners. The exchange schedule is
+again a decomposition of the regular exchange graph into permutation
+rounds; every neighbor pair shares exactly one row block, so all
+messages have one shard each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MachineError, PartitionError
+from repro.machine.collectives import point_to_point_rounds
+from repro.machine.machine import Machine
+from repro.matching.edge_coloring import permutation_rounds
+from repro.matrix.packed import PackedSymmetricMatrix
+from repro.matrix.partition import TriangleBlockPartition
+
+
+def extract_matrix_block(
+    matrix: PackedSymmetricMatrix, block: Tuple[int, int], b: int
+) -> np.ndarray:
+    """Dense ``b × b`` sub-block of the virtual full symmetric matrix."""
+    I, J = block
+    n = matrix.n
+    if (max(block) + 1) * b > n:
+        raise ConfigurationError(f"block {block} with size {b} exceeds {n}")
+    rows = np.arange(I * b, (I + 1) * b)
+    cols = np.arange(J * b, (J + 1) * b)
+    gi, gj = np.meshgrid(rows, cols, indexing="ij")
+    hi = np.maximum(gi, gj)
+    lo = np.minimum(gi, gj)
+    return matrix.data[hi * (hi + 1) // 2 + lo]
+
+
+def pad_matrix(matrix: PackedSymmetricMatrix, n_padded: int) -> PackedSymmetricMatrix:
+    """Zero-pad packed symmetric matrix to a larger dimension."""
+    n = matrix.n
+    if n_padded < n:
+        raise ConfigurationError(f"cannot pad {n} down to {n_padded}")
+    if n_padded == n:
+        return matrix
+    I, J = PackedSymmetricMatrix.index_arrays(n_padded)
+    mask = I < n
+    data = np.zeros(I.size)
+    data[mask] = matrix.data[I[mask] * (I[mask] + 1) // 2 + J[mask]]
+    return PackedSymmetricMatrix(n_padded, data)
+
+
+class ParallelSYMV:
+    """Triangle-block-partitioned symmetric matrix-vector product.
+
+    Examples
+    --------
+    >>> from repro.steiner.pairwise import projective_plane_system
+    >>> part = TriangleBlockPartition(projective_plane_system(2))
+    >>> algo = ParallelSYMV(part, n=21)
+    >>> (algo.b, algo.shard)
+    (3, 1)
+    """
+
+    def __init__(self, partition: TriangleBlockPartition, n: int):
+        self.partition = partition
+        self.n = n
+        replication = partition.steiner.point_replication()
+        per_row = -(-n // partition.m)
+        self.b = replication * (-(-per_row // replication))
+        self.n_padded = partition.m * self.b
+        self.shard = partition.shard_size(self.b)
+        self.shared, self.rounds = self._build_schedule()
+
+    def _build_schedule(self):
+        P = self.partition.P
+        members = [frozenset(row) for row in self.partition.R]
+        shared: Dict[Tuple[int, int], frozenset] = {}
+        exchanges: List[Tuple[int, int]] = []
+        for p in range(P):
+            for p_other in range(P):
+                if p == p_other:
+                    continue
+                common = members[p] & members[p_other]
+                if common:
+                    if len(common) > 1:
+                        raise PartitionError(
+                            "two blocks of a 2-design share more than one point"
+                        )
+                    shared[(p, p_other)] = common
+                    exchanges.append((p, p_other))
+        return shared, permutation_rounds(P, exchanges)
+
+    # -- loading ----------------------------------------------------------------
+
+    def load(
+        self, machine: Machine, matrix: PackedSymmetricMatrix, x: np.ndarray
+    ) -> None:
+        """Distribute matrix blocks and vector shards (setup step)."""
+        if machine.P != self.partition.P:
+            raise MachineError(
+                f"machine P={machine.P} != partition P={self.partition.P}"
+            )
+        if matrix.n != self.n:
+            raise ConfigurationError(
+                f"matrix dimension {matrix.n} != configured {self.n}"
+            )
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ConfigurationError(f"vector must have shape ({self.n},)")
+        padded = pad_matrix(matrix, self.n_padded)
+        x_padded = np.zeros(self.n_padded)
+        x_padded[: self.n] = x
+        for p in range(machine.P):
+            blocks = {
+                index: extract_matrix_block(padded, index, self.b)
+                for index in self.partition.owned_blocks(p)
+            }
+            shards = {}
+            for i in self.partition.R[p]:
+                lo, hi = self._shard_bounds(i, p)
+                shards[i] = x_padded[i * self.b + lo : i * self.b + hi].copy()
+            machine[p].store("matrix_blocks", blocks)
+            machine[p].store("x_shards", shards)
+
+    def _shard_bounds(self, i: int, p: int) -> Tuple[int, int]:
+        position = self.partition.shard_owner_position(i, p)
+        return position * self.shard, (position + 1) * self.shard
+
+    # -- phases ------------------------------------------------------------------
+
+    def _payload(self, machine, key, src, dst, slice_for_dst) -> Optional[np.ndarray]:
+        common = self.shared.get((src, dst))
+        if not common:
+            return None
+        (i,) = common
+        store = machine[src].load(key)
+        if slice_for_dst:
+            lo, hi = self._shard_bounds(i, dst)
+            return store[i][lo:hi]
+        return store[i]
+
+    def run(self, machine: Machine) -> None:
+        """Execute gather-x, block kernels, scatter-reduce-y."""
+        partition = self.partition
+        P = machine.P
+        received = point_to_point_rounds(
+            machine,
+            self.rounds,
+            lambda s, d: self._payload(machine, "x_shards", s, d, False),
+            tag="symv-x",
+        )
+        for p in range(P):
+            proc = machine[p]
+            full = {i: np.zeros(self.b) for i in partition.R[p]}
+            own = proc.load("x_shards")
+            for i, shard in own.items():
+                lo, hi = self._shard_bounds(i, p)
+                full[i][lo:hi] = shard
+            for src, payload in received[p].items():
+                common = self.shared.get((src, p))
+                if not common:
+                    continue
+                (i,) = common
+                lo, hi = self._shard_bounds(i, src)
+                full[i][lo:hi] = payload
+            proc.store("x_full", full)
+
+        for p in range(P):
+            proc = machine[p]
+            x_full = proc.load("x_full")
+            partial = {i: np.zeros(self.b) for i in partition.R[p]}
+            for (I, J), block in proc.load("matrix_blocks").items():
+                if I == J:
+                    partial[I] += block @ x_full[I]
+                else:
+                    partial[I] += block @ x_full[J]
+                    partial[J] += block.T @ x_full[I]
+            proc.store("y_partial", partial)
+
+        received = point_to_point_rounds(
+            machine,
+            self.rounds,
+            lambda s, d: self._payload(machine, "y_partial", s, d, True),
+            tag="symv-y",
+        )
+        for p in range(P):
+            proc = machine[p]
+            partial = proc.load("y_partial")
+            final = {}
+            for i in partition.R[p]:
+                lo, hi = self._shard_bounds(i, p)
+                final[i] = partial[i][lo:hi].copy()
+            for src, payload in received[p].items():
+                common = self.shared.get((src, p))
+                if not common:
+                    continue
+                (i,) = common
+                final[i] += payload
+            proc.store("y_shards", final)
+
+    def gather_result(self, machine: Machine) -> np.ndarray:
+        """Reassemble the distributed result (verification step)."""
+        out = np.full(self.n_padded, np.nan)
+        for p in range(machine.P):
+            for i, shard in machine[p].load("y_shards").items():
+                lo, hi = self._shard_bounds(i, p)
+                out[i * self.b + lo : i * self.b + hi] = shard
+        if np.any(np.isnan(out)):
+            raise PartitionError("missing shards in SYMV result")
+        return out[: self.n]
+
+    def expected_words_per_processor(self) -> int:
+        """``2 · r (λ₁ − 1) · shard`` over both phases."""
+        replication = self.partition.steiner.point_replication()
+        return 2 * self.partition.r * (replication - 1) * self.shard

@@ -1,0 +1,280 @@
+"""Parallel SYMM and SYR2K on the triangle partition.
+
+Completes the symmetric-matrix kernel family of the works the paper
+builds on (Al Daas et al. 2025 give communication-optimal SYRK, SYR2K
+and SYMM from triangle partitions; Agullo et al. 2023 demonstrate the
+SYMM arithmetic-intensity gain):
+
+* **SYMM** — ``C = A B`` with symmetric ``A`` (n×n, triangle blocks)
+  and dense ``B`` (n×k): structurally the SYMV of
+  :mod:`repro.matrix.parallel_symv` with k-column panels instead of
+  vectors; two exchange phases (gather B panels, reduce C partials),
+  ``2 r (λ₁ − 1) · shard · k`` words per processor.
+* **SYR2K** — ``C = A Bᵀ + B Aᵀ`` (symmetric output, dense n×k
+  inputs): like SYRK but gathering *two* panel families; single
+  exchange phase, ``2 r (λ₁ − 1) · shard · k`` words, no output
+  communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MachineError
+from repro.machine.collectives import point_to_point_rounds
+from repro.machine.machine import Machine
+from repro.matrix.packed import PackedSymmetricMatrix
+from repro.matrix.parallel_symv import extract_matrix_block, pad_matrix
+from repro.matrix.partition import TriangleBlockPartition
+from repro.matrix.syrk import ParallelSYRK
+
+
+def symm_reference(matrix: PackedSymmetricMatrix, B: np.ndarray) -> np.ndarray:
+    """Oracle: dense ``A B``."""
+    return matrix.to_dense() @ np.asarray(B, dtype=np.float64)
+
+
+def syr2k_reference(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Oracle: dense ``A Bᵀ + B Aᵀ``."""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    return A @ B.T + B @ A.T
+
+
+class ParallelSYMM:
+    """Triangle-partitioned ``C = A B`` (A symmetric, B dense n×k).
+
+    Examples
+    --------
+    >>> from repro.steiner.pairwise import projective_plane_system
+    >>> part = TriangleBlockPartition(projective_plane_system(2))
+    >>> algo = ParallelSYMM(part, n=21, k=2)
+    >>> algo.expected_words_per_processor()
+    24
+    """
+
+    def __init__(self, partition: TriangleBlockPartition, n: int, k: int):
+        self.partition = partition
+        self.n = n
+        self.k = k
+        # Reuse SYRK's sizing/schedule (same row-panel distribution).
+        self._geometry = ParallelSYRK(partition, n, k)
+        self.b = self._geometry.b
+        self.n_padded = self._geometry.n_padded
+        self.shard = self._geometry.shard
+        self.shared = self._geometry.shared
+        self.rounds = self._geometry.rounds
+
+    def _shard_rows(self, i: int, p: int):
+        return self._geometry._shard_rows(i, p)
+
+    def load(
+        self, machine: Machine, matrix: PackedSymmetricMatrix, B: np.ndarray
+    ) -> None:
+        """Distribute A's triangle blocks and B's row-panel shards."""
+        if machine.P != self.partition.P:
+            raise MachineError(
+                f"machine P={machine.P} != partition P={self.partition.P}"
+            )
+        if matrix.n != self.n:
+            raise ConfigurationError(f"A dimension {matrix.n} != {self.n}")
+        B = np.asarray(B, dtype=np.float64)
+        if B.shape != (self.n, self.k):
+            raise ConfigurationError(
+                f"B must have shape ({self.n}, {self.k}), got {B.shape}"
+            )
+        padded_matrix = pad_matrix(matrix, self.n_padded)
+        padded_B = np.zeros((self.n_padded, self.k))
+        padded_B[: self.n] = B
+        for p in range(machine.P):
+            blocks = {
+                index: extract_matrix_block(padded_matrix, index, self.b)
+                for index in self.partition.owned_blocks(p)
+            }
+            shards: Dict[int, np.ndarray] = {}
+            for i in self.partition.R[p]:
+                lo, hi = self._shard_rows(i, p)
+                shards[i] = padded_B[i * self.b + lo : i * self.b + hi].copy()
+            machine[p].store("A_blocks", blocks)
+            machine[p].store("B_shards", shards)
+
+    def run(self, machine: Machine) -> None:
+        """Gather B panels, multiply blocks, reduce C partials."""
+        partition = self.partition
+
+        def gather_payload(src, dst) -> Optional[np.ndarray]:
+            common = self.shared.get((src, dst))
+            if not common:
+                return None
+            shards = machine[src].load("B_shards")
+            return np.concatenate([shards[i] for i in sorted(common)], axis=0)
+
+        received = point_to_point_rounds(
+            machine, self.rounds, gather_payload, tag="symm-gather"
+        )
+        for p in range(machine.P):
+            proc = machine[p]
+            panels = {i: np.zeros((self.b, self.k)) for i in partition.R[p]}
+            for i, shard in proc.load("B_shards").items():
+                lo, hi = self._shard_rows(i, p)
+                panels[i][lo:hi] = shard
+            for src, data in received[p].items():
+                common = self.shared.get((src, p))
+                if not common:
+                    continue
+                offset = 0
+                for i in sorted(common):
+                    lo, hi = self._shard_rows(i, src)
+                    panels[i][lo:hi] = data[offset : offset + (hi - lo)]
+                    offset += hi - lo
+            partial = {i: np.zeros((self.b, self.k)) for i in partition.R[p]}
+            for (I, J), block in proc.load("A_blocks").items():
+                if I == J:
+                    partial[I] += block @ panels[I]
+                else:
+                    partial[I] += block @ panels[J]
+                    partial[J] += block.T @ panels[I]
+            proc.store("C_partial", partial)
+
+        def reduce_payload(src, dst) -> Optional[np.ndarray]:
+            common = self.shared.get((src, dst))
+            if not common:
+                return None
+            partial = machine[src].load("C_partial")
+            pieces = []
+            for i in sorted(common):
+                lo, hi = self._shard_rows(i, dst)
+                pieces.append(partial[i][lo:hi])
+            return np.concatenate(pieces, axis=0)
+
+        received = point_to_point_rounds(
+            machine, self.rounds, reduce_payload, tag="symm-reduce"
+        )
+        for p in range(machine.P):
+            proc = machine[p]
+            partial = proc.load("C_partial")
+            final = {}
+            for i in partition.R[p]:
+                lo, hi = self._shard_rows(i, p)
+                final[i] = partial[i][lo:hi].copy()
+            for src, data in received[p].items():
+                common = self.shared.get((src, p))
+                if not common:
+                    continue
+                offset = 0
+                for i in sorted(common):
+                    final[i] += data[offset : offset + self.shard]
+                    offset += self.shard
+            proc.store("C_shards", final)
+
+    def gather_result(self, machine: Machine) -> np.ndarray:
+        """Assemble the distributed ``C`` (verification step)."""
+        C = np.full((self.n_padded, self.k), np.nan)
+        for p in range(machine.P):
+            for i, shard in machine[p].load("C_shards").items():
+                lo, hi = self._shard_rows(i, p)
+                C[i * self.b + lo : i * self.b + hi] = shard
+        if np.any(np.isnan(C)):
+            raise MachineError("missing C shards in SYMM result")
+        return C[: self.n]
+
+    def expected_words_per_processor(self) -> int:
+        """Two phases: ``2 r (λ₁ − 1) · shard · k``."""
+        replication = self.partition.steiner.point_replication()
+        return 2 * self.partition.r * (replication - 1) * self.shard * self.k
+
+
+class ParallelSYR2K:
+    """Triangle-partitioned ``C = A Bᵀ + B Aᵀ`` (single gather phase).
+
+    Like :class:`~repro.matrix.syrk.ParallelSYRK` but gathering the two
+    panel families; each owned block computes
+    ``C[I,J] = A[I] B[J]ᵀ + B[I] A[J]ᵀ``.
+    """
+
+    def __init__(self, partition: TriangleBlockPartition, n: int, k: int):
+        self._geometry = ParallelSYRK(partition, n, k)
+        self.partition = partition
+        self.n, self.k = n, k
+        self.b = self._geometry.b
+        self.n_padded = self._geometry.n_padded
+        self.shard = self._geometry.shard
+        self.shared = self._geometry.shared
+        self.rounds = self._geometry.rounds
+
+    def load(self, machine: Machine, A: np.ndarray, B: np.ndarray) -> None:
+        """Distribute both panel families in shards."""
+        for name, M in (("A", A), ("B", B)):
+            M = np.asarray(M, dtype=np.float64)
+            if M.shape != (self.n, self.k):
+                raise ConfigurationError(
+                    f"{name} must have shape ({self.n}, {self.k}), got {M.shape}"
+                )
+        if machine.P != self.partition.P:
+            raise MachineError("machine size mismatch")
+        padded = {
+            "A": np.zeros((self.n_padded, self.k)),
+            "B": np.zeros((self.n_padded, self.k)),
+        }
+        padded["A"][: self.n] = A
+        padded["B"][: self.n] = B
+        for p in range(machine.P):
+            shards = {}
+            for i in self.partition.R[p]:
+                lo, hi = self._geometry._shard_rows(i, p)
+                shards[i] = np.concatenate(
+                    [
+                        padded["A"][i * self.b + lo : i * self.b + hi],
+                        padded["B"][i * self.b + lo : i * self.b + hi],
+                    ],
+                    axis=1,
+                )  # (rows, 2k): both families in one message
+            machine[p].store("AB_shards", shards)
+
+    def run(self, machine: Machine) -> None:
+        """One gather of the fused (A|B) panels, then local block GEMMs."""
+        partition = self.partition
+
+        def payload(src, dst) -> Optional[np.ndarray]:
+            common = self.shared.get((src, dst))
+            if not common:
+                return None
+            shards = machine[src].load("AB_shards")
+            return np.concatenate([shards[i] for i in sorted(common)], axis=0)
+
+        received = point_to_point_rounds(
+            machine, self.rounds, payload, tag="syr2k-gather"
+        )
+        k = self.k
+        for p in range(machine.P):
+            proc = machine[p]
+            panels = {i: np.zeros((self.b, 2 * k)) for i in partition.R[p]}
+            for i, shard in proc.load("AB_shards").items():
+                lo, hi = self._geometry._shard_rows(i, p)
+                panels[i][lo:hi] = shard
+            for src, data in received[p].items():
+                common = self.shared.get((src, p))
+                if not common:
+                    continue
+                offset = 0
+                for i in sorted(common):
+                    lo, hi = self._geometry._shard_rows(i, src)
+                    panels[i][lo:hi] = data[offset : offset + (hi - lo)]
+                    offset += hi - lo
+            blocks = {}
+            for I, J in partition.owned_blocks(p):
+                A_I, B_I = panels[I][:, :k], panels[I][:, k:]
+                A_J, B_J = panels[J][:, :k], panels[J][:, k:]
+                blocks[(I, J)] = A_I @ B_J.T + B_I @ A_J.T
+            proc.store("C_blocks", blocks)
+
+    def gather_result(self, machine: Machine) -> np.ndarray:
+        """Assemble the full symmetric ``C`` (verification step)."""
+        return ParallelSYRK.gather_result(self, machine)  # same layout
+
+    def expected_words_per_processor(self) -> int:
+        """Single phase, doubled panels: ``r (λ₁ − 1) · shard · 2k``."""
+        replication = self.partition.steiner.point_replication()
+        return self.partition.r * (replication - 1) * self.shard * 2 * self.k

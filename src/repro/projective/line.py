@@ -1,0 +1,97 @@
+"""The projective line ``PG(1, q) = F_q ∪ {∞}``.
+
+Points are represented as plain integer codes: finite points use their
+field code in ``range(q)`` and the point at infinity uses the sentinel
+code ``q`` (exposed symbolically as :data:`INFINITY` resolution via
+:meth:`ProjectiveLine.infinity`). Using dense integer codes keeps orbit
+computations allocation-free and lets Steiner blocks be frozensets of
+small ints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import FieldError
+from repro.fields.gf import GF
+
+#: Symbolic marker for the point at infinity (resolved per-line to code q).
+INFINITY = "infinity"
+
+
+class ProjectiveLine:
+    """``PG(1, q)``: the ``q + 1`` points of the projective line over GF(q).
+
+    Parameters
+    ----------
+    field:
+        The underlying :class:`~repro.fields.gf.GF` field.
+
+    Notes
+    -----
+    Homogeneous coordinates: point code ``z < q`` is ``[z : 1]`` and the
+    infinity code ``q`` is ``[1 : 0]``.
+    """
+
+    def __init__(self, field: GF):
+        self.field = field
+        self.order = field.order
+        self.infinity_code = field.order
+
+    # -- points -------------------------------------------------------------
+
+    def points(self) -> List[int]:
+        """All ``q + 1`` point codes, finite points first, infinity last."""
+        return list(range(self.order + 1))
+
+    def size(self) -> int:
+        """Number of points, ``q + 1``."""
+        return self.order + 1
+
+    def infinity(self) -> int:
+        """The code of the point at infinity (equals ``q``)."""
+        return self.infinity_code
+
+    def is_infinity(self, code: int) -> bool:
+        """True iff ``code`` denotes the point at infinity."""
+        return code == self.infinity_code
+
+    def contains(self, code: int) -> bool:
+        """True iff ``code`` is a valid point code on this line."""
+        return 0 <= code <= self.order
+
+    # -- homogeneous coordinates --------------------------------------------
+
+    def to_homogeneous(self, code: int) -> Tuple[int, int]:
+        """Return a representative ``(x, y)`` pair of field codes."""
+        if not self.contains(code):
+            raise FieldError(f"{code} is not a point of {self!r}")
+        if self.is_infinity(code):
+            return (1, 0)
+        return (code, 1)
+
+    def from_homogeneous(self, x: int, y: int) -> int:
+        """Normalize homogeneous coordinates ``[x : y]`` to a point code."""
+        if y == 0:
+            if x == 0:
+                raise FieldError("[0 : 0] is not a projective point")
+            return self.infinity_code
+        return self.field.div(x, y)
+
+    # -- embedded sub-line ----------------------------------------------------
+
+    def subline(self, suborder: int) -> List[int]:
+        """Codes of the naturally embedded ``F_{q0} ∪ {∞}`` for ``q0**d = q``.
+
+        This is the base block ``S`` of Theorem 6.5: the subfield's
+        elements (as codes inside this field's representation) together
+        with the point at infinity.
+        """
+        codes = self.field.subfield_codes(suborder)
+        return sorted(codes) + [self.infinity_code]
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __repr__(self) -> str:
+        return f"PG(1, {self.order})"

@@ -1,0 +1,181 @@
+"""Fractional linear (Möbius) transformations of ``PG(1, q)``.
+
+A Möbius map is ``z -> (a z + b) / (c z + d)`` with ``a d - b c != 0``,
+acting on homogeneous coordinates as the matrix ``[[a, b], [c, d]]`` up
+to scalars — i.e. an element of ``PGL₂(q)``. The group acts sharply
+3-transitively on the projective line (paper Theorem 6.5): for any two
+ordered triples of distinct points there is exactly one map carrying
+one to the other. :meth:`MoebiusMap.from_triples` realizes that map
+constructively via projective frames.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import FieldError
+from repro.projective.line import ProjectiveLine
+
+
+class MoebiusMap:
+    """An element of ``PGL₂(q)`` acting on :class:`ProjectiveLine` codes.
+
+    Stored as a 2x2 matrix of raw field codes, canonically normalized so
+    that the first nonzero entry (row-major) equals 1; this makes
+    equality and hashing well-defined on the *projective* group.
+    """
+
+    __slots__ = ("line", "a", "b", "c", "d")
+
+    def __init__(self, line: ProjectiveLine, a: int, b: int, c: int, d: int):
+        field = line.field
+        det = field.sub(field.mul(a, d), field.mul(b, c))
+        if det == 0:
+            raise FieldError("Möbius map must have nonzero determinant")
+        # Canonical scaling: divide by first nonzero of (a, b, c, d).
+        for pivot in (a, b, c, d):
+            if pivot != 0:
+                inv = field.inv(pivot)
+                a, b, c, d = (
+                    field.mul(a, inv),
+                    field.mul(b, inv),
+                    field.mul(c, inv),
+                    field.mul(d, inv),
+                )
+                break
+        self.line = line
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def identity(cls, line: ProjectiveLine) -> "MoebiusMap":
+        """The identity transformation."""
+        return cls(line, 1, 0, 0, 1)
+
+    @classmethod
+    def translation(cls, line: ProjectiveLine, t: int) -> "MoebiusMap":
+        """``z -> z + t``."""
+        return cls(line, 1, t, 0, 1)
+
+    @classmethod
+    def scaling(cls, line: ProjectiveLine, s: int) -> "MoebiusMap":
+        """``z -> s z`` for nonzero ``s``."""
+        if s == 0:
+            raise FieldError("scaling factor must be nonzero")
+        return cls(line, s, 0, 0, 1)
+
+    @classmethod
+    def inversion(cls, line: ProjectiveLine) -> "MoebiusMap":
+        """``z -> 1 / z``."""
+        return cls(line, 0, 1, 1, 0)
+
+    @classmethod
+    def from_triples(
+        cls,
+        line: ProjectiveLine,
+        source: Sequence[int],
+        target: Sequence[int],
+    ) -> "MoebiusMap":
+        """The unique map sending the ordered triple ``source`` to ``target``.
+
+        Both triples must consist of three *distinct* point codes. This
+        is the constructive form of sharp 3-transitivity.
+        """
+        to_source = cls._frame_map(line, source)
+        to_target = cls._frame_map(line, target)
+        return to_target.compose(to_source.inverse())
+
+    @classmethod
+    def _frame_map(cls, line: ProjectiveLine, triple: Sequence[int]) -> "MoebiusMap":
+        """Map carrying the standard frame ``(0, 1, ∞)`` to ``triple``.
+
+        Classical projective-frame construction: pick representative
+        vectors ``u0, u∞`` of the images of 0 and ∞, solve
+        ``λ u0 + μ u∞ = u1`` for the image of 1, and use the matrix with
+        columns ``μ u∞`` and ``λ u0`` (so ``M [0,1]^T ~ u0``,
+        ``M [1,0]^T ~ u∞``, ``M [1,1]^T ~ u1``).
+        """
+        p0, p1, pinf = triple
+        if len({p0, p1, pinf}) != 3:
+            raise FieldError(f"triple {triple!r} has repeated points")
+        field = line.field
+        x0, y0 = line.to_homogeneous(p0)
+        x1, y1 = line.to_homogeneous(p1)
+        xi, yi = line.to_homogeneous(pinf)
+        # Solve lam * (x0, y0) + mu * (xi, yi) = (x1, y1) by Cramer's rule.
+        det = field.sub(field.mul(x0, yi), field.mul(y0, xi))
+        if det == 0:
+            raise FieldError("degenerate frame: 0-image equals ∞-image")
+        lam = field.div(field.sub(field.mul(x1, yi), field.mul(y1, xi)), det)
+        mu = field.div(field.sub(field.mul(x0, y1), field.mul(y0, x1)), det)
+        a = field.mul(mu, xi)
+        c = field.mul(mu, yi)
+        b = field.mul(lam, x0)
+        d = field.mul(lam, y0)
+        return cls(line, a, b, c, d)
+
+    # -- action ----------------------------------------------------------------
+
+    def __call__(self, code: int) -> int:
+        """Apply the map to a point code."""
+        field = self.line.field
+        x, y = self.line.to_homogeneous(code)
+        new_x = field.add(field.mul(self.a, x), field.mul(self.b, y))
+        new_y = field.add(field.mul(self.c, x), field.mul(self.d, y))
+        return self.line.from_homogeneous(new_x, new_y)
+
+    def apply_set(self, codes: Iterable[int]) -> frozenset:
+        """Image of a set of point codes."""
+        return frozenset(self(code) for code in codes)
+
+    # -- group structure ----------------------------------------------------------
+
+    def compose(self, other: "MoebiusMap") -> "MoebiusMap":
+        """Return ``self ∘ other`` (apply ``other`` first)."""
+        if other.line is not self.line and other.line.field != self.line.field:
+            raise FieldError("composing maps over different lines")
+        f = self.line.field
+        a = f.add(f.mul(self.a, other.a), f.mul(self.b, other.c))
+        b = f.add(f.mul(self.a, other.b), f.mul(self.b, other.d))
+        c = f.add(f.mul(self.c, other.a), f.mul(self.d, other.c))
+        d = f.add(f.mul(self.c, other.b), f.mul(self.d, other.d))
+        return MoebiusMap(self.line, a, b, c, d)
+
+    def inverse(self) -> "MoebiusMap":
+        """The group inverse (adjugate matrix, determinant cancels in PGL)."""
+        f = self.line.field
+        return MoebiusMap(self.line, self.d, f.neg(self.b), f.neg(self.c), self.a)
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MoebiusMap)
+            and self.line.order == other.line.order
+            and (self.a, self.b, self.c, self.d)
+            == (other.a, other.b, other.c, other.d)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line.order, self.a, self.b, self.c, self.d))
+
+    def __repr__(self) -> str:
+        return (
+            f"MoebiusMap([[{self.a}, {self.b}], [{self.c}, {self.d}]]"
+            f" over GF({self.line.order}))"
+        )
+
+
+def pgl2_generators(line: ProjectiveLine) -> List[MoebiusMap]:
+    """A generating set of ``PGL₂(q)``.
+
+    ``z -> z + 1``, ``z -> g z`` for a primitive element ``g``, and
+    ``z -> 1/z`` generate the full group; used for orbit BFS when
+    enumerating spherical Steiner blocks without touching all
+    ``(q+1) q (q-1)`` ordered triples.
+    """
+    gens = [MoebiusMap.translation(line, 1), MoebiusMap.inversion(line)]
+    if line.order > 2:
+        gens.append(MoebiusMap.scaling(line, line.field.generator))
+    return gens

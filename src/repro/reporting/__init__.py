@@ -1,0 +1,15 @@
+"""Rendering of paper-style tables and experiment summaries."""
+
+from repro.reporting.tables import (
+    render_processor_table,
+    render_row_block_table,
+    render_schedule,
+    format_block,
+)
+
+__all__ = [
+    "render_processor_table",
+    "render_row_block_table",
+    "render_schedule",
+    "format_block",
+]

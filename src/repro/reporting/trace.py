@@ -1,0 +1,71 @@
+"""Communication traces: human-readable views of a ledger's rounds.
+
+Turns a :class:`~repro.machine.ledger.CommunicationLedger` into text
+summaries — a per-round table and a per-processor activity strip — used
+for debugging algorithms and for eyeballing that a schedule's rounds
+are balanced (every processor busy every step, uniform message sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.machine.ledger import CommunicationLedger
+
+
+def round_table(ledger: CommunicationLedger, limit: int = None) -> str:
+    """One line per round: label, message count, words, permutation flag."""
+    lines = [f"{'#':>4} {'label':<24} {'msgs':>5} {'words':>7} {'perm':>5}"]
+    rounds = ledger.rounds if limit is None else ledger.rounds[:limit]
+    for index, record in enumerate(rounds):
+        total = sum(message.words for message in record.messages)
+        flag = "yes" if record.is_permutation_round() else "NO"
+        lines.append(
+            f"{index:>4} {record.label[:24]:<24} {len(record.messages):>5}"
+            f" {total:>7} {flag:>5}"
+        )
+    if limit is not None and len(ledger.rounds) > limit:
+        lines.append(f"... ({len(ledger.rounds) - limit} more rounds)")
+    return "\n".join(lines)
+
+
+def activity_strip(ledger: CommunicationLedger, limit: int = 40) -> str:
+    """Per-processor activity across rounds.
+
+    One row per processor; column ``t`` shows ``#`` if the processor
+    sent a message in round ``t``, ``.`` if idle. A fully-utilized
+    schedule (the paper's permutation rounds) renders as solid ``#``.
+    """
+    rounds = ledger.rounds[:limit]
+    rows: List[str] = []
+    for p in range(ledger.P):
+        cells = []
+        for record in rounds:
+            busy = any(message.source == p for message in record.messages)
+            cells.append("#" if busy else ".")
+        rows.append(f"p{p:<3} " + "".join(cells))
+    header = "     " + "".join(str(t % 10) for t in range(len(rounds)))
+    return "\n".join([header] + rows)
+
+
+def utilization(ledger: CommunicationLedger) -> float:
+    """Fraction of (processor, round) slots with a send.
+
+    The optimal schedule's rounds are full permutations, so utilization
+    is exactly 1.0 there; ring baselines and tree collectives sit lower.
+    """
+    if not ledger.rounds or ledger.P == 0:
+        return 0.0
+    busy = 0
+    for record in ledger.rounds:
+        busy += len({message.source for message in record.messages})
+    return busy / (len(ledger.rounds) * ledger.P)
+
+
+def word_histogram(ledger: CommunicationLedger) -> Dict[int, int]:
+    """Message-size histogram: {words: count} over all messages."""
+    histogram: Dict[int, int] = {}
+    for record in ledger.rounds:
+        for message in record.messages:
+            histogram[message.words] = histogram.get(message.words, 0) + 1
+    return histogram

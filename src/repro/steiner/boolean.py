@@ -1,0 +1,56 @@
+"""Boolean Steiner quadruple systems ``SQS(2^k) = S(2^k, 4, 3)``.
+
+Blocks are the 4-subsets ``{w, x, y, z}`` of ``F₂^k`` with
+``w ⊕ x ⊕ y ⊕ z = 0`` (affine planes of AG(k, 2)). For ``k = 3`` this
+yields the unique ``S(8, 4, 3)`` with 14 blocks used in the paper's
+Appendix A example (Table 3: ``m = 8``, ``P = 14``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.errors import SteinerError
+from repro.steiner.system import SteinerSystem
+
+
+def boolean_block_count(k: int) -> int:
+    """Number of blocks of ``SQS(2^k)``: ``2^{k-1} (2^k - 1)(2^k - 2) / 6``."""
+    m = 2**k
+    return m * (m - 1) * (m - 2) // 24
+
+
+def boolean_steiner_system(k: int, *, verify: bool = True) -> SteinerSystem:
+    """Construct ``SQS(2^k)`` over ground set ``{0, ..., 2^k - 1}``.
+
+    Ground-set element ``v`` is interpreted as the vector of its binary
+    digits in ``F₂^k``; XOR of integers realizes vector addition. A
+    block is emitted for every triple ``w < x < y`` whose closing
+    element ``z = w ⊕ x ⊕ y`` exceeds ``y`` (each 4-set is closed under
+    the rule, so this enumerates every block exactly once).
+
+    Parameters
+    ----------
+    k:
+        Dimension; ``k >= 2`` required (SQS(4) is the single block).
+
+    Examples
+    --------
+    >>> system = boolean_steiner_system(3)
+    >>> (system.m, system.r, len(system))
+    (8, 4, 14)
+    """
+    if k < 2:
+        raise SteinerError(f"boolean construction needs k >= 2, got {k}")
+    m = 2**k
+    blocks: List[Tuple[int, ...]] = []
+    for w, x, y in combinations(range(m), 3):
+        z = w ^ x ^ y
+        if z > y:
+            blocks.append((w, x, y, z))
+    if len(blocks) != boolean_block_count(k):
+        raise SteinerError(
+            f"generated {len(blocks)} blocks, expected {boolean_block_count(k)}"
+        )
+    return SteinerSystem(m, 4, blocks, verify=verify)

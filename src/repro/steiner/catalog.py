@@ -1,0 +1,128 @@
+"""Admissibility catalog: which ``(m, r)`` and which processor counts work.
+
+Wilson's theorem (paper Theorem 6.2) gives the asymptotic divisibility
+conditions for ``S(m, r, 3)`` existence; the two constructive families
+shipped here (spherical, Boolean) cover the parameter shapes the
+partition layer actually uses:
+
+* ``P = q (q² + 1)`` for a prime power ``q`` — spherical;
+* ``P = 2^{k-1} (2^k - 1)(2^k - 2) / 6`` — Boolean SQS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SteinerError
+from repro.fields.primes import is_prime_power, prime_powers_up_to
+from repro.steiner.boolean import boolean_block_count, boolean_steiner_system
+from repro.steiner.spherical import spherical_steiner_system
+from repro.steiner.system import SteinerSystem
+
+
+def wilson_divisibility_ok(m: int, r: int) -> bool:
+    """Check Wilson's three divisibility conditions for ``S(m, r, 3)``.
+
+    Necessary for existence (and by Wilson's theorem sufficient for all
+    large ``m``): ``r-2 | m-2``, ``(r-1)(r-2) | (m-1)(m-2)``, and
+    ``r(r-1)(r-2) | m(m-1)(m-2)``.
+    """
+    if r < 3 or m < r:
+        return False
+    return (
+        (m - 2) % (r - 2) == 0
+        and ((m - 1) * (m - 2)) % ((r - 1) * (r - 2)) == 0
+        and (m * (m - 1) * (m - 2)) % (r * (r - 1) * (r - 2)) == 0
+    )
+
+
+def spherical_q_for_processors(P: int) -> Optional[int]:
+    """Return ``q`` with ``P == q (q² + 1)`` and ``q`` a prime power, else None."""
+    q = 1
+    while q * (q * q + 1) < P:
+        q += 1
+    if q * (q * q + 1) == P and is_prime_power(q):
+        return q
+    return None
+
+
+def boolean_k_for_processors(P: int) -> Optional[int]:
+    """Return ``k`` with ``P == |SQS(2^k)|``, else None."""
+    k = 2
+    while boolean_block_count(k) < P:
+        k += 1
+    if boolean_block_count(k) == P:
+        return k
+    return None
+
+
+def steiner_system_for_processors(P: int, *, verify: bool = True) -> SteinerSystem:
+    """Build a Steiner (m, r, 3) system with exactly ``P`` blocks.
+
+    Tries the spherical family first (the paper's primary family), then
+    the Boolean SQS family (the paper's Appendix A example shape).
+
+    Raises
+    ------
+    SteinerError
+        If ``P`` matches neither constructible family. Use
+        :func:`admissible_processor_counts` to enumerate valid choices.
+    """
+    q = spherical_q_for_processors(P)
+    if q is not None:
+        return spherical_steiner_system(q, verify=verify)
+    k = boolean_k_for_processors(P)
+    if k is not None:
+        return boolean_steiner_system(k, verify=verify)
+    raise SteinerError(
+        f"no constructible Steiner system with {P} blocks; admissible nearby"
+        f" counts: {admissible_processor_counts(max(2 * P, 64))}"
+    )
+
+
+def _boolean_partition_supported(k: int) -> bool:
+    """Whether SQS(2^k) supports the full tetrahedral partition.
+
+    Needs (a) ``m <= P`` (one distinct processor per central block) and
+    (b) ``(m - 2) | r(r-1)(r-2) = 24`` (equal non-central split,
+    §6.1.3). Only ``k = 3`` satisfies both: SQS(4) has P = 1 < m and
+    SQS(2^k) for k >= 4 fails the divisibility.
+    """
+    m = 2**k
+    return boolean_block_count(k) >= m and 24 % (m - 2) == 0
+
+
+def admissible_processor_counts(
+    limit: int, *, partition_only: bool = True
+) -> List[int]:
+    """Processor counts ``<= limit`` realizable by shipped families.
+
+    With ``partition_only=True`` (default) only counts whose Steiner
+    system also supports the full tetrahedral partition are listed;
+    ``False`` lists every constructible system (e.g. SQS(16)'s 140
+    blocks, usable as a Steiner system but not as a partition).
+    """
+    counts = set()
+    for q in prime_powers_up_to(max(2, int(round(limit ** (1 / 3))) + 2)):
+        P = q * (q * q + 1)
+        if P <= limit:
+            counts.add(P)
+    k = 2
+    while boolean_block_count(k) <= limit:
+        if not partition_only or _boolean_partition_supported(k):
+            counts.add(boolean_block_count(k))
+        k += 1
+    return sorted(counts)
+
+
+def family_of(P: int) -> Dict[str, Optional[int]]:
+    """Describe which families realize ``P`` blocks.
+
+    Returns a dict with keys ``spherical_q`` and ``boolean_k`` (either
+    may be None). Note ``P = 14`` is Boolean-only while ``P = 30`` is
+    spherical-only; tiny overlaps are possible in principle.
+    """
+    return {
+        "spherical_q": spherical_q_for_processors(P),
+        "boolean_k": boolean_k_for_processors(P),
+    }

@@ -1,0 +1,192 @@
+"""The :class:`SteinerSystem` container with full axiom verification.
+
+Blocks are stored as sorted tuples of 0-based ground-set indices; the
+class exposes the counting quantities the paper's partition analysis
+relies on (Lemmas 6.3 and 6.4) and an exhaustive :meth:`verify`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import SteinerError
+from repro.util.combinatorics import binomial
+
+
+class SteinerSystem:
+    """A Steiner ``(m, r, 3)`` system over ground set ``{0, ..., m-1}``.
+
+    Parameters
+    ----------
+    m:
+        Ground-set size (the paper's number of row blocks).
+    r:
+        Block size.
+    blocks:
+        Iterable of blocks, each an iterable of ``r`` distinct indices.
+    verify:
+        When True (default) the defining axiom is checked exhaustively
+        at construction time — every 3-subset of the ground set must be
+        covered exactly once.
+
+    Attributes
+    ----------
+    blocks:
+        Tuple of blocks, each a sorted tuple of ints; block order is the
+        processor numbering used by the partition layer.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        r: int,
+        blocks: Iterable[Sequence[int]],
+        *,
+        verify: bool = True,
+    ):
+        if r < 3:
+            raise SteinerError(f"block size r must be >= 3, got {r}")
+        if m < r:
+            raise SteinerError(f"ground set m={m} smaller than block size r={r}")
+        normalized: List[Tuple[int, ...]] = []
+        for block in blocks:
+            entries = tuple(sorted(int(v) for v in block))
+            if len(entries) != r or len(set(entries)) != r:
+                raise SteinerError(
+                    f"block {block!r} does not have {r} distinct elements"
+                )
+            if entries[0] < 0 or entries[-1] >= m:
+                raise SteinerError(f"block {block!r} outside ground set of size {m}")
+            normalized.append(entries)
+        self.m = m
+        self.r = r
+        self.blocks: Tuple[Tuple[int, ...], ...] = tuple(normalized)
+        if verify:
+            self.verify()
+
+    # -- axioms and counting ---------------------------------------------------
+
+    def verify(self) -> None:
+        """Check the Steiner axiom exhaustively.
+
+        Every 3-subset of ``{0, ..., m-1}`` must appear in exactly one
+        block; raises :class:`SteinerError` with the first offending
+        triple otherwise. Cost is ``O(#blocks * C(r, 3))``.
+        """
+        expected_blocks = self.expected_block_count(self.m, self.r)
+        if len(self.blocks) != expected_blocks:
+            raise SteinerError(
+                f"block count {len(self.blocks)} != expected {expected_blocks}"
+                f" for an S({self.m}, {self.r}, 3)"
+            )
+        seen: Dict[Tuple[int, int, int], int] = {}
+        for index, block in enumerate(self.blocks):
+            for triple in combinations(block, 3):
+                if triple in seen:
+                    raise SteinerError(
+                        f"triple {triple} covered by blocks {seen[triple]}"
+                        f" and {index}"
+                    )
+                seen[triple] = index
+        if len(seen) != binomial(self.m, 3):
+            raise SteinerError(
+                f"only {len(seen)} of {binomial(self.m, 3)} triples covered"
+            )
+
+    @staticmethod
+    def expected_block_count(m: int, r: int) -> int:
+        """``C(m,3) / C(r,3)`` — the forced number of blocks."""
+        numerator = binomial(m, 3)
+        denominator = binomial(r, 3)
+        if numerator % denominator != 0:
+            raise SteinerError(
+                f"C({m},3) is not divisible by C({r},3); no S({m},{r},3) exists"
+            )
+        return numerator // denominator
+
+    def pair_replication(self) -> int:
+        """Blocks containing any fixed pair: ``(m-2)/(r-2)`` (Lemma 6.3)."""
+        if (self.m - 2) % (self.r - 2) != 0:
+            raise SteinerError("pair replication is not integral")
+        return (self.m - 2) // (self.r - 2)
+
+    def point_replication(self) -> int:
+        """Blocks containing any fixed point:
+        ``(m-1)(m-2) / ((r-1)(r-2))`` (Lemma 6.4)."""
+        numerator = (self.m - 1) * (self.m - 2)
+        denominator = (self.r - 1) * (self.r - 2)
+        if numerator % denominator != 0:
+            raise SteinerError("point replication is not integral")
+        return numerator // denominator
+
+    # -- queries -----------------------------------------------------------------
+
+    def blocks_containing(self, point: int) -> List[int]:
+        """Indices of blocks containing ``point``."""
+        return [i for i, block in enumerate(self.blocks) if point in block]
+
+    def blocks_containing_pair(self, a: int, b: int) -> List[int]:
+        """Indices of blocks containing both ``a`` and ``b``."""
+        return [
+            i for i, block in enumerate(self.blocks) if a in block and b in block
+        ]
+
+    def block_of_triple(self, a: int, b: int, c: int) -> int:
+        """Index of the unique block containing the distinct triple."""
+        if len({a, b, c}) != 3:
+            raise SteinerError(f"triple ({a}, {b}, {c}) has repeats")
+        for i, block in enumerate(self.blocks):
+            if a in block and b in block and c in block:
+                return i
+        raise SteinerError(f"triple ({a}, {b}, {c}) covered by no block")
+
+    def point_to_blocks(self) -> Dict[int, List[int]]:
+        """Map every ground-set point to the list of blocks containing it.
+
+        This is the paper's ``Q_i`` structure before translation to
+        processor sets (Table 2 / Table 3 right column).
+        """
+        mapping: Dict[int, List[int]] = {point: [] for point in range(self.m)}
+        for index, block in enumerate(self.blocks):
+            for point in block:
+                mapping[point].append(index)
+        return mapping
+
+    def as_frozensets(self) -> List[FrozenSet[int]]:
+        """Blocks as frozensets (convenient for set algebra)."""
+        return [frozenset(block) for block in self.blocks]
+
+    def relabeled(self, permutation: Sequence[int]) -> "SteinerSystem":
+        """Apply a ground-set relabeling (``new = permutation[old]``)."""
+        if sorted(permutation) != list(range(self.m)):
+            raise SteinerError("relabeling is not a permutation of the ground set")
+        remapped = [
+            tuple(sorted(permutation[v] for v in block)) for block in self.blocks
+        ]
+        return SteinerSystem(self.m, self.r, remapped, verify=False)
+
+    # -- dunder --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __getitem__(self, index: int) -> Tuple[int, ...]:
+        return self.blocks[index]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SteinerSystem)
+            and self.m == other.m
+            and self.r == other.r
+            and set(self.blocks) == set(other.blocks)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.r, frozenset(self.blocks)))
+
+    def __repr__(self) -> str:
+        return f"SteinerSystem(m={self.m}, r={self.r}, blocks={len(self.blocks)})"

@@ -1,0 +1,75 @@
+"""Symmetric 3-dimensional tensor storage and block structure.
+
+A fully symmetric tensor ``A`` of dimension ``n × n × n`` satisfies
+``a_ijk = a_ikj = a_jik = a_jki = a_kij = a_kji`` (paper §3), so only
+the lower tetrahedron (``i >= j >= k``) — ``n(n+1)(n+2)/6`` entries —
+needs storage. This package provides:
+
+* :class:`~repro.tensor.packed.PackedSymmetricTensor` — canonical
+  packed storage with an O(1) bijective index map,
+* dense converters and random generators (:mod:`repro.tensor.dense`),
+* blocked views and block classification used by the tetrahedral
+  partition (:mod:`repro.tensor.blocks`),
+* permutation multiplicity weights (:mod:`repro.tensor.multiplicity`).
+"""
+
+from repro.tensor.packed import PackedSymmetricTensor, packed_index, packed_size
+from repro.tensor.dense import (
+    symmetrize,
+    is_symmetric,
+    random_symmetric,
+    dense_from_packed,
+    packed_from_dense,
+    rank_one_symmetric,
+    odeco_tensor,
+)
+from repro.tensor.blocks import (
+    BlockKind,
+    classify_block,
+    block_slice,
+    extract_block,
+    lower_tetrahedral_blocks,
+)
+from repro.tensor.multiplicity import (
+    permutation_multiplicity,
+    remaining_pair_multiplicity,
+)
+from repro.tensor.ndpacked import (
+    NdPackedSymmetricTensor,
+    nd_packed_size,
+    nd_random_symmetric,
+)
+from repro.tensor.sparse import SparseSymmetricTensor, sttsv_sparse
+from repro.tensor.hypergraph import (
+    adjacency_tensor,
+    random_hypergraph,
+    vertex_degrees,
+)
+
+__all__ = [
+    "NdPackedSymmetricTensor",
+    "nd_packed_size",
+    "nd_random_symmetric",
+    "SparseSymmetricTensor",
+    "sttsv_sparse",
+    "adjacency_tensor",
+    "random_hypergraph",
+    "vertex_degrees",
+    "PackedSymmetricTensor",
+    "packed_index",
+    "packed_size",
+    "symmetrize",
+    "is_symmetric",
+    "random_symmetric",
+    "dense_from_packed",
+    "packed_from_dense",
+    "rank_one_symmetric",
+    "odeco_tensor",
+    "BlockKind",
+    "classify_block",
+    "block_slice",
+    "extract_block",
+    "lower_tetrahedral_blocks",
+    "permutation_multiplicity",
+    "remaining_pair_multiplicity",
+]

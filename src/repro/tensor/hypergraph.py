@@ -1,0 +1,114 @@
+"""3-uniform hypergraph adjacency tensors.
+
+The paper cites Shivakumar et al. (HiPC 2023), *Fast Parallel Tensor
+Times Same Vector for Hypergraphs*: the adjacency tensor of a
+3-uniform hypergraph is fully symmetric, and STTSV with it drives
+hypergraph centrality and H-spectral computations. This module builds
+those workloads:
+
+* the (normalized) adjacency tensor — entry ``a_ijk = 1`` on the six
+  permutations of every hyperedge ``{i, j, k}`` (zero elsewhere,
+  including all diagonal planes, since hyperedges have three distinct
+  vertices);
+* vertex degrees and a degree check against STTSV with the all-ones
+  vector: ``(A ×₂ 1 ×₃ 1)_i = 2 · degree(i)`` — two ordered
+  arrangements of each incident edge's remaining pair.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tensor.packed import PackedSymmetricTensor, packed_index
+from repro.util.seeding import SeedLike, as_generator
+
+
+def random_hypergraph(
+    n_vertices: int, n_edges: int, seed: SeedLike = None
+) -> List[Tuple[int, int, int]]:
+    """A random simple 3-uniform hypergraph (distinct hyperedges).
+
+    Returns sorted vertex triples ``(i, j, k)`` with ``i > j > k``.
+    """
+    max_edges = n_vertices * (n_vertices - 1) * (n_vertices - 2) // 6
+    if n_edges > max_edges:
+        raise ConfigurationError(
+            f"{n_edges} edges exceed the {max_edges} possible on"
+            f" {n_vertices} vertices"
+        )
+    rng = as_generator(seed)
+    edges: Set[Tuple[int, int, int]] = set()
+    while len(edges) < n_edges:
+        chosen = rng.choice(n_vertices, size=3, replace=False)
+        edges.add(tuple(sorted(map(int, chosen), reverse=True)))
+    return sorted(edges)
+
+
+def adjacency_tensor(
+    n_vertices: int, edges: Sequence[Tuple[int, int, int]]
+) -> PackedSymmetricTensor:
+    """Packed symmetric adjacency tensor of a 3-uniform hypergraph."""
+    tensor = PackedSymmetricTensor(n_vertices)
+    for edge in edges:
+        i, j, k = sorted(edge, reverse=True)
+        if not i > j > k >= 0 or i >= n_vertices:
+            raise ConfigurationError(f"invalid hyperedge {edge}")
+        tensor.data[packed_index(i, j, k)] = 1.0
+    return tensor
+
+
+def vertex_degrees(
+    n_vertices: int, edges: Sequence[Tuple[int, int, int]]
+) -> np.ndarray:
+    """Number of hyperedges incident to each vertex."""
+    degrees = np.zeros(n_vertices)
+    for edge in edges:
+        for vertex in edge:
+            degrees[vertex] += 1
+    return degrees
+
+
+def edge_list_from_cliques(
+    n_vertices: int, cliques: Sequence[Sequence[int]]
+) -> List[Tuple[int, int, int]]:
+    """All 3-subsets of each clique — handy for building structured
+    hypergraphs (e.g. community blocks) for centrality experiments."""
+    edges: Set[Tuple[int, int, int]] = set()
+    for clique in cliques:
+        members = sorted(set(int(v) for v in clique))
+        if members and (members[0] < 0 or members[-1] >= n_vertices):
+            raise ConfigurationError(f"clique {clique} outside vertex range")
+        for triple in combinations(members, 3):
+            edges.add(tuple(sorted(triple, reverse=True)))
+    return sorted(edges)
+
+
+def connected_components(
+    n_vertices: int, edges: Sequence[Tuple[int, int, int]]
+) -> List[FrozenSet[int]]:
+    """Connected components of the hypergraph (union-find).
+
+    NQZ's Perron theory needs an irreducible (connected, aperiodic-ish)
+    tensor; use this to check connectivity before spectral runs.
+    """
+    parent = list(range(n_vertices))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for i, j, k in edges:
+        for a, b in ((i, j), (j, k)):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+    groups = {}
+    for v in range(n_vertices):
+        groups.setdefault(find(v), set()).add(v)
+    return [frozenset(group) for group in groups.values()]

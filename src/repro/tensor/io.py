@@ -1,0 +1,69 @@
+"""Tensor persistence: save/load packed and sparse symmetric tensors.
+
+NumPy ``.npz`` containers with a small header; loading validates shape
+metadata so a truncated or mismatched file fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tensor.packed import PackedSymmetricTensor, packed_size
+from repro.tensor.sparse import SparseSymmetricTensor
+
+_FORMAT_PACKED = "repro-packed-sym-3"
+_FORMAT_SPARSE = "repro-sparse-sym-3"
+
+
+def save_tensor(
+    tensor: Union[PackedSymmetricTensor, SparseSymmetricTensor],
+    path: Union[str, Path],
+) -> None:
+    """Write a symmetric tensor to an ``.npz`` file."""
+    path = Path(path)
+    if isinstance(tensor, PackedSymmetricTensor):
+        np.savez_compressed(
+            path,
+            format=np.array(_FORMAT_PACKED),
+            n=np.array(tensor.n),
+            data=tensor.data,
+        )
+    elif isinstance(tensor, SparseSymmetricTensor):
+        np.savez_compressed(
+            path,
+            format=np.array(_FORMAT_SPARSE),
+            n=np.array(tensor.n),
+            indices=tensor.indices,
+            values=tensor.values,
+        )
+    else:
+        raise ConfigurationError(
+            f"cannot save tensor of type {type(tensor).__name__}"
+        )
+
+
+def load_tensor(
+    path: Union[str, Path],
+) -> Union[PackedSymmetricTensor, SparseSymmetricTensor]:
+    """Load a tensor written by :func:`save_tensor` (validated)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "format" not in archive:
+            raise ConfigurationError(f"{path}: not a repro tensor file")
+        fmt = str(archive["format"])
+        n = int(archive["n"])
+        if fmt == _FORMAT_PACKED:
+            data = archive["data"]
+            if data.shape != (packed_size(n),):
+                raise ConfigurationError(
+                    f"{path}: data length {data.shape} inconsistent with n={n}"
+                )
+            return PackedSymmetricTensor(n, data.copy())
+        if fmt == _FORMAT_SPARSE:
+            return SparseSymmetricTensor(
+                n, archive["indices"].copy(), archive["values"].copy()
+            )
+        raise ConfigurationError(f"{path}: unknown format {fmt!r}")

@@ -1,0 +1,72 @@
+"""Permutation multiplicity weights for symmetric iteration spaces.
+
+Every canonical triple ``i >= j >= k`` stands for all distinct
+permutations of ``(i, j, k)`` in the full cube. Algorithm 4's case
+split (paper §3) is exactly the statement that the contribution of
+canonical entry ``a`` to output ``y_t`` is weighted by the number of
+*ordered arrangements of the remaining two indices*:
+
+* all three distinct: weight 2 to each of ``y_i, y_j, y_k``;
+* ``i = j > k``: weight 2 to ``y_i`` (remaining ``{i, k}``), weight 1
+  to ``y_k`` (remaining ``{i, i}``);
+* ``i > j = k``: weight 1 to ``y_i``, weight 2 to ``y_j``;
+* ``i = j = k``: weight 1 to ``y_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def permutation_multiplicity(i: int, j: int, k: int) -> int:
+    """Number of distinct permutations of the multiset ``{i, j, k}``.
+
+    6 when all distinct, 3 when exactly two equal, 1 when all equal.
+    """
+    distinct = len({i, j, k})
+    return {3: 6, 2: 3, 1: 1}[distinct]
+
+
+def remaining_pair_multiplicity(
+    output: int, i: int, j: int, k: int
+) -> int:
+    """Ordered arrangements of the two indices left after removing ``output``.
+
+    ``output`` must be one of ``i, j, k``. Returns 2 if the remaining
+    two indices differ, else 1. This is the per-output scalar weight of
+    Algorithm 4.
+    """
+    remaining = [i, j, k]
+    remaining.remove(output)
+    return 2 if remaining[0] != remaining[1] else 1
+
+
+def contribution_weights(
+    i: np.ndarray, j: np.ndarray, k: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Algorithm-4 weights for canonical index arrays.
+
+    For each canonical entry ``(i, j, k)`` (elementwise ``i >= j >= k``)
+    returns ``(w_i, w_j, w_k)``:
+
+    * ``w_i`` multiplies the contribution ``a · x_j · x_k`` to ``y_i``;
+    * ``w_j`` multiplies ``a · x_i · x_k`` added into ``y_j``;
+    * ``w_k`` multiplies ``a · x_i · x_j`` added into ``y_k``.
+
+    Duplicate outputs must be suppressed by the caller (when ``i == j``
+    the ``y_j`` scatter would double-count the ``y_i`` one): the
+    convention here is that ``w_j = 0`` whenever ``j == i`` and
+    ``w_k = 0`` whenever ``k == j``, so the three scatters sum to the
+    exact Algorithm-4 update with no conditionals.
+    """
+    i = np.asarray(i)
+    j = np.asarray(j)
+    k = np.asarray(k)
+    w_i = np.where(j != k, 2.0, 1.0)
+    w_j = np.where(i != k, 2.0, 1.0)
+    w_k = np.where(i != j, 2.0, 1.0)
+    w_j = np.where(j == i, 0.0, w_j)
+    w_k = np.where(k == j, 0.0, w_k)
+    return w_i, w_j, w_k

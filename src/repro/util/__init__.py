@@ -1,0 +1,29 @@
+"""Shared utilities: argument validation, combinatorics, RNG handling."""
+
+from repro.util.combinatorics import (
+    binomial,
+    tetrahedral_number,
+    triangular_number,
+    strict_tetrahedral_number,
+    falling_factorial,
+)
+from repro.util.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_in_range,
+    check_probability,
+)
+from repro.util.seeding import as_generator
+
+__all__ = [
+    "binomial",
+    "tetrahedral_number",
+    "triangular_number",
+    "strict_tetrahedral_number",
+    "falling_factorial",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "check_probability",
+    "as_generator",
+]

@@ -1,0 +1,78 @@
+"""Counting helpers for tetrahedral iteration spaces and designs.
+
+The paper repeatedly uses three counts of the 3-D symmetric iteration
+space of side ``n`` (all formulas exact, integer arithmetic):
+
+* lower tetrahedron (``i >= j >= k``): ``n(n+1)(n+2)/6`` points,
+* strict lower tetrahedron (``i > j > k``): ``n(n-1)(n-2)/6`` points,
+* lower triangle (``i >= j``): ``n(n+1)/2`` points.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_nonnegative_int
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)`` with ``C(n, k) = 0`` for k < 0 or k > n."""
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Falling factorial ``n (n-1) ... (n-k+1)``; equals ``k! C(n,k)``."""
+    check_nonnegative_int(k, "k")
+    result = 1
+    for offset in range(k):
+        result *= n - offset
+    return result
+
+
+def triangular_number(n: int) -> int:
+    """Lower-triangle entry count of an ``n x n`` symmetric matrix.
+
+    Counts pairs ``(i, j)`` with ``i >= j`` over ``n`` indices:
+    ``n (n + 1) / 2``.
+    """
+    n = check_nonnegative_int(n, "n")
+    return n * (n + 1) // 2
+
+
+def tetrahedral_number(n: int) -> int:
+    """Entries in the lower tetrahedron of an ``n^3`` symmetric tensor.
+
+    Counts triples ``i >= j >= k`` drawn from ``n`` indices:
+    ``n (n + 1) (n + 2) / 6`` (the paper's iteration-space size, §3).
+    """
+    n = check_nonnegative_int(n, "n")
+    return n * (n + 1) * (n + 2) // 6
+
+
+def strict_tetrahedral_number(n: int) -> int:
+    """Entries in the *strict* lower tetrahedron (``i > j > k``).
+
+    Equals ``n (n - 1) (n - 2) / 6 = C(n, 3)``; this is the quantity
+    divided by ``P`` in the paper's lower-bound constraints (Lemma 5.1).
+    """
+    n = check_nonnegative_int(n, "n")
+    return n * (n - 1) * (n - 2) // 6
+
+
+def ternary_multiplication_count_symmetric(n: int) -> int:
+    """Ternary multiplications performed by Algorithm 4: ``n^2 (n + 1) / 2``.
+
+    Derivation (paper §3): 3 per strict-lower point, 2 per non-central
+    diagonal point, 1 per central diagonal point:
+    ``3 C(n,3) + 2 n(n-1) + n = n^2 (n+1) / 2``.
+    """
+    n = check_nonnegative_int(n, "n")
+    return n * n * (n + 1) // 2
+
+
+def ternary_multiplication_count_naive(n: int) -> int:
+    """Ternary multiplications performed by Algorithm 3: ``n^3``."""
+    n = check_nonnegative_int(n, "n")
+    return n**3

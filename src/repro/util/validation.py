@@ -1,0 +1,64 @@
+"""Small argument-validation helpers used across the library.
+
+These keep error messages uniform and make preconditions explicit at the
+public API boundary, per the paper's parameter constraints (prime-power
+``q``, divisibility of ``n`` by ``q**2 + 1``, etc.).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.errors import ConfigurationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a positive integer.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``value`` is not an integral number or is ``< 1``.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value, name: str) -> int:
+    """Return ``value`` as ``int`` if it is an integer ``>= 0``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value, name: str, low, high) -> None:
+    """Validate ``low <= value <= high`` (inclusive both ends)."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as float."""
+    if not isinstance(value, numbers.Real):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_divides(divisor: int, dividend: int, context: str) -> None:
+    """Raise unless ``divisor`` divides ``dividend`` exactly."""
+    if dividend % divisor != 0:
+        raise ConfigurationError(
+            f"{context}: {divisor} does not divide {dividend}"
+        )

@@ -1,0 +1,100 @@
+"""Cross-layer end-to-end flows: fields -> Steiner -> partition ->
+schedule -> machine -> kernels -> result, at multiple scales."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CommBackend,
+    Machine,
+    ParallelSTTSV,
+    TetrahedralPartition,
+    optimal_bandwidth_cost,
+    random_symmetric,
+    spherical_steiner_system,
+    steiner_system_for_processors,
+    sttsv,
+    sttsv_lower_bound,
+)
+
+
+class TestFullPipelineFromProcessorCount:
+    """A downstream user starts from 'I have P processors'."""
+
+    @pytest.mark.parametrize("P", [10, 14, 30])
+    def test_pipeline(self, P, rng):
+        system = steiner_system_for_processors(P)
+        partition = TetrahedralPartition(system)
+        partition.validate()
+        n = 3 * partition.m * partition.steiner.point_replication()
+        tensor = random_symmetric(n, seed=P)
+        x = rng.normal(size=n)
+        machine = Machine(P)
+        algo = ParallelSTTSV(partition, n)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), sttsv(tensor, x))
+        assert machine.ledger.max_words_sent() >= sttsv_lower_bound(n, P)
+
+
+class TestLargerScale:
+    def test_q4_system_runs(self, rng):
+        """q = 4 (GF(16) built over GF(2^4)): P = 68 processors."""
+        system = spherical_steiner_system(4)
+        partition = TetrahedralPartition(system)
+        n = partition.m * partition.steiner.point_replication()  # 17 * 20
+        tensor = random_symmetric(n, seed=44)
+        x = rng.normal(size=n)
+        machine = Machine(68)
+        algo = ParallelSTTSV(partition, n)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), sttsv(tensor, x))
+        assert machine.ledger.words_sent == [
+            int(optimal_bandwidth_cost(n, 4))
+        ] * 68
+
+
+class TestBackendsAgree:
+    def test_same_result_same_reduction_order_independent(self, partition_q3, rng):
+        n = 120
+        tensor = random_symmetric(n, seed=5)
+        x = rng.normal(size=n)
+        results = {}
+        for backend in CommBackend:
+            machine = Machine(partition_q3.P)
+            algo = ParallelSTTSV(partition_q3, n, backend)
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            results[backend] = algo.gather_result(machine)
+        a, b = results.values()
+        assert np.allclose(a, b)
+
+
+class TestMultipleSTTSVsOnOneMachine:
+    def test_ledger_accumulates_linearly(self, partition_q2, rng):
+        n = 30
+        tensor = random_symmetric(n, seed=6)
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, n)
+        for repetition in range(1, 4):
+            algo.load(machine, tensor, rng.normal(size=n))
+            algo.run(machine)
+            expected = repetition * algo.expected_words_per_processor()
+            assert machine.ledger.max_words_sent() == expected
+
+
+class TestCLISubprocess:
+    def test_module_invocation(self):
+        """`python -m repro` works as an installed console entry."""
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "bound", "--n", "120", "--p", "30"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "68.59" in completed.stdout

@@ -1,0 +1,53 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+The slower sweeps (communication_analysis, symmetric_matrix_symv at
+q=5) are exercised indirectly by unit/bench coverage of the same code
+paths; here we execute the quick end-user scripts end to end.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "partition_tables.py",
+    "hypergraph_centrality.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_quickstart_reports_exact_costs():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "words sent per processor        = 176" in completed.stdout
+    assert "words sent per processor        = 232" in completed.stdout
+
+
+def test_partition_tables_shows_figure1_length():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "partition_tables.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "12 steps (paper: 12)" in completed.stdout

@@ -1,0 +1,109 @@
+"""Failure injection: corrupted inputs must be rejected loudly at the
+right layer, never silently produce wrong answers."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.core.partition import TetrahedralPartition
+from repro.errors import (
+    ConfigurationError,
+    MachineError,
+    PartitionError,
+    ReproError,
+    SteinerError,
+)
+from repro.machine.machine import Machine
+from repro.machine.message import Message
+from repro.steiner.system import SteinerSystem
+from repro.tensor.dense import random_symmetric
+
+
+class TestCorruptedSteinerSystem:
+    def test_missing_block_detected(self, sqs8):
+        blocks = list(sqs8.blocks)[:-1]
+        with pytest.raises(SteinerError):
+            SteinerSystem(8, 4, blocks)
+
+    def test_duplicated_block_detected(self, sqs8):
+        blocks = list(sqs8.blocks)
+        blocks[0] = blocks[1]
+        with pytest.raises(SteinerError):
+            SteinerSystem(8, 4, blocks)
+
+    def test_swapped_element_detected(self, sqs8):
+        blocks = [list(b) for b in sqs8.blocks]
+        # Replace one element with another index — breaks coverage.
+        replacement = next(v for v in range(8) if v not in blocks[0])
+        blocks[0][0] = replacement
+        with pytest.raises(SteinerError):
+            SteinerSystem(8, 4, blocks)
+
+
+class TestCorruptedPartition:
+    def test_stolen_block_detected(self, steiner_q2):
+        part = TetrahedralPartition(steiner_q2)
+        # Processor 0 also claims processor 1's first non-central block.
+        bad = list(part.N)
+        stolen = bad[1][0]
+        if set(stolen) <= set(part.R[0]):
+            pytest.skip("random layout made the steal compatible")
+        bad[0] = bad[0] + (stolen,)
+        part.N = tuple(bad)
+        with pytest.raises(PartitionError):
+            part.validate()
+
+    def test_duplicate_ownership_detected(self, steiner_q2):
+        part = TetrahedralPartition(steiner_q2)
+        bad = list(part.N)
+        bad[0] = bad[0] + (bad[0][0],)
+        part.N = tuple(bad)
+        with pytest.raises(PartitionError):
+            part.owner_of_block()
+
+
+class TestMachineMisuse:
+    def test_wrong_processor_count(self, partition_q2):
+        algo = ParallelSTTSV(partition_q2, 30)
+        with pytest.raises(MachineError):
+            algo.load(Machine(9), random_symmetric(30, seed=0), np.ones(30))
+
+    def test_run_without_load(self, partition_q2):
+        algo = ParallelSTTSV(partition_q2, 30)
+        with pytest.raises(MachineError):
+            algo.run(Machine(10))
+
+    def test_gather_before_run(self, partition_q2):
+        machine = Machine(10)
+        algo = ParallelSTTSV(partition_q2, 30)
+        algo.load(machine, random_symmetric(30, seed=0), np.ones(30))
+        with pytest.raises(MachineError):
+            algo.gather_result(machine)
+
+    def test_ledger_misuse(self):
+        machine = Machine(2)
+        with pytest.raises(MachineError):
+            machine.ledger.record(Message(0, 1, 1))
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "FieldError",
+            "SteinerError",
+            "MatchingError",
+            "PartitionError",
+            "MachineError",
+            "ConvergenceError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_configuration_errors_are_value_errors(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_catch_all_from_public_api(self):
+        with pytest.raises(ReproError):
+            random_symmetric(-3)

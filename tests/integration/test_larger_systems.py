@@ -1,0 +1,58 @@
+"""Structural validation at larger processor counts (no tensor data —
+the q=5 minimal tensor would need ~640 MB, so these tests exercise the
+combinatorics and schedules only)."""
+
+import pytest
+
+from repro.core.bounds import optimal_bandwidth_cost, schedule_step_count
+from repro.core.partition import TetrahedralPartition
+from repro.core.schedule import build_exchange_schedule, exchange_degrees
+from repro.steiner import boolean_steiner_system, spherical_steiner_system
+
+
+@pytest.fixture(scope="module")
+def partition_q5():
+    partition = TetrahedralPartition(spherical_steiner_system(5, verify=True))
+    partition.validate()
+    return partition
+
+
+class TestQ5System:
+    def test_shape(self, partition_q5):
+        assert partition_q5.P == 130
+        assert partition_q5.m == 26
+        assert partition_q5.r == 6
+        assert partition_q5.non_central_per_processor == 5  # q
+
+    def test_schedule(self, partition_q5):
+        schedule = build_exchange_schedule(partition_q5)
+        assert schedule.step_count == schedule_step_count(5) == 99
+        degrees = exchange_degrees(partition_q5)
+        assert degrees.two_block == 5 * 5 * 6 // 2  # q²(q+1)/2 = 75
+        assert degrees.one_block == 24  # q² − 1
+        for round_map in schedule.rounds[:3]:
+            assert sorted(round_map) == list(range(130))
+
+    def test_cost_formula_consistency(self, partition_q5):
+        replication = partition_q5.steiner.point_replication()
+        assert replication == 30  # q(q+1)
+        n = partition_q5.m * replication  # 780
+        formula = optimal_bandwidth_cost(n, 5)
+        # 2(780·6/26 − 6) = 2(180 − 6) = 348.
+        assert formula == pytest.approx(348.0)
+
+
+class TestQ7Steiner:
+    def test_system_builds_and_verifies(self):
+        system = spherical_steiner_system(7, verify=True)
+        assert system.m == 50
+        assert len(system) == 350
+        assert system.point_replication() == 56
+        assert system.pair_replication() == 8
+
+
+class TestSQS32:
+    def test_boolean_k5(self):
+        system = boolean_steiner_system(5, verify=True)
+        assert system.m == 32
+        assert len(system) == 32 * 31 * 30 // 24

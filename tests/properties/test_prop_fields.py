@@ -1,0 +1,78 @@
+"""Property tests: GF(p^k) obeys the field axioms for random elements."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields.gf import GF
+
+ORDERS = [2, 3, 4, 5, 7, 8, 9, 16, 25, 27]
+_FIELDS = {q: GF(q) for q in ORDERS}
+
+
+@st.composite
+def field_and_elements(draw, count=3):
+    q = draw(st.sampled_from(ORDERS))
+    field = _FIELDS[q]
+    values = [draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(count)]
+    return field, values
+
+
+@given(field_and_elements())
+def test_additive_commutative_associative(data):
+    field, (a, b, c) = data
+    assert field.add(a, b) == field.add(b, a)
+    assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+
+
+@given(field_and_elements())
+def test_multiplicative_commutative_associative(data):
+    field, (a, b, c) = data
+    assert field.mul(a, b) == field.mul(b, a)
+    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+
+@given(field_and_elements())
+def test_distributivity(data):
+    field, (a, b, c) = data
+    left = field.mul(a, field.add(b, c))
+    right = field.add(field.mul(a, b), field.mul(a, c))
+    assert left == right
+
+
+@given(field_and_elements(count=1))
+def test_inverses(data):
+    field, (a,) = data
+    assert field.add(a, field.neg(a)) == 0
+    if a != 0:
+        assert field.mul(a, field.inv(a)) == 1
+
+
+@given(field_and_elements(count=2))
+def test_subtraction_division_consistent(data):
+    field, (a, b) = data
+    assert field.add(field.sub(a, b), b) == a
+    if b != 0:
+        assert field.mul(field.div(a, b), b) == a
+
+
+@given(field_and_elements(count=1), st.integers(min_value=0, max_value=50))
+def test_pow_matches_repeated_multiplication(data, exponent):
+    field, (a,) = data
+    expected = 1
+    for _ in range(exponent):
+        expected = field.mul(expected, a)
+    if a == 0 and exponent == 0:
+        expected = 1
+    assert field.pow(a, exponent) == expected
+
+
+@given(field_and_elements(count=1))
+def test_frobenius_is_additive(data):
+    """(a + b)^p = a^p + b^p in characteristic p — a sharp test of the
+    polynomial-quotient representation."""
+    field, (a,) = data
+    p = field.characteristic
+    for b in range(min(field.order, 6)):
+        lhs = field.pow(field.add(a, b), p)
+        rhs = field.add(field.pow(a, p), field.pow(b, p))
+        assert lhs == rhs

@@ -1,0 +1,104 @@
+"""Property tests: matchings are valid and maximum, flows conserve."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.edge_coloring import decompose_regular_bipartite
+from repro.matching.hall import hall_condition_holds, hall_violating_set
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+@st.composite
+def bipartite_graph(draw):
+    n_left = draw(st.integers(min_value=1, max_value=10))
+    n_right = draw(st.integers(min_value=1, max_value=10))
+    adjacency = [
+        sorted(
+            set(
+                draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n_right - 1),
+                        max_size=n_right,
+                    )
+                )
+            )
+        )
+        for _ in range(n_left)
+    ]
+    return n_left, n_right, adjacency
+
+
+@settings(max_examples=80, deadline=None)
+@given(bipartite_graph())
+def test_matching_is_valid(graph):
+    n_left, n_right, adjacency = graph
+    matching = hopcroft_karp(n_left, n_right, adjacency)
+    # Valid: edges exist, no right vertex reused.
+    assert len(set(matching.values())) == len(matching)
+    for u, v in matching.items():
+        assert v in adjacency[u]
+
+
+@settings(max_examples=50, deadline=None)
+@given(bipartite_graph())
+def test_matching_is_maximum(graph):
+    n_left, n_right, adjacency = graph
+    ours = hopcroft_karp(n_left, n_right, adjacency)
+    g = nx.Graph()
+    g.add_nodes_from((("L", u) for u in range(n_left)))
+    g.add_nodes_from((("R", v) for v in range(n_right)))
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            g.add_edge(("L", u), ("R", v))
+    reference = nx.algorithms.matching.max_weight_matching(g, maxcardinality=True)
+    assert len(ours) == len(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bipartite_graph())
+def test_hall_witness_is_genuine(graph):
+    n_left, n_right, adjacency = graph
+    witness = hall_violating_set(n_left, n_right, adjacency)
+    if witness is None:
+        assert hall_condition_holds(n_left, n_right, adjacency)
+    else:
+        neighborhood = set()
+        for u in witness:
+            neighborhood.update(adjacency[u])
+        assert len(neighborhood) < len(witness)
+
+
+@st.composite
+def regular_bipartite(draw):
+    """A d-regular bipartite multigraph built as a union of d random
+    permutations — the general form by Birkhoff–von Neumann."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    d = draw(st.integers(min_value=1, max_value=5))
+    adjacency = [[] for _ in range(n)]
+    for _ in range(d):
+        perm = draw(st.permutations(range(n)))
+        for u, v in enumerate(perm):
+            adjacency[u].append(v)
+    return n, d, adjacency
+
+
+@settings(max_examples=60, deadline=None)
+@given(regular_bipartite())
+def test_regular_decomposition_properties(graph):
+    n, d, adjacency = graph
+    matchings = decompose_regular_bipartite(n, adjacency)
+    assert len(matchings) == d
+    # Each matching is a permutation; union of edges equals the input
+    # multiset.
+    from collections import Counter
+
+    recovered = Counter()
+    for matching in matchings:
+        assert sorted(matching) == list(range(n))
+        assert sorted(matching.values()) == list(range(n))
+        recovered.update(matching.items())
+    original = Counter(
+        (u, v) for u, nbrs in enumerate(adjacency) for v in nbrs
+    )
+    assert recovered == original

@@ -1,0 +1,89 @@
+"""Property tests for the 2-D (symmetric matrix) substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.machine.machine import Machine
+from repro.matrix.kernels import symv_dense_reference, symv_packed
+from repro.matrix.packed import (
+    PackedSymmetricMatrix,
+    sym_packed_index,
+    sym_packed_size,
+    sym_unpacked,
+)
+from repro.matrix.parallel_symv import ParallelSYMV
+from repro.matrix.partition import TriangleBlockPartition
+from repro.steiner.pairwise import bose_triple_system, projective_plane_system
+
+_FLOATS = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_sym_index_roundtrip(offset):
+    i, j = sym_unpacked(offset)
+    assert i >= j >= 0
+    assert sym_packed_index(i, j) == offset
+
+
+@st.composite
+def matrix_and_vector(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    data = draw(arrays(dtype=np.float64, shape=sym_packed_size(n), elements=_FLOATS))
+    x = draw(arrays(dtype=np.float64, shape=n, elements=_FLOATS))
+    return PackedSymmetricMatrix(n, data), x
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix_and_vector())
+def test_symv_matches_dense(problem):
+    matrix, x = problem
+    assert np.allclose(
+        symv_packed(matrix, x),
+        symv_dense_reference(matrix.to_dense(), x),
+        atol=1e-8,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix_and_vector(), _FLOATS)
+def test_symv_linearity(problem, scale):
+    matrix, x = problem
+    assert np.allclose(
+        symv_packed(matrix, scale * x),
+        scale * symv_packed(matrix, x),
+        atol=1e-6,
+        rtol=1e-6,
+    )
+
+
+_PARTITIONS = {
+    "fano": TriangleBlockPartition(projective_plane_system(2)),
+    "pg3": TriangleBlockPartition(projective_plane_system(3)),
+    "bose1": TriangleBlockPartition(bose_triple_system(1)),
+}
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.sampled_from(sorted(_PARTITIONS)),
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_parallel_symv_equals_sequential(key, n, seed):
+    partition = _PARTITIONS[key]
+    rng = np.random.default_rng(seed)
+    matrix = PackedSymmetricMatrix(
+        n, rng.normal(size=sym_packed_size(n))
+    )
+    x = rng.normal(size=n)
+    machine = Machine(partition.P)
+    algo = ParallelSYMV(partition, n)
+    algo.load(machine, matrix, x)
+    algo.run(machine)
+    assert np.allclose(algo.gather_result(machine), symv_packed(matrix, x))
+    expected = algo.expected_words_per_processor()
+    assert machine.ledger.words_sent == [expected] * partition.P

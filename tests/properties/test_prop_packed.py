@@ -1,0 +1,60 @@
+"""Property tests: packed index map is a bijection with correct inverse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.packed import (
+    canonical_triple,
+    packed_index,
+    packed_size,
+    unpacked_triple,
+)
+
+
+@given(st.integers(min_value=0, max_value=500_000))
+def test_unpack_pack_roundtrip(offset):
+    i, j, k = unpacked_triple(offset)
+    assert i >= j >= k >= 0
+    assert packed_index(i, j, k) == offset
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+    )
+)
+def test_pack_unpack_roundtrip(triple):
+    i, j, k = canonical_triple(*triple)
+    offset = packed_index(i, j, k)
+    assert unpacked_triple(offset) == (i, j, k)
+
+
+@given(
+    st.permutations([11, 7, 3]),
+)
+def test_all_permutations_same_offset(perm):
+    i, j, k = canonical_triple(*perm)
+    assert (i, j, k) == (11, 7, 3)
+    assert packed_index(i, j, k) == packed_index(11, 7, 3)
+
+
+@given(st.integers(min_value=1, max_value=120))
+def test_packed_size_counts_lattice(n):
+    # packed_size(n) - packed_size(n-1) is the size of layer n-1:
+    # the triangle number of n.
+    layer = packed_size(n) - packed_size(n - 1)
+    assert layer == n * (n + 1) // 2
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=40))
+def test_offsets_are_contiguous(n):
+    offsets = [
+        packed_index(i, j, k)
+        for i in range(n)
+        for j in range(i + 1)
+        for k in range(j + 1)
+    ]
+    assert offsets == list(range(packed_size(n)))

@@ -1,0 +1,61 @@
+"""Property tests: the parallel algorithm equals the sequential kernel
+for random tensors, vectors, sizes, and backends — and never beats the
+lower bound."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.core.partition import TetrahedralPartition
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.machine.machine import Machine
+from repro.steiner import boolean_steiner_system, spherical_steiner_system
+from repro.tensor.dense import random_symmetric
+
+_PARTITIONS = {
+    "q2": TetrahedralPartition(spherical_steiner_system(2)),
+    "sqs8": TetrahedralPartition(boolean_steiner_system(3)),
+}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(sorted(_PARTITIONS)),
+    st.integers(min_value=3, max_value=70),
+    st.sampled_from(list(CommBackend)),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_parallel_equals_sequential(partition_key, n, backend, seed):
+    partition = _PARTITIONS[partition_key]
+    rng = np.random.default_rng(seed)
+    tensor = random_symmetric(n, seed=rng)
+    x = rng.normal(size=n)
+    machine = Machine(partition.P)
+    algo = ParallelSTTSV(partition, n, backend)
+    algo.load(machine, tensor, x)
+    algo.run(machine)
+    assert np.allclose(algo.gather_result(machine), sttsv_packed(tensor, x))
+    # Exact expected cost, uniform across processors.
+    expected = algo.expected_words_per_processor()
+    assert machine.ledger.words_sent == [expected] * partition.P
+    # Theorem 5.2 can never be beaten on the padded problem.
+    lower = bounds.sttsv_lower_bound(algo.n_padded, partition.P)
+    assert expected >= lower - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=10**6))
+def test_padding_never_changes_result(n, seed):
+    partition = _PARTITIONS["q2"]
+    rng = np.random.default_rng(seed)
+    tensor = random_symmetric(n, seed=rng)
+    x = rng.normal(size=n)
+    machine = Machine(partition.P)
+    algo = ParallelSTTSV(partition, n)
+    algo.load(machine, tensor, x)
+    algo.run(machine)
+    result = algo.gather_result(machine)
+    assert result.shape == (n,)
+    assert np.allclose(result, sttsv_packed(tensor, x))

@@ -1,0 +1,75 @@
+"""Property tests: sparse STTSV and order-d packed storage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sttsv_ndim import sttsv_ndim, sttsv_ndim_dense_reference
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.tensor.ndpacked import (
+    nd_canonical,
+    nd_packed_index,
+    nd_random_symmetric,
+    nd_unpacked,
+)
+from repro.tensor.sparse import SparseSymmetricTensor, sttsv_sparse
+
+_FLOATS = st.floats(
+    min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def sparse_problem(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    entry_count = draw(st.integers(min_value=0, max_value=25))
+    entries = {}
+    for _ in range(entry_count):
+        triple = nd_canonical(
+            tuple(
+                draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(3)
+            )
+        )
+        entries[triple] = draw(_FLOATS)
+    x = np.array([draw(_FLOATS) for _ in range(n)])
+    return SparseSymmetricTensor.from_entries(n, entries), x
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_problem())
+def test_sparse_matches_packed(problem):
+    tensor, x = problem
+    assert np.allclose(
+        sttsv_sparse(tensor, x), sttsv_packed(tensor.to_packed(), x), atol=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6),
+)
+def test_nd_index_roundtrip(d, values):
+    canonical = nd_canonical(tuple((values * d)[:d]))
+    offset = nd_packed_index(canonical)
+    assert nd_unpacked(offset, d) == canonical
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    ),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_ndim_kernel_vs_oracle(shape, seed):
+    n, d = shape
+    rng = np.random.default_rng(seed)
+    tensor = nd_random_symmetric(n, d, seed=rng)
+    x = rng.normal(size=n)
+    assert np.allclose(
+        sttsv_ndim(tensor, x),
+        sttsv_ndim_dense_reference(tensor.to_dense(), x),
+        atol=1e-9,
+    )

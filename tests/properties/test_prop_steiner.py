@@ -1,0 +1,105 @@
+"""Property tests over the constructible Steiner families and the
+partitions they induce."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import TetrahedralPartition
+from repro.core.schedule import build_exchange_schedule
+from repro.steiner import boolean_steiner_system, spherical_steiner_system
+from repro.util.combinatorics import tetrahedral_number
+
+# Cache constructions — hypothesis re-draws parameters many times.
+_SYSTEMS = {}
+
+
+def _system(kind, param):
+    key = (kind, param)
+    if key not in _SYSTEMS:
+        if kind == "spherical":
+            _SYSTEMS[key] = spherical_steiner_system(param)
+        else:
+            _SYSTEMS[key] = boolean_steiner_system(param)
+    return _SYSTEMS[key]
+
+
+_PARAMS = st.one_of(
+    st.tuples(st.just("spherical"), st.sampled_from([2, 3, 4])),
+    st.tuples(st.just("boolean"), st.sampled_from([2, 3, 4])),
+)
+
+# Partitions additionally require (m - 2) | r(r-1)(r-2) for the equal
+# non-central-diagonal split (§6.1.3) and m <= P for the central-block
+# matching; SQS(16) (m=16) fails the former, SQS(4) (P=1 < m=4) the
+# latter, so partition-level properties use this restricted pool.
+_PARTITION_PARAMS = st.one_of(
+    st.tuples(st.just("spherical"), st.sampled_from([2, 3, 4])),
+    st.tuples(st.just("boolean"), st.just(3)),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(_PARAMS)
+def test_steiner_axiom_via_verify(params):
+    system = _system(*params)
+    system.verify()  # raises on any violation
+
+
+@settings(max_examples=12, deadline=None)
+@given(_PARAMS, st.integers(min_value=0, max_value=10**6))
+def test_random_triple_in_exactly_one_block(params, seed):
+    system = _system(*params)
+    rng = np.random.default_rng(seed)
+    a, b, c = map(int, rng.choice(system.m, size=3, replace=False))
+    containing = [
+        idx
+        for idx, block in enumerate(system.blocks)
+        if a in block and b in block and c in block
+    ]
+    assert len(containing) == 1
+
+
+_PARTITIONS = {}
+
+
+def _partition(kind, param):
+    key = (kind, param)
+    if key not in _PARTITIONS:
+        _PARTITIONS[key] = TetrahedralPartition(_system(kind, param))
+    return _PARTITIONS[key]
+
+
+@settings(max_examples=10, deadline=None)
+@given(_PARTITION_PARAMS)
+def test_partition_covers_lower_tetrahedron(params):
+    part = _partition(*params)
+    owner = part.owner_of_block()
+    assert len(owner) == tetrahedral_number(part.m)
+
+
+@settings(max_examples=10, deadline=None)
+@given(_PARTITION_PARAMS, st.integers(min_value=0, max_value=10**6))
+def test_random_block_owner_is_compatible(params, seed):
+    """The owner of any random block has all the block's indices in its
+    R set — the zero-extra-vector-data property of §6.1.3."""
+    part = _partition(*params)
+    rng = np.random.default_rng(seed)
+    i, j, k = sorted(map(int, rng.integers(0, part.m, size=3)), reverse=True)
+    owner = part.owner_of_block()[(i, j, k)]
+    assert {i, j, k} <= set(part.R[owner])
+
+
+@settings(max_examples=8, deadline=None)
+@given(_PARTITION_PARAMS)
+def test_schedule_regularity(params):
+    part = _partition(*params)
+    schedule = build_exchange_schedule(part)
+    # Permutation rounds, each ordered pair exactly once.
+    pair_count = {}
+    for round_map in schedule.rounds:
+        assert sorted(round_map) == list(range(part.P))
+        for src, dst in round_map.items():
+            pair_count[(src, dst)] = pair_count.get((src, dst), 0) + 1
+    assert all(count == 1 for count in pair_count.values())
+    assert set(pair_count) == set(schedule.shared)

@@ -1,0 +1,87 @@
+"""Property tests: STTSV kernel identities on random symmetric tensors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.sttsv_sequential import (
+    sttsv_dense_reference,
+    sttsv_packed,
+    sttsv_symmetric,
+)
+from repro.tensor.dense import dense_from_packed, symmetrize
+from repro.tensor.packed import PackedSymmetricTensor, packed_size
+
+_FLOATS = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def packed_tensor_and_vector(draw, max_n=9):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    data = draw(
+        arrays(dtype=np.float64, shape=packed_size(n), elements=_FLOATS)
+    )
+    x = draw(arrays(dtype=np.float64, shape=n, elements=_FLOATS))
+    return PackedSymmetricTensor(n, data), x
+
+
+@settings(max_examples=60, deadline=None)
+@given(packed_tensor_and_vector())
+def test_vectorized_matches_dense_oracle(problem):
+    tensor, x = problem
+    dense = dense_from_packed(tensor)
+    reference = sttsv_dense_reference(dense, x)
+    assert np.allclose(sttsv_packed(tensor, x), reference, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(packed_tensor_and_vector(max_n=6))
+def test_scalar_matches_vectorized(problem):
+    tensor, x = problem
+    assert np.allclose(
+        sttsv_symmetric(tensor, x), sttsv_packed(tensor, x), atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(packed_tensor_and_vector(), _FLOATS)
+def test_quadratic_homogeneity(problem, scale):
+    tensor, x = problem
+    lhs = sttsv_packed(tensor, scale * x)
+    rhs = scale * scale * sttsv_packed(tensor, x)
+    assert np.allclose(lhs, rhs, atol=1e-6, rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(packed_tensor_and_vector(), packed_tensor_and_vector())
+def test_linearity_in_tensor(problem_a, problem_b):
+    tensor_a, x = problem_a
+    tensor_b, _ = problem_b
+    if tensor_a.n != tensor_b.n:
+        return
+    combined = PackedSymmetricTensor(tensor_a.n, tensor_a.data + tensor_b.data)
+    lhs = sttsv_packed(combined, x)
+    rhs = sttsv_packed(tensor_a, x) + sttsv_packed(tensor_b, x)
+    assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda n: st.tuples(
+            arrays(dtype=np.float64, shape=(n, n, n), elements=_FLOATS),
+            arrays(dtype=np.float64, shape=n, elements=_FLOATS),
+        )
+    )
+)
+def test_symmetrization_preserves_quadratic_form(data):
+    """x^T (A x x) depends only on the symmetric part of A — STTSV on
+    symmetrize(A) reproduces the cubic form of the raw cube."""
+    cube, x = data
+    sym = symmetrize(cube)
+    raw_form = float(np.einsum("ijk,i,j,k->", cube, x, x, x))
+    sym_form = float(np.einsum("ijk,i,j,k->", sym, x, x, x))
+    assert np.isclose(raw_form, sym_form, atol=1e-6, rtol=1e-6)

@@ -1,0 +1,70 @@
+"""Ledger auditor: invariants detected and reported."""
+
+import numpy as np
+
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.machine.auditing import audit_ledger
+from repro.machine.collectives import broadcast
+from repro.machine.ledger import CommunicationLedger
+from repro.machine.machine import Machine
+from repro.machine.message import Message
+from repro.tensor.dense import random_symmetric
+
+
+class TestOptimalAlgorithmPassesAudit:
+    def test_point_to_point(self, partition_q2, rng):
+        n = 30
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, n)
+        algo.load(machine, random_symmetric(n, seed=0), rng.normal(size=n))
+        algo.run(machine)
+        report = audit_ledger(machine.ledger)
+        assert report.ok, str(report)
+        assert report.per_tag_words.keys() == {"x-exchange", "y-exchange"}
+        # The two phases move equal volumes.
+        assert (
+            report.per_tag_words["x-exchange"]
+            == report.per_tag_words["y-exchange"]
+        )
+
+    def test_all_to_all(self, partition_sqs8, rng):
+        n = 56
+        machine = Machine(partition_sqs8.P)
+        algo = ParallelSTTSV(partition_sqs8, n, CommBackend.ALL_TO_ALL)
+        algo.load(machine, random_symmetric(n, seed=1), rng.normal(size=n))
+        algo.run(machine)
+        assert audit_ledger(machine.ledger).ok
+
+
+class TestViolationsDetected:
+    def test_broadcast_is_asymmetric(self):
+        machine = Machine(8)
+        broadcast(machine, 0, np.ones(4))
+        report = audit_ledger(machine.ledger)
+        assert not report.symmetric_volumes
+        assert not report.ok
+        assert any("asymmetric" in v for v in report.violations)
+        # With relaxed expectations the broadcast audits clean.
+        relaxed = audit_ledger(
+            machine.ledger, expect_symmetric=False, expect_uniform=False
+        )
+        assert relaxed.ok
+
+    def test_single_port_violation_flagged(self):
+        ledger = CommunicationLedger(3)
+        ledger.begin_round("bad")
+        ledger.record(Message(0, 1, 2))
+        ledger.record(Message(0, 2, 2))  # 0 sends twice in one round
+        ledger.end_round()
+        report = audit_ledger(ledger, expect_symmetric=False, expect_uniform=False)
+        assert not report.single_port
+        assert any("single-port" in v for v in report.violations)
+
+    def test_report_rendering(self):
+        ledger = CommunicationLedger(2)
+        ledger.begin_round("r")
+        ledger.record(Message(0, 1, 3, tag="t"))
+        ledger.end_round()
+        report = audit_ledger(ledger, expect_symmetric=False, expect_uniform=False)
+        assert "OK" in str(report)
+        assert "t" in str(report)

@@ -1,0 +1,88 @@
+"""Baseline parallel algorithms: correctness and measured comm costs."""
+
+import numpy as np
+import pytest
+
+from repro.core import bounds
+from repro.core.baselines import (
+    grid_baseline_sttsv,
+    grid_side,
+    sequence_baseline_sttsv,
+)
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+
+
+class TestSequenceBaseline:
+    def test_correctness(self, rng):
+        n, P = 24, 6
+        tensor = random_symmetric(n, seed=0)
+        x = rng.normal(size=n)
+        machine = Machine(P)
+        y = sequence_baseline_sttsv(machine, tensor, x)
+        assert np.allclose(y, sttsv_packed(tensor, x))
+
+    def test_cost_is_n_minus_share(self):
+        n, P = 40, 8
+        machine = Machine(P)
+        sequence_baseline_sttsv(machine, random_symmetric(n, seed=1), np.ones(n))
+        expected = int(bounds.sequence_approach_bandwidth(n, P))
+        assert machine.ledger.words_sent == [expected] * P
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            sequence_baseline_sttsv(Machine(7), random_symmetric(10, seed=0), np.ones(10))
+
+    def test_vector_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            sequence_baseline_sttsv(Machine(2), random_symmetric(4, seed=0), np.ones(3))
+
+
+class TestGridBaseline:
+    def test_grid_side(self):
+        assert grid_side(27) == 3
+        assert grid_side(8) == 2
+        with pytest.raises(ConfigurationError):
+            grid_side(10)
+
+    @pytest.mark.parametrize("g,n", [(2, 8), (3, 12)])
+    def test_correctness(self, g, n, rng):
+        tensor = random_symmetric(n, seed=2)
+        x = rng.normal(size=n)
+        machine = Machine(g**3)
+        y = grid_baseline_sttsv(machine, tensor, x)
+        assert np.allclose(y, sttsv_packed(tensor, x))
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            grid_baseline_sttsv(Machine(8), random_symmetric(9, seed=0), np.ones(9))
+
+    def test_cost_scaling(self):
+        """Grid per-processor send is Θ(n/g) with constant ≈ 3 (two
+        broadcast forwards + one reduce hop) — above the optimal
+        algorithm's 2n/g but the same asymptotic."""
+        n, g = 24, 2
+        machine = Machine(g**3)
+        grid_baseline_sttsv(machine, random_symmetric(n, seed=3), np.ones(n))
+        h = n // g
+        assert machine.ledger.max_words_sent() <= 4 * h
+        assert machine.ledger.max_words_sent() >= h
+
+
+class TestBaselineComparison:
+    def test_optimal_beats_sequence_at_scale(self, partition_q3):
+        """Claim C6 shape: for P = 30 the optimal algorithm's Θ(n/P^{1/3})
+        beats the sequence approach's Θ(n)."""
+        n = 120
+        optimal = bounds.optimal_bandwidth_cost(n, 3)
+        sequence = bounds.sequence_approach_bandwidth(n, partition_q3.P)
+        assert optimal < sequence
+
+    def test_sequence_wins_at_tiny_p(self):
+        """At P = 2 the 1-D approach moves less than an all-to-all-style
+        exchange would — crossover exists (paper §8's 'when P is small'
+        discussion)."""
+        n = 100
+        assert bounds.sequence_approach_bandwidth(n, 2) == pytest.approx(50.0)

@@ -1,0 +1,93 @@
+"""CLI commands exercised in process."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_default_q3(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "R_p" in out
+        assert "Q_i" in out
+        assert "'P': 30" in out
+
+    def test_sqs8(self, capsys):
+        assert main(["tables", "--sqs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "'P': 14" in out
+
+
+class TestSchedule:
+    def test_sqs8_has_12_steps(self, capsys):
+        assert main(["schedule", "--sqs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "step 12:" in out
+        assert "step 13:" not in out
+        assert "12 steps for P = 14" in out
+
+    def test_q2(self, capsys):
+        assert main(["schedule", "--q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "9 steps for P = 10" in out
+
+
+class TestBound:
+    def test_d3(self, capsys):
+        assert main(["bound", "--n", "120", "--p", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "68.59" in out
+
+    def test_d4(self, capsys):
+        assert main(["bound", "--n", "120", "--p", "30", "--d", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+
+
+class TestAnalyze:
+    def test_q2_defaults(self, capsys):
+        assert main(["analyze", "--q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "point-to-point" in out
+        assert "all-to-all" in out
+        assert "lower bound" in out
+        # Exact optimal cost for the default n = 30 at q=2 is 30 words.
+        assert "30 words/proc" in out
+
+
+class TestAdmissible:
+    def test_listing(self, capsys):
+        assert main(["admissible", "--limit", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "10, 14, 30, 68, 130" in out
+
+
+class TestErrors:
+    def test_bad_q_reports_error(self, capsys):
+        assert main(["tables", "--q", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSymv:
+    def test_fano_default(self, capsys):
+        assert main(["symv"]) == 0
+        out = capsys.readouterr().out
+        assert "P = 7" in out
+        assert "lower bound" in out
+
+    def test_pg23(self, capsys):
+        assert main(["symv", "--q", "3"]) == 0
+        assert "P = 13" in capsys.readouterr().out
+
+
+class TestAnalyzeAudit:
+    def test_audit_passes(self, capsys):
+        assert main(["analyze", "--q", "2", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "all runs PASS" in out
+        assert "[PASS]" in out

@@ -1,0 +1,236 @@
+"""Collective operations: correctness of delivery + exact word accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.collectives import (
+    all_gather,
+    all_reduce_scalar,
+    all_to_all,
+    all_to_all_words,
+    broadcast,
+    point_to_point_rounds,
+)
+from repro.machine.machine import Machine
+
+
+class TestAllToAll:
+    def test_delivery(self):
+        machine = Machine(4)
+        send = [
+            {dst: np.full(3, 10 * src + dst, dtype=float) for dst in range(4)}
+            for src in range(4)
+        ]
+        recv = all_to_all(machine, send)
+        for dst in range(4):
+            for src in range(4):
+                assert np.all(recv[dst][src] == 10 * src + dst)
+
+    def test_self_delivery_free(self):
+        machine = Machine(3)
+        send = [{src: np.ones(5)} for src in range(3)]
+        recv = all_to_all(machine, send)
+        assert machine.ledger.total_words() == 0
+        for p in range(3):
+            assert np.array_equal(recv[p][p], np.ones(5))
+
+    def test_word_accounting(self):
+        machine = Machine(3)
+        send = [
+            {dst: np.ones(2) for dst in range(3) if dst != src} for src in range(3)
+        ]
+        all_to_all(machine, send)
+        assert machine.ledger.words_sent == [4, 4, 4]
+        assert machine.ledger.round_count() == 2  # P - 1 shifts
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_words_helper(self):
+        send = [{1: np.ones(2), 0: np.ones(9)}, {0: np.ones(3)}]
+        assert all_to_all_words(send) == [2, 3]
+
+    def test_missing_buffers_ok(self):
+        machine = Machine(3)
+        recv = all_to_all(machine, [{}, {0: np.ones(1)}, {}])
+        assert machine.ledger.words_sent == [0, 1, 0]
+        assert np.array_equal(recv[0][1], np.ones(1))
+
+    def test_receive_is_a_copy(self):
+        machine = Machine(2)
+        payload = np.ones(2)
+        recv = all_to_all(machine, [{1: payload}, {}])
+        payload[:] = 99
+        assert np.all(recv[1][0] == 1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MachineError):
+            all_to_all(Machine(3), [{}, {}])
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(MachineError):
+            all_to_all(Machine(2), [{5: np.ones(1)}, {}])
+
+
+class TestPointToPointRounds:
+    def test_delivery_and_rounds(self):
+        machine = Machine(4)
+        rounds = [{0: 1, 1: 0, 2: 3, 3: 2}, {0: 2, 2: 0, 1: 3, 3: 1}]
+        payloads = {}
+
+        def payload_for(src, dst):
+            arr = np.array([float(src * 10 + dst)])
+            payloads[(src, dst)] = arr
+            return arr
+
+        recv = point_to_point_rounds(machine, rounds, payload_for)
+        assert machine.ledger.round_count() == 2
+        assert machine.ledger.all_rounds_are_permutations()
+        for (src, dst), arr in payloads.items():
+            assert np.array_equal(recv[dst][src], arr)
+        assert machine.ledger.words_sent == [2, 2, 2, 2]
+
+    def test_none_payload_suppresses(self):
+        machine = Machine(2)
+        recv = point_to_point_rounds(machine, [{0: 1}], lambda s, d: None)
+        assert machine.ledger.total_words() == 0
+        assert recv[1] == {}
+
+    def test_non_permutation_round_rejected(self):
+        machine = Machine(3)
+        with pytest.raises(MachineError):
+            point_to_point_rounds(
+                machine, [{0: 2, 1: 2}], lambda s, d: np.ones(1)
+            )
+
+    def test_self_send_rejected(self):
+        machine = Machine(2)
+        with pytest.raises(MachineError):
+            point_to_point_rounds(machine, [{0: 0}], lambda s, d: np.ones(1))
+
+
+class TestAllGather:
+    def test_everyone_gets_everything(self):
+        machine = Machine(5)
+        contributions = [np.full(2, float(p)) for p in range(5)]
+        gathered = all_gather(machine, contributions)
+        for p in range(5):
+            for src in range(5):
+                assert np.all(gathered[p][src] == src)
+
+    def test_ring_cost(self):
+        machine = Machine(5)
+        all_gather(machine, [np.ones(3) for _ in range(5)])
+        # Ring: each processor forwards P-1 pieces of 3 words.
+        assert machine.ledger.words_sent == [12] * 5
+        assert machine.ledger.round_count() == 4
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(MachineError):
+            all_gather(Machine(3), [np.ones(1)] * 2)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8, 13])
+    def test_reaches_everyone(self, P):
+        machine = Machine(P)
+        results = broadcast(machine, root=P // 2, value=np.array([7.0, 8.0]))
+        assert len(results) == P
+        for arr in results:
+            assert np.array_equal(arr, [7.0, 8.0])
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_log_rounds(self):
+        machine = Machine(8)
+        broadcast(machine, 0, np.array([1.0]))
+        assert machine.ledger.round_count() == 3  # log2(8)
+
+    def test_root_sends_log_messages(self):
+        machine = Machine(8)
+        broadcast(machine, 0, np.array([1.0]))
+        assert machine.ledger.messages_sent[0] == 3
+
+
+class TestAllReduceScalar:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 7, 14])
+    def test_sum(self, P):
+        machine = Machine(P)
+        values = [float(p + 1) for p in range(P)]
+        result = all_reduce_scalar(machine, values)
+        assert result == [sum(values)] * P
+
+    def test_custom_op(self):
+        machine = Machine(4)
+        result = all_reduce_scalar(machine, [3.0, 1.0, 4.0, 1.0], op=max)
+        assert result == [4.0] * 4
+
+    def test_scalar_word_cost(self):
+        machine = Machine(8)
+        all_reduce_scalar(machine, [1.0] * 8)
+        # Reduce: 7 one-word messages; broadcast: 7 one-word messages.
+        assert machine.ledger.total_words() == 14
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(MachineError):
+            all_reduce_scalar(Machine(2), [1.0])
+
+
+class TestReduceScatter:
+    from repro.machine.collectives import reduce_scatter  # noqa: F401
+
+    @pytest.mark.parametrize("P", [1, 2, 4, 7])
+    def test_sum_and_placement(self, P):
+        from repro.machine.collectives import reduce_scatter
+
+        length = 2 * P
+        machine = Machine(P)
+        contributions = [
+            np.arange(length, dtype=float) + 100.0 * p for p in range(P)
+        ]
+        total = sum(contributions)
+        slices = reduce_scatter(machine, contributions)
+        for p in range(P):
+            assert np.allclose(slices[p], total[p * 2 : (p + 1) * 2])
+
+    def test_ring_cost(self):
+        from repro.machine.collectives import reduce_scatter
+
+        P, length = 5, 10
+        machine = Machine(P)
+        reduce_scatter(machine, [np.ones(length)] * P)
+        assert machine.ledger.words_sent == [(length // P) * (P - 1)] * P
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_indivisible_length_rejected(self):
+        from repro.machine.collectives import reduce_scatter
+
+        with pytest.raises(MachineError):
+            reduce_scatter(Machine(3), [np.ones(7)] * 3)
+
+    def test_mismatched_shapes_rejected(self):
+        from repro.machine.collectives import reduce_scatter
+
+        with pytest.raises(MachineError):
+            reduce_scatter(Machine(2), [np.ones(4), np.ones(2)])
+
+
+class TestAllReduceVector:
+    @pytest.mark.parametrize("P", [1, 3, 6])
+    def test_everyone_gets_total(self, P):
+        from repro.machine.collectives import all_reduce_vector
+
+        length = 3 * P
+        machine = Machine(P)
+        contributions = [np.full(length, float(p + 1)) for p in range(P)]
+        expected = np.full(length, float(P * (P + 1) // 2))
+        for result in all_reduce_vector(machine, contributions):
+            assert np.allclose(result, expected)
+
+    def test_rabenseifner_cost(self):
+        from repro.machine.collectives import all_reduce_vector
+
+        P, length = 4, 8
+        machine = Machine(P)
+        all_reduce_vector(machine, [np.ones(length)] * P)
+        per_processor = 2 * (length // P) * (P - 1)
+        assert machine.ledger.words_sent == [per_processor] * P

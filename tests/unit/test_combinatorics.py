@@ -1,0 +1,87 @@
+"""Counting formulas from repro.util.combinatorics (paper §3 counts)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.combinatorics import (
+    binomial,
+    falling_factorial,
+    strict_tetrahedral_number,
+    ternary_multiplication_count_naive,
+    ternary_multiplication_count_symmetric,
+    tetrahedral_number,
+    triangular_number,
+)
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(10, 3) == 120
+
+    def test_edge_cases(self):
+        assert binomial(5, 0) == 1
+        assert binomial(5, 5) == 1
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+
+    def test_symmetry(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binomial(n, k) == binomial(n, n - k)
+
+
+class TestFallingFactorial:
+    def test_matches_binomial(self):
+        import math
+
+        for n in range(10):
+            for k in range(n + 1):
+                assert falling_factorial(n, k) == math.factorial(k) * binomial(n, k)
+
+    def test_zero_length(self):
+        assert falling_factorial(7, 0) == 1
+
+
+class TestTetrahedralCounts:
+    def test_triangular(self):
+        assert [triangular_number(n) for n in range(6)] == [0, 1, 3, 6, 10, 15]
+
+    def test_tetrahedral(self):
+        # n(n+1)(n+2)/6 — the lower-tetrahedron entry count (paper §3).
+        assert [tetrahedral_number(n) for n in range(6)] == [0, 1, 4, 10, 20, 35]
+
+    def test_strict_tetrahedral_is_binomial(self):
+        for n in range(20):
+            assert strict_tetrahedral_number(n) == binomial(n, 3)
+
+    def test_direct_enumeration(self):
+        n = 7
+        full = sum(1 for i in range(n) for j in range(i + 1) for k in range(j + 1))
+        strict = sum(1 for i in range(n) for j in range(i) for k in range(j))
+        assert tetrahedral_number(n) == full
+        assert strict_tetrahedral_number(n) == strict
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tetrahedral_number(-1)
+
+
+class TestTernaryCounts:
+    def test_symmetric_formula_matches_enumeration(self):
+        # 3 per strict point + 2 per non-central diagonal + 1 per central.
+        for n in range(1, 15):
+            by_cases = (
+                3 * strict_tetrahedral_number(n) + 2 * n * (n - 1) + n
+            )
+            assert ternary_multiplication_count_symmetric(n) == by_cases
+
+    def test_symmetric_is_about_half_naive(self):
+        n = 100
+        ratio = ternary_multiplication_count_symmetric(
+            n
+        ) / ternary_multiplication_count_naive(n)
+        assert 0.5 <= ratio <= 0.51  # n²(n+1)/2 vs n³
+
+    def test_naive_is_cube(self):
+        assert ternary_multiplication_count_naive(7) == 343

@@ -1,0 +1,186 @@
+"""GF(p^k) field axioms and the subfield embedding used by Theorem 6.5."""
+
+import itertools
+
+import pytest
+
+from repro.errors import FieldError
+from repro.fields.gf import GF
+
+SMALL_ORDERS = [2, 3, 4, 5, 7, 8, 9, 16, 25]
+
+
+@pytest.fixture(scope="module", params=SMALL_ORDERS)
+def field(request):
+    return GF(request.param)
+
+
+class TestConstruction:
+    def test_rejects_non_prime_power(self):
+        for bad in (1, 6, 12, 15):
+            with pytest.raises(FieldError):
+                GF(bad)
+
+    def test_characteristic_and_degree(self):
+        F = GF(27)
+        assert F.characteristic == 3
+        assert F.degree == 3
+        assert F.order == 27
+
+    def test_explicit_modulus(self):
+        F = GF(4, modulus=(1, 1, 1))  # x^2 + x + 1
+        assert F.modulus == (1, 1, 1)
+
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            GF(4, modulus=(1, 0, 1))  # x^2 + 1 = (x+1)^2 over GF(2)
+
+    def test_wrong_degree_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            GF(4, modulus=(1, 1))
+
+
+class TestFieldAxioms:
+    def test_additive_group(self, field):
+        q = field.order
+        for a in range(q):
+            assert field.add(a, 0) == a
+            assert field.add(a, field.neg(a)) == 0
+
+    def test_multiplicative_group(self, field):
+        q = field.order
+        for a in range(1, q):
+            assert field.mul(a, 1) == a
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_commutativity(self, field):
+        q = field.order
+        for a, b in itertools.product(range(min(q, 8)), repeat=2):
+            assert field.add(a, b) == field.add(b, a)
+            assert field.mul(a, b) == field.mul(b, a)
+
+    def test_distributivity(self, field):
+        """Exhaustive for tiny fields, dense random sampling for the rest
+        (full exhaustion of GF(25)³ is needless; properties cover it)."""
+        import random
+
+        q = field.order
+        if q <= 9:
+            triples = itertools.product(range(q), repeat=3)
+        else:
+            rng = random.Random(q)
+            triples = (
+                (rng.randrange(q), rng.randrange(q), rng.randrange(q))
+                for _ in range(2000)
+            )
+        for a, b, c in triples:
+            left = field.mul(a, field.add(b, c))
+            right = field.add(field.mul(a, b), field.mul(a, c))
+            assert left == right
+
+    def test_associativity_sample(self, field):
+        import random
+
+        random.seed(0)
+        q = field.order
+        for _ in range(100):
+            a, b, c = (random.randrange(q) for _ in range(3))
+            assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+            assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+
+    def test_no_zero_divisors(self, field):
+        q = field.order
+        for a in range(1, q):
+            for b in range(1, q):
+                assert field.mul(a, b) != 0
+
+    def test_division_by_zero(self, field):
+        with pytest.raises(FieldError):
+            field.inv(0)
+        with pytest.raises(FieldError):
+            field.div(1, 0)
+
+
+class TestGenerator:
+    def test_generator_order(self, field):
+        q = field.order
+        seen = set()
+        acc = 1
+        for _ in range(q - 1):
+            acc = field.mul(acc, field.generator)
+            seen.add(acc)
+        assert len(seen) == q - 1
+        assert acc == 1
+
+
+class TestPow:
+    def test_fermat_little(self, field):
+        q = field.order
+        for a in range(1, q):
+            assert field.pow(a, q - 1) == 1
+            assert field.pow(a, q) == a
+
+    def test_negative_exponent(self, field):
+        q = field.order
+        for a in range(1, q):
+            assert field.pow(a, -1) == field.inv(a)
+
+    def test_zero_cases(self, field):
+        assert field.pow(0, 0) == 1
+        assert field.pow(0, 5) == 0
+        with pytest.raises(FieldError):
+            field.pow(0, -1)
+
+
+class TestSubfield:
+    def test_subfield_sizes(self):
+        F16 = GF(16)
+        assert len(F16.subfield_codes(2)) == 2
+        assert len(F16.subfield_codes(4)) == 4
+        assert len(F16.subfield_codes(16)) == 16
+
+    def test_subfield_closed_under_arithmetic(self):
+        F9 = GF(9)
+        sub = set(F9.subfield_codes(3))
+        for a in sub:
+            for b in sub:
+                assert F9.add(a, b) in sub
+                assert F9.mul(a, b) in sub
+
+    def test_invalid_subfield(self):
+        with pytest.raises(FieldError):
+            GF(8).subfield_codes(4)  # GF(4) not inside GF(8)
+        with pytest.raises(FieldError):
+            GF(9).subfield_codes(6)
+
+
+class TestElementWrapper:
+    def test_operator_roundtrip(self):
+        F = GF(9)
+        a = F.element(5)
+        b = F.element(7)
+        assert ((a + b) - b) == a
+        assert ((a * b) / b) == a
+        assert (-a + a).is_zero()
+        assert a**0 == F.one()
+
+    def test_int_coercion(self):
+        F = GF(9)
+        a = F.element(4)
+        assert (a + 0) == a
+        assert (a * 1) == a
+        # Integers map through Z -> GF(p), i.e. mod characteristic.
+        assert (F.zero() + 3).is_zero()
+
+    def test_mixing_fields_rejected(self):
+        with pytest.raises(FieldError):
+            GF(4).element(1) + GF(8).element(1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FieldError):
+            GF(4).element(4)
+
+    def test_repr_and_hash(self):
+        F = GF(5)
+        assert repr(F.element(3)) == "GF5(3)"
+        assert len({F.element(1), F.element(1), F.element(2)}) == 2

@@ -1,0 +1,84 @@
+"""Hypergraph adjacency tensors and their STTSV identities."""
+
+import numpy as np
+import pytest
+
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.errors import ConfigurationError
+from repro.tensor.hypergraph import (
+    adjacency_tensor,
+    connected_components,
+    edge_list_from_cliques,
+    random_hypergraph,
+    vertex_degrees,
+)
+
+
+class TestRandomHypergraph:
+    def test_edge_count_and_shape(self):
+        edges = random_hypergraph(10, 15, seed=0)
+        assert len(edges) == 15
+        assert len(set(edges)) == 15
+        for i, j, k in edges:
+            assert 10 > i > j > k >= 0
+
+    def test_deterministic(self):
+        assert random_hypergraph(8, 10, seed=1) == random_hypergraph(8, 10, seed=1)
+
+    def test_too_many_edges(self):
+        with pytest.raises(ConfigurationError):
+            random_hypergraph(4, 5)  # only C(4,3)=4 possible
+
+
+class TestAdjacencyTensor:
+    def test_entries(self):
+        edges = [(3, 1, 0), (4, 2, 1)]
+        tensor = adjacency_tensor(5, edges)
+        assert tensor[3, 1, 0] == 1.0
+        assert tensor[0, 1, 3] == 1.0  # symmetric access
+        assert tensor[2, 1, 0] == 0.0
+        assert tensor[3, 3, 1] == 0.0  # no diagonal entries
+
+    def test_invalid_edge(self):
+        with pytest.raises(ConfigurationError):
+            adjacency_tensor(4, [(2, 2, 0)])
+        with pytest.raises(ConfigurationError):
+            adjacency_tensor(4, [(5, 1, 0)])
+
+    def test_sttsv_ones_gives_double_degrees(self):
+        """(A ×₂ 1 ×₃ 1)_i = 2·deg(i): each incident edge contributes
+        both orderings of its remaining vertex pair."""
+        edges = random_hypergraph(12, 30, seed=2)
+        tensor = adjacency_tensor(12, edges)
+        degrees = vertex_degrees(12, edges)
+        y = sttsv_packed(tensor, np.ones(12))
+        assert np.allclose(y, 2.0 * degrees)
+
+    def test_cubic_form_counts_edges(self):
+        """1ᵀ(A ×₂ 1 ×₃ 1) = 6·|E| (six permutations per edge)."""
+        edges = random_hypergraph(9, 20, seed=3)
+        tensor = adjacency_tensor(9, edges)
+        total = float(np.ones(9) @ sttsv_packed(tensor, np.ones(9)))
+        assert total == pytest.approx(6 * len(edges))
+
+
+class TestCliques:
+    def test_triangle_expansion(self):
+        edges = edge_list_from_cliques(6, [[0, 1, 2, 3]])
+        assert len(edges) == 4  # C(4,3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            edge_list_from_cliques(3, [[0, 1, 5]])
+
+
+class TestComponents:
+    def test_two_cliques_two_components(self):
+        edges = edge_list_from_cliques(8, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        components = connected_components(8, edges)
+        assert sorted(map(len, components)) == [4, 4]
+
+    def test_isolated_vertices(self):
+        components = connected_components(5, [(2, 1, 0)])
+        sizes = sorted(map(len, components))
+        assert sizes == [1, 1, 3]

@@ -1,0 +1,234 @@
+"""Matchings, flows, b-matchings, regular decompositions, Hall checks."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.bmatching import bipartite_b_matching, disjoint_matchings
+from repro.matching.dinic import Dinic
+from repro.matching.edge_coloring import (
+    decompose_regular_bipartite,
+    permutation_rounds,
+)
+from repro.matching.hall import hall_condition_holds, hall_violating_set
+from repro.matching.hopcroft_karp import hopcroft_karp, maximum_matching
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        matching = hopcroft_karp(3, 3, [[0, 1], [1, 2], [0, 2]])
+        assert len(matching) == 3
+        assert len(set(matching.values())) == 3
+
+    def test_matching_edges_exist(self):
+        adjacency = [[0, 1], [1, 2], [0, 2]]
+        matching = hopcroft_karp(3, 3, adjacency)
+        for u, v in matching.items():
+            assert v in adjacency[u]
+
+    def test_maximum_size_deficient(self):
+        # Two left vertices compete for one right vertex.
+        matching = hopcroft_karp(2, 1, [[0], [0]])
+        assert len(matching) == 1
+
+    def test_empty_graph(self):
+        assert hopcroft_karp(3, 3, [[], [], []]) == {}
+
+    def test_against_networkx(self):
+        import networkx as nx
+        import random
+
+        random.seed(7)
+        for trial in range(20):
+            n_left, n_right = random.randint(1, 12), random.randint(1, 12)
+            adjacency = [
+                sorted(random.sample(range(n_right), random.randint(0, n_right)))
+                for _ in range(n_left)
+            ]
+            ours = hopcroft_karp(n_left, n_right, adjacency)
+            graph = nx.Graph()
+            graph.add_nodes_from((("L", u) for u in range(n_left)), bipartite=0)
+            graph.add_nodes_from((("R", v) for v in range(n_right)), bipartite=1)
+            for u, nbrs in enumerate(adjacency):
+                for v in nbrs:
+                    graph.add_edge(("L", u), ("R", v))
+            reference = nx.algorithms.matching.max_weight_matching(
+                graph, maxcardinality=True
+            )
+            assert len(ours) == len(reference)
+
+    def test_edge_list_wrapper(self):
+        matching = maximum_matching(2, 2, [(0, 0), (1, 1)])
+        assert matching == {0: 0, 1: 1}
+
+    def test_wrapper_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            maximum_matching(2, 2, [(0, 5)])
+
+    def test_adjacency_row_count_checked(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(3, 3, [[0]])
+
+
+class TestDinic:
+    def test_simple_network(self):
+        solver = Dinic(4)
+        solver.add_edge(0, 1, 2)
+        solver.add_edge(1, 2, 1)
+        solver.add_edge(1, 3, 1)
+        solver.add_edge(2, 3, 2)
+        assert solver.max_flow(0, 3) == 2
+
+    def test_classic_diamond(self):
+        solver = Dinic(6)
+        solver.add_edge(0, 1, 10)
+        solver.add_edge(0, 2, 10)
+        solver.add_edge(1, 3, 4)
+        solver.add_edge(1, 4, 8)
+        solver.add_edge(2, 4, 9)
+        solver.add_edge(3, 5, 10)
+        solver.add_edge(4, 5, 10)
+        assert solver.max_flow(0, 5) == 4 + 10  # bottlenecks
+
+    def test_disconnected(self):
+        solver = Dinic(4)
+        solver.add_edge(0, 1, 5)
+        assert solver.max_flow(0, 3) == 0
+
+    def test_flow_on_edges_conserves(self):
+        solver = Dinic(4)
+        e1 = solver.add_edge(0, 1, 3)
+        e2 = solver.add_edge(1, 2, 2)
+        e3 = solver.add_edge(2, 3, 5)
+        total = solver.max_flow(0, 3)
+        assert total == 2
+        assert solver.flow_on(e1) == solver.flow_on(e2) == solver.flow_on(e3) == 2
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic(2).max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic(2).add_edge(0, 1, -1)
+
+    def test_against_networkx(self):
+        import networkx as nx
+        import random
+
+        random.seed(3)
+        for trial in range(15):
+            n = random.randint(4, 10)
+            edges = []
+            for _ in range(random.randint(5, 25)):
+                u, v = random.sample(range(n), 2)
+                edges.append((u, v, random.randint(1, 9)))
+            solver = Dinic(n)
+            graph = nx.DiGraph()
+            for u, v, c in edges:
+                solver.add_edge(u, v, c)
+                if graph.has_edge(u, v):
+                    graph[u][v]["capacity"] += c
+                else:
+                    graph.add_edge(u, v, capacity=c)
+            graph.add_nodes_from(range(n))
+            expected = nx.maximum_flow_value(graph, 0, n - 1)
+            assert solver.max_flow(0, n - 1) == expected
+
+
+class TestBMatching:
+    def test_each_left_gets_demand(self):
+        result = bipartite_b_matching(3, 9, [list(range(9))] * 3, 3)
+        used = [v for row in result for v in row]
+        assert len(used) == 9
+        assert len(set(used)) == 9
+        assert all(len(row) == 3 for row in result)
+
+    def test_respects_adjacency(self):
+        adjacency = [[0, 1], [2, 3]]
+        result = bipartite_b_matching(2, 4, adjacency, 2)
+        assert set(result[0]) == {0, 1}
+        assert set(result[1]) == {2, 3}
+
+    def test_infeasible_raises(self):
+        with pytest.raises(MatchingError):
+            bipartite_b_matching(2, 2, [[0], [0]], 1)  # both need the same right
+
+    def test_zero_demand(self):
+        result = bipartite_b_matching(2, 2, [[0], [1]], 0)
+        assert result == [[], []]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MatchingError):
+            bipartite_b_matching(1, 1, [[3]], 1)
+
+
+class TestDisjointMatchings:
+    def test_regular_graph_peeling(self):
+        # K_{3,3} is 3-regular: three disjoint perfect matchings exist.
+        rounds = disjoint_matchings(3, 3, [[0, 1, 2]] * 3, 3)
+        assert len(rounds) == 3
+        seen_edges = set()
+        for matching in rounds:
+            assert len(matching) == 3
+            for edge in matching.items():
+                assert edge not in seen_edges
+                seen_edges.add(edge)
+
+    def test_failure_when_too_many_requested(self):
+        with pytest.raises(MatchingError):
+            disjoint_matchings(2, 2, [[0], [1]], 2)
+
+
+class TestEdgeColoring:
+    def test_regular_decomposition_covers_all_edges(self):
+        adjacency = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+        matchings = decompose_regular_bipartite(3, adjacency)
+        assert len(matchings) == 3
+        edges = sorted((u, v) for m in matchings for u, v in m.items())
+        assert edges == sorted((u, v) for u in range(3) for v in range(3))
+
+    def test_multigraph_parallel_edges(self):
+        # 2-regular multigraph with a doubled edge.
+        adjacency = [[1, 1], [0, 0]]
+        matchings = decompose_regular_bipartite(2, adjacency)
+        assert len(matchings) == 2
+        for matching in matchings:
+            assert matching == {0: 1, 1: 0}
+
+    def test_irregular_rejected(self):
+        with pytest.raises(MatchingError):
+            decompose_regular_bipartite(2, [[0, 1], [0]])
+        with pytest.raises(MatchingError):
+            decompose_regular_bipartite(2, [[0], [0]])  # right degrees 2, 0
+
+    def test_permutation_rounds_ring(self):
+        exchanges = [(i, (i + 1) % 5) for i in range(5)] + [
+            (i, (i - 1) % 5) for i in range(5)
+        ]
+        rounds = permutation_rounds(5, exchanges)
+        assert len(rounds) == 2
+        delivered = sorted((s, d) for r in rounds for s, d in r.items())
+        assert delivered == sorted(exchanges)
+        for round_map in rounds:
+            assert sorted(round_map) == list(range(5))
+            assert sorted(round_map.values()) == list(range(5))
+
+    def test_self_exchange_rejected(self):
+        with pytest.raises(MatchingError):
+            permutation_rounds(3, [(0, 0)])
+
+
+class TestHall:
+    def test_condition_holds(self):
+        assert hall_condition_holds(2, 2, [[0, 1], [0, 1]])
+        assert hall_violating_set(2, 2, [[0, 1], [0, 1]]) is None
+
+    def test_violation_witness(self):
+        adjacency = [[0], [0], [0, 1]]
+        assert not hall_condition_holds(3, 2, adjacency)
+        witness = hall_violating_set(3, 2, adjacency)
+        assert witness is not None
+        neighborhood = set()
+        for u in witness:
+            neighborhood.update(adjacency[u])
+        assert len(neighborhood) < len(witness)

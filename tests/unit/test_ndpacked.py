@@ -1,0 +1,121 @@
+"""d-dimensional packed symmetric storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.ndpacked import (
+    NdPackedSymmetricTensor,
+    nd_canonical,
+    nd_multiplicity,
+    nd_packed_index,
+    nd_packed_size,
+    nd_random_symmetric,
+    nd_unpacked,
+)
+
+
+class TestIndexing:
+    def test_size_formula(self):
+        # C(n+d-1, d): multisets of size d from n symbols.
+        assert nd_packed_size(4, 1) == 4
+        assert nd_packed_size(4, 2) == 10
+        assert nd_packed_size(4, 3) == 20
+        assert nd_packed_size(4, 4) == 35
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_bijection(self, d):
+        n = 6
+        seen = set()
+        from itertools import combinations_with_replacement
+
+        for combo in combinations_with_replacement(range(n), d):
+            offset = nd_packed_index(tuple(reversed(combo)))
+            assert 0 <= offset < nd_packed_size(n, d)
+            seen.add(offset)
+        assert len(seen) == nd_packed_size(n, d)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_inverse(self, d):
+        for offset in range(nd_packed_size(5, d)):
+            assert nd_packed_index(nd_unpacked(offset, d)) == offset
+
+    def test_d3_matches_3d_module(self):
+        from repro.tensor.packed import packed_index
+
+        for i in range(6):
+            for j in range(i + 1):
+                for k in range(j + 1):
+                    assert nd_packed_index((i, j, k)) == packed_index(i, j, k)
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nd_packed_index((1, 2))
+        with pytest.raises(ConfigurationError):
+            nd_packed_index((2, -1))
+
+    def test_canonicalize(self):
+        assert nd_canonical((1, 5, 3, 5)) == (5, 5, 3, 1)
+
+
+class TestMultiplicity:
+    def test_values(self):
+        assert nd_multiplicity((3, 2, 1)) == 6
+        assert nd_multiplicity((2, 2, 1)) == 3
+        assert nd_multiplicity((1, 1, 1, 1)) == 1
+        assert nd_multiplicity((4, 3, 2, 1)) == 24
+        assert nd_multiplicity((2, 2, 1, 1)) == 6
+
+    def test_sum_over_multisets_is_cube(self):
+        """Σ multiplicities over canonical multisets = n^d."""
+        from itertools import combinations_with_replacement
+
+        n, d = 5, 4
+        total = sum(
+            nd_multiplicity(tuple(reversed(c)))
+            for c in combinations_with_replacement(range(n), d)
+        )
+        assert total == n**d
+
+
+class TestTensor:
+    def test_symmetric_access(self):
+        t = NdPackedSymmetricTensor(5, 4)
+        t[4, 2, 0, 2] = 9.0
+        assert t[2, 4, 2, 0] == 9.0
+        assert t[0, 2, 2, 4] == 9.0
+
+    def test_wrong_arity(self):
+        t = NdPackedSymmetricTensor(4, 3)
+        with pytest.raises(ConfigurationError):
+            t[1, 2]
+
+    def test_out_of_range(self):
+        t = NdPackedSymmetricTensor(3, 2)
+        with pytest.raises(ConfigurationError):
+            t[3, 0]
+
+    def test_dense_roundtrip(self):
+        t = nd_random_symmetric(4, 4, seed=0)
+        dense = t.to_dense()
+        back = NdPackedSymmetricTensor.from_dense(dense)
+        assert np.allclose(back.data, t.data)
+
+    def test_from_dense_rejects_asymmetric(self):
+        cube = np.arange(16, dtype=float).reshape(4, 4)
+        with pytest.raises(ConfigurationError):
+            NdPackedSymmetricTensor.from_dense(cube)
+
+    def test_index_arrays_alignment(self):
+        t = NdPackedSymmetricTensor(4, 3)
+        arrays = t.index_arrays()
+        for offset in range(arrays.shape[0]):
+            assert nd_packed_index(tuple(arrays[offset])) == offset
+
+    def test_canonical_entries_cover_all(self):
+        t = nd_random_symmetric(4, 3, seed=1)
+        entries = list(t.canonical_entries())
+        assert len(entries) == nd_packed_size(4, 3)
+        for canonical, value in entries:
+            assert all(a >= b for a, b in zip(canonical, canonical[1:]))
+            assert t[canonical] == value

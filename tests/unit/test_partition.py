@@ -1,0 +1,211 @@
+"""TetrahedralPartition invariants (paper §6)."""
+
+import pytest
+
+from repro.core.partition import TetrahedralPartition
+from repro.errors import PartitionError
+from repro.tensor.blocks import BlockKind, classify_block
+from repro.util.combinatorics import tetrahedral_number
+
+
+class TestAssignmentShapes:
+    def test_q3_shapes_match_table1(self, partition_q3):
+        """Paper Table 1: P=30, |R_p|=4, |N_p|=3, |D_p|<=1, 10 central
+        blocks assigned total."""
+        part = partition_q3
+        assert part.P == 30 and part.m == 10 and part.r == 4
+        assert all(len(r) == 4 for r in part.R)
+        assert all(len(nn) == 3 for nn in part.N)
+        assert all(len(dd) <= 1 for dd in part.D)
+        assert sum(len(dd) for dd in part.D) == 10
+
+    def test_sqs8_shapes_match_table3(self, partition_sqs8):
+        """Paper Table 3: P=14, |R_p|=4, |N_p|=4, 8 central blocks."""
+        part = partition_sqs8
+        assert part.P == 14 and part.m == 8
+        assert all(len(nn) == 4 for nn in part.N)
+        assert sum(len(dd) for dd in part.D) == 8
+
+    def test_q2_shapes(self, partition_q2):
+        part = partition_q2
+        assert part.P == 10 and part.m == 5 and part.r == 3
+        assert part.non_central_per_processor == 2  # q
+
+
+class TestCoverage:
+    @pytest.mark.parametrize(
+        "fixture", ["partition_q2", "partition_q3", "partition_sqs8"]
+    )
+    def test_every_block_owned_exactly_once(self, fixture, request):
+        part = request.getfixturevalue(fixture)
+        owner = part.owner_of_block()
+        assert len(owner) == tetrahedral_number(part.m)
+
+    @pytest.mark.parametrize(
+        "fixture", ["partition_q2", "partition_q3", "partition_sqs8"]
+    )
+    def test_block_kind_totals(self, fixture, request):
+        part = request.getfixturevalue(fixture)
+        owner = part.owner_of_block()
+        kinds = {}
+        for block in owner:
+            kind = classify_block(block)
+            kinds[kind] = kinds.get(kind, 0) + 1
+        m = part.m
+        assert kinds[BlockKind.OFF_DIAGONAL] == m * (m - 1) * (m - 2) // 6
+        assert kinds[BlockKind.NON_CENTRAL_DIAGONAL] == m * (m - 1)
+        assert kinds[BlockKind.CENTRAL_DIAGONAL] == m
+
+
+class TestCompatibility:
+    """N_p and D_p must need no vector rows beyond R_p (§6.1.3)."""
+
+    @pytest.mark.parametrize(
+        "fixture", ["partition_q2", "partition_q3", "partition_sqs8"]
+    )
+    def test_diagonal_blocks_within_rp(self, fixture, request):
+        part = request.getfixturevalue(fixture)
+        for p in range(part.P):
+            members = set(part.R[p])
+            for block in list(part.N[p]) + list(part.D[p]):
+                assert set(block) <= members
+
+
+class TestRowBlockSets:
+    def test_q_sizes(self, partition_q3):
+        # |Q_i| = q(q+1) = 12 for q=3 (paper Table 2).
+        assert all(len(qq) == 12 for qq in partition_q3.Q)
+
+    def test_q_membership_consistency(self, partition_q3):
+        part = partition_q3
+        for i in range(part.m):
+            for p in part.Q[i]:
+                assert i in part.R[p]
+        for p in range(part.P):
+            for i in part.R[p]:
+                assert p in part.Q[i]
+
+
+class TestSharding:
+    def test_shard_size(self, partition_q3):
+        assert partition_q3.shard_size(12) == 1
+        assert partition_q3.shard_size(24) == 2
+
+    def test_shard_size_rejects_indivisible(self, partition_q3):
+        with pytest.raises(PartitionError):
+            partition_q3.shard_size(10)
+
+    def test_vector_elements_is_n_over_p(self, partition_q3):
+        b = 12
+        n = partition_q3.m * b  # 120
+        assert partition_q3.vector_elements_per_processor(b) == n // partition_q3.P
+
+    def test_shard_owner_position(self, partition_q3):
+        part = partition_q3
+        p = part.Q[0][3]
+        assert part.shard_owner_position(0, p) == 3
+        outsider = next(
+            proc for proc in range(part.P) if proc not in part.Q[0]
+        )
+        with pytest.raises(PartitionError):
+            part.shard_owner_position(0, outsider)
+
+
+class TestAccounting:
+    def test_storage_words_leading_term(self, partition_q3):
+        """§6.1.3: per-processor storage ≈ n³/(6P)."""
+        b = 12
+        n = partition_q3.m * b
+        expected_leading = n**3 / (6 * partition_q3.P)
+        for p in range(partition_q3.P):
+            words = partition_q3.storage_words(p, b)
+            assert words == pytest.approx(expected_leading, rel=0.25)
+
+    def test_storage_exact_formula(self, partition_q3):
+        """(q+1)q(q-1)/6 · b³ + q · b²(b+1)/2 + |D_p| · b(b+1)(b+2)/6."""
+        q, b = 3, 12
+        for p in range(partition_q3.P):
+            has_central = len(partition_q3.D[p])
+            expected = (
+                (q + 1) * q * (q - 1) // 6 * b**3
+                + q * b * b * (b + 1) // 2
+                + has_central * b * (b + 1) * (b + 2) // 6
+            )
+            assert partition_q3.storage_words(p, b) == expected
+
+    def test_ternary_multiplications_sum(self, partition_q2):
+        """Total over processors equals Algorithm 4's count for n = m·b."""
+        from repro.util.combinatorics import (
+            ternary_multiplication_count_symmetric,
+        )
+
+        b = 6
+        total = sum(
+            partition_q2.ternary_multiplications(p, b)
+            for p in range(partition_q2.P)
+        )
+        assert total == ternary_multiplication_count_symmetric(
+            partition_q2.m * b
+        )
+
+    def test_load_balance(self, partition_q3):
+        """§7.1: imbalance only from the optional central block — small."""
+        b = 12
+        loads = [
+            partition_q3.ternary_multiplications(p, b)
+            for p in range(partition_q3.P)
+        ]
+        # The only imbalance source is the optional central diagonal
+        # block: b(b+1)(b+2)/6 + lower-order, ~3% of the per-processor
+        # load at b = 12 and shrinking as O(1/q³) (§7.1).
+        spread = (max(loads) - min(loads)) / max(loads)
+        assert spread < 0.05
+
+    def test_shared_row_blocks_at_most_two(self, partition_q3):
+        part = partition_q3
+        for p in range(part.P):
+            for p2 in range(p):
+                assert len(part.shared_row_blocks(p, p2)) <= 2
+
+
+class TestValidateCatchesCorruption:
+    def test_validate_rejects_tampered_n(self, steiner_q2):
+        part = TetrahedralPartition(steiner_q2)
+        # Give processor 0 a diagonal block outside its R set.
+        bad = list(part.N)
+        outside = next(
+            i for i in range(part.m) if i not in part.R[0]
+        )
+        bad[0] = ((outside, outside, 0),) + bad[0][1:]
+        part.N = tuple(bad)
+        with pytest.raises(PartitionError):
+            part.validate()
+
+
+class TestUnsupportedSystems:
+    def test_sqs16_rejected_with_clear_message(self):
+        """SQS(16): r(r-1)(r-2)/(m-2) = 24/14 is not an integer, so the
+        §6.1.3 equal non-central assignment does not exist."""
+        from repro.steiner import boolean_steiner_system
+
+        with pytest.raises(PartitionError, match="not an integer"):
+            TetrahedralPartition(boolean_steiner_system(4))
+
+    def test_sqs4_rejected_central_blocks_exceed_processors(self):
+        from repro.steiner import boolean_steiner_system
+
+        with pytest.raises(PartitionError, match="m <= P"):
+            TetrahedralPartition(boolean_steiner_system(2))
+
+
+class TestAlphaThreeSystems:
+    def test_s933_rejected_for_partition(self):
+        """Spherical α=3 with q=2 gives S(9,3,3) (every triple a block):
+        r(r-1)(r-2) = 6 is not divisible by m-2 = 7, so the §6.1.3
+        equal non-central split does not exist — the paper's partition
+        machinery is specific to α = 2."""
+        from repro.steiner import spherical_steiner_system
+
+        system = spherical_steiner_system(2, alpha=3)
+        with pytest.raises(PartitionError, match="not an integer"):
+            TetrahedralPartition(system)

@@ -1,0 +1,117 @@
+"""Polynomial arithmetic over GF(p)."""
+
+import pytest
+
+from repro.errors import FieldError
+from repro.fields import polynomials as poly
+
+
+class TestNormalize:
+    def test_strips_trailing_zeros(self):
+        assert poly.normalize([1, 2, 0, 0], 5) == (1, 2)
+
+    def test_reduces_mod_p(self):
+        assert poly.normalize([7, 5, 3], 5) == (2, 0, 3)
+
+    def test_zero_polynomial(self):
+        assert poly.normalize([0, 0], 3) == ()
+        assert poly.degree(()) == -1
+
+
+class TestArithmetic:
+    def test_add_cancellation(self):
+        # (x + 1) + (2x + 2) over GF(3) = 3x + 3 = 0
+        assert poly.add((1, 1), (2, 2), 3) == ()
+
+    def test_subtract_self(self):
+        assert poly.subtract((1, 4, 2), (1, 4, 2), 5) == ()
+
+    def test_multiply_known(self):
+        # (x + 1)^2 = x^2 + 2x + 1 over GF(5)
+        assert poly.multiply((1, 1), (1, 1), 5) == (1, 2, 1)
+
+    def test_multiply_over_gf2(self):
+        # (x + 1)^2 = x^2 + 1 over GF(2) (freshman's dream)
+        assert poly.multiply((1, 1), (1, 1), 2) == (1, 0, 1)
+
+    def test_multiply_by_zero(self):
+        assert poly.multiply((), (1, 2), 7) == ()
+
+
+class TestDivision:
+    def test_exact_division(self):
+        p = 7
+        a = poly.multiply((2, 1), (3, 0, 1), p)
+        quotient, remainder = poly.divmod_poly(a, (2, 1), p)
+        assert remainder == ()
+        assert quotient == (3, 0, 1)
+
+    def test_remainder(self):
+        # x^2 mod (x + 1) over GF(5): x^2 = (x-1)(x+1) + 1
+        quotient, remainder = poly.divmod_poly((0, 0, 1), (1, 1), 5)
+        assert remainder == (1,)
+
+    def test_division_by_zero(self):
+        with pytest.raises(FieldError):
+            poly.divmod_poly((1, 1), (), 3)
+
+    def test_divmod_identity(self):
+        import random
+
+        random.seed(1)
+        p = 5
+        for _ in range(50):
+            a = poly.normalize([random.randrange(p) for _ in range(6)], p)
+            b = poly.normalize([random.randrange(p) for _ in range(3)], p)
+            if not b:
+                continue
+            q, r = poly.divmod_poly(a, b, p)
+            recomposed = poly.add(poly.multiply(q, b, p), r, p)
+            assert recomposed == a
+            assert poly.degree(r) < poly.degree(b)
+
+
+class TestPowMod:
+    def test_fermat(self):
+        # x^(p^k) == x mod f for irreducible f of degree k.
+        f = poly.find_irreducible(3, 2)
+        assert poly.pow_mod((0, 1), 9, f, 3) == (0, 1)
+
+    def test_zero_exponent(self):
+        assert poly.pow_mod((0, 1), 0, (1, 0, 1), 2) == (1,)
+
+
+class TestGcd:
+    def test_common_factor(self):
+        p = 5
+        common = (1, 1)
+        a = poly.multiply(common, (2, 0, 1), p)
+        b = poly.multiply(common, (3, 1), p)
+        g = poly.gcd(a, b, p)
+        assert g == (1, 1)  # monic
+
+    def test_coprime(self):
+        assert poly.gcd((1, 1), (2, 1), 5) == (1,)
+
+
+class TestIrreducibility:
+    def test_known_irreducible_gf2(self):
+        assert poly.is_irreducible((1, 1, 1), 2)  # x^2 + x + 1
+        assert poly.is_irreducible((1, 1, 0, 1), 2)  # x^3 + x + 1
+
+    def test_known_reducible(self):
+        assert not poly.is_irreducible((1, 0, 1), 2)  # x^2+1 = (x+1)^2
+        assert not poly.is_irreducible((0, 0, 1), 3)  # x^2
+
+    def test_find_irreducible_has_right_degree(self):
+        for p, k in [(2, 1), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)]:
+            f = poly.find_irreducible(p, k)
+            assert poly.degree(f) == k
+            assert poly.is_irreducible(f, p)
+
+    def test_find_irreducible_rejects_composite_modulus(self):
+        with pytest.raises(FieldError):
+            poly.find_irreducible(4, 2)
+
+    def test_degree_one_always_irreducible(self):
+        assert poly.is_irreducible((3, 1), 5)

@@ -1,0 +1,86 @@
+"""Primality / prime-power recognition used by the q-parameter checks."""
+
+import pytest
+
+from repro.fields.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    next_prime_power,
+    prime_power_decomposition,
+    prime_powers_up_to,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+        for n in range(45):
+            assert is_prime(n) == (n in primes)
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(carmichael)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 - 1)
+
+    def test_square_of_prime(self):
+        assert not is_prime(49)
+        assert not is_prime(10403)  # 101 * 103
+
+
+class TestPrimePowerDecomposition:
+    def test_known_decompositions(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(25) == (5, 2)
+        assert prime_power_decomposition(7) == (7, 1)
+        assert prime_power_decomposition(1024) == (2, 10)
+
+    def test_non_prime_powers(self):
+        for n in (1, 6, 12, 100, 1000):
+            assert prime_power_decomposition(n) is None
+
+    def test_roundtrip(self):
+        for n in range(2, 300):
+            decomposition = prime_power_decomposition(n)
+            if decomposition is not None:
+                p, k = decomposition
+                assert p**k == n
+                assert is_prime(p)
+
+
+class TestIsPrimePower:
+    def test_enumeration_matches(self):
+        expected = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32]
+        assert prime_powers_up_to(32) == expected
+        for n in range(2, 33):
+            assert is_prime_power(n) == (n in expected)
+
+
+class TestNextPrimePower:
+    def test_values(self):
+        assert next_prime_power(2) == 2
+        assert next_prime_power(6) == 7
+        assert next_prime_power(10) == 11
+        assert next_prime_power(26) == 27
+
+    def test_from_one(self):
+        assert next_prime_power(1) == 2
+
+
+class TestFactorize:
+    def test_known(self):
+        assert factorize(12) == [(2, 2), (3, 1)]
+        assert factorize(97) == [(97, 1)]
+        assert factorize(1) == []
+        assert factorize(360) == [(2, 3), (3, 2), (5, 1)]
+
+    def test_reconstruction(self):
+        for n in range(1, 200):
+            product = 1
+            for p, e in factorize(n):
+                product *= p**e
+            assert product == n

@@ -1,0 +1,151 @@
+"""PG(1, q) and Möbius transformations (sharp 3-transitivity)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import FieldError
+from repro.fields.gf import GF
+from repro.projective.line import ProjectiveLine
+from repro.projective.moebius import MoebiusMap, pgl2_generators
+
+
+@pytest.fixture(scope="module", params=[2, 3, 4, 5, 9])
+def line(request):
+    return ProjectiveLine(GF(request.param))
+
+
+class TestProjectiveLine:
+    def test_point_count(self, line):
+        assert line.size() == line.order + 1
+        assert len(line.points()) == line.size()
+
+    def test_infinity(self, line):
+        inf = line.infinity()
+        assert line.is_infinity(inf)
+        assert not line.is_infinity(0)
+        assert line.contains(inf)
+        assert not line.contains(inf + 1)
+
+    def test_homogeneous_roundtrip(self, line):
+        for code in line.points():
+            x, y = line.to_homogeneous(code)
+            assert line.from_homogeneous(x, y) == code
+
+    def test_homogeneous_scaling_invariance(self, line):
+        field = line.field
+        for code in line.points():
+            x, y = line.to_homogeneous(code)
+            for scale in range(1, min(line.order, 5)):
+                assert (
+                    line.from_homogeneous(field.mul(x, scale), field.mul(y, scale))
+                    == code
+                )
+
+    def test_zero_zero_rejected(self, line):
+        with pytest.raises(FieldError):
+            line.from_homogeneous(0, 0)
+
+    def test_subline(self):
+        big = ProjectiveLine(GF(9))
+        sub = big.subline(3)
+        assert len(sub) == 4  # 3 + infinity
+        assert big.infinity() in sub
+
+
+class TestMoebiusBasics:
+    def test_identity(self, line):
+        ident = MoebiusMap.identity(line)
+        for code in line.points():
+            assert ident(code) == code
+
+    def test_translation(self, line):
+        t = MoebiusMap.translation(line, 1)
+        assert t(line.infinity()) == line.infinity()
+        assert t(0) == 1
+
+    def test_inversion_swaps_zero_infinity(self, line):
+        inv = MoebiusMap.inversion(line)
+        assert inv(0) == line.infinity()
+        assert inv(line.infinity()) == 0
+
+    def test_singular_matrix_rejected(self, line):
+        with pytest.raises(FieldError):
+            MoebiusMap(line, 1, 1, 1, 1)
+
+    def test_maps_are_bijections(self, line):
+        for gen in pgl2_generators(line):
+            images = {gen(code) for code in line.points()}
+            assert images == set(line.points())
+
+
+class TestGroupStructure:
+    def test_inverse(self, line):
+        for gen in pgl2_generators(line):
+            composed = gen.compose(gen.inverse())
+            for code in line.points():
+                assert composed(code) == code
+
+    def test_composition_action(self, line):
+        gens = pgl2_generators(line)
+        f, g = gens[0], gens[-1]
+        fg = f.compose(g)
+        for code in line.points():
+            assert fg(code) == f(g(code))
+
+    def test_projective_equality(self, line):
+        # Scalar multiples of the matrix give the same map.
+        field = line.field
+        if line.order < 3:
+            pytest.skip("needs a scalar != 1")
+        s = 2 % field.order or 1
+        a = MoebiusMap(line, 1, 1, 0, 1)
+        b = MoebiusMap(line, field.mul(s, 1), field.mul(s, 1), 0, field.mul(s, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSharpTransitivity:
+    def test_from_triples_hits_target(self, line):
+        pts = line.points()
+        source = (pts[0], pts[1], pts[-1])
+        count = 0
+        for target in itertools.permutations(pts[: min(len(pts), 5)], 3):
+            mapping = MoebiusMap.from_triples(line, source, target)
+            assert mapping(source[0]) == target[0]
+            assert mapping(source[1]) == target[1]
+            assert mapping(source[2]) == target[2]
+            count += 1
+        assert count > 0
+
+    def test_sharpness_small(self):
+        """Exactly one map per ordered triple pair: group order equals
+        (q+1)q(q-1)."""
+        line = ProjectiveLine(GF(3))
+        pts = line.points()
+        maps = set()
+        source = (0, 1, line.infinity())
+        for target in itertools.permutations(pts, 3):
+            maps.add(MoebiusMap.from_triples(line, source, target))
+        assert len(maps) == (line.order + 1) * line.order * (line.order - 1)
+
+    def test_repeated_points_rejected(self, line):
+        with pytest.raises(FieldError):
+            MoebiusMap.from_triples(line, (0, 0, 1), (0, 1, 2))
+
+
+class TestGenerators:
+    def test_generate_whole_group_q3(self):
+        """BFS closure of the generators has the full PGL2(q) size."""
+        line = ProjectiveLine(GF(3))
+        gens = pgl2_generators(line)
+        seen = {MoebiusMap.identity(line)}
+        frontier = [MoebiusMap.identity(line)]
+        while frontier:
+            current = frontier.pop()
+            for g in gens:
+                nxt = g.compose(current)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert len(seen) == 4 * 3 * 2  # |PGL2(3)| = 24

@@ -1,0 +1,54 @@
+"""Random-assignment accounting model (Steiner-structure ablation)."""
+
+import pytest
+
+from repro.core.bounds import optimal_bandwidth_cost
+from repro.core.random_assignment import (
+    random_assignment_cost,
+    steiner_assignment_cost,
+    structure_advantage,
+)
+
+
+class TestSteinerAccounting:
+    @pytest.mark.parametrize("q,fixture", [(2, "partition_q2"), (3, "partition_q3")])
+    def test_reproduces_closed_form(self, q, fixture, request):
+        """The accounting model applied to R_p sets yields exactly the
+        §7.2.2 optimal cost — independent validation of the formula."""
+        partition = request.getfixturevalue(fixture)
+        b = partition.steiner.point_replication()
+        cost = steiner_assignment_cost(partition, b)
+        n = partition.m * b
+        assert cost.words_per_processor == pytest.approx(
+            optimal_bandwidth_cost(n, q)
+        )
+        assert cost.max_row_blocks_needed == partition.r
+
+
+class TestRandomAccounting:
+    def test_deterministic_under_seed(self, partition_q3):
+        a = random_assignment_cost(10, 30, 12, seed=1)
+        b = random_assignment_cost(10, 30, 12, seed=1)
+        assert a == b
+
+    def test_needs_grow_without_structure(self, partition_q3):
+        cost = random_assignment_cost(10, 30, 12, seed=2)
+        # 8 blocks of 3 indices each, unstructured: expect nearly all 10.
+        assert cost.max_row_blocks_needed >= 8
+        assert cost.mean_row_blocks_needed > partition_q3.r
+
+    def test_random_never_beats_steiner(self, partition_q2, partition_q3):
+        for partition in (partition_q2, partition_q3):
+            b = partition.steiner.point_replication()
+            for seed in range(5):
+                _, _, ratio = structure_advantage(partition, b, seed=seed)
+                assert ratio > 1.0
+
+    def test_advantage_grows_with_q(self, partition_q2, partition_q3):
+        _, _, ratio2 = structure_advantage(
+            partition_q2, partition_q2.steiner.point_replication(), seed=0
+        )
+        _, _, ratio3 = structure_advantage(
+            partition_q3, partition_q3.steiner.point_replication(), seed=0
+        )
+        assert ratio3 > ratio2

@@ -1,0 +1,70 @@
+"""Table and schedule renderers."""
+
+from repro.core.schedule import build_exchange_schedule
+from repro.reporting.tables import (
+    format_block,
+    format_set,
+    render_processor_table,
+    render_row_block_table,
+    render_schedule,
+    summary_statistics,
+)
+
+
+class TestFormatting:
+    def test_format_block_one_based(self):
+        assert format_block((5, 3, 0)) == "(6,4,1)"
+
+    def test_format_set_sorted_one_based(self):
+        assert format_set([9, 0, 3]) == "{1,4,10}"
+
+
+class TestProcessorTable:
+    def test_row_count_and_header(self, partition_sqs8):
+        table = render_processor_table(partition_sqs8)
+        lines = table.splitlines()
+        assert len(lines) == 2 + 14
+        assert "R_p" in lines[0] and "N_p" in lines[0] and "D_p" in lines[0]
+
+    def test_rows_reflect_partition(self, partition_sqs8):
+        table = render_processor_table(partition_sqs8)
+        first_row = table.splitlines()[2]
+        assert first_row.startswith("  1 |")
+        expected_r = format_set(partition_sqs8.R[0])
+        assert expected_r in first_row
+
+
+class TestRowBlockTable:
+    def test_shape(self, partition_sqs8):
+        table = render_row_block_table(partition_sqs8)
+        lines = table.splitlines()
+        assert len(lines) == 2 + 8
+        assert format_set(partition_sqs8.Q[0]) in lines[2]
+
+
+class TestScheduleRendering:
+    def test_step_lines(self, partition_sqs8):
+        schedule = build_exchange_schedule(partition_sqs8)
+        text = render_schedule(schedule)
+        lines = text.splitlines()
+        assert len(lines) == schedule.step_count
+        # Every line names every processor as a sender exactly once.
+        for line in lines:
+            arrows = line.split(":", 1)[1].split(",")
+            assert len(arrows) == 14
+
+
+class TestSummaryStatistics:
+    def test_q2(self, partition_q2):
+        stats = summary_statistics(partition_q2)
+        assert stats["P"] == 10
+        assert stats["m"] == 5
+        assert stats["r"] == 3
+        assert stats["N_size"] == 2
+        assert stats["Q_size"] == 6
+
+    def test_nonuniform_marker(self, partition_q3):
+        """If a size set were non-uniform the summary returns -1; our
+        partitions are uniform so all sizes are concrete."""
+        stats = summary_statistics(partition_q3)
+        assert -1 not in (stats["R_size"], stats["N_size"], stats["Q_size"])

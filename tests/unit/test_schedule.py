@@ -1,0 +1,93 @@
+"""Exchange schedules (paper §7.2.2, Figure 1)."""
+
+import pytest
+
+from repro.core.bounds import schedule_step_count
+from repro.core.schedule import build_exchange_schedule, exchange_degrees
+
+
+class TestExchangeDegrees:
+    def test_q3_matches_paper(self, partition_q3):
+        """§7.2.2 for q=3: 18 two-block neighbors (q²(q+1)/2), 8
+        one-block (q²−1), 26 steps (q³/2 + 3q²/2 − 1)."""
+        degrees = exchange_degrees(partition_q3)
+        assert degrees.two_block == 18
+        assert degrees.one_block == 8
+        assert degrees.total == 26 == schedule_step_count(3)
+
+    def test_q2(self, partition_q2):
+        degrees = exchange_degrees(partition_q2)
+        assert degrees.total == schedule_step_count(2) == 9
+
+    def test_sqs8_matches_figure1(self, partition_sqs8):
+        """Appendix A: 12 steps, strictly fewer than P − 1 = 13."""
+        degrees = exchange_degrees(partition_sqs8)
+        assert degrees.total == 12
+        assert degrees.total < partition_sqs8.P - 1
+        # For SQS(8) every neighbor pair shares exactly 2 row blocks.
+        assert degrees.one_block == 0
+        assert degrees.two_block == 12
+
+
+class TestBuiltSchedule:
+    @pytest.mark.parametrize(
+        "fixture", ["partition_q2", "partition_q3", "partition_sqs8"]
+    )
+    def test_rounds_are_full_permutations(self, fixture, request):
+        part = request.getfixturevalue(fixture)
+        schedule = build_exchange_schedule(part)
+        for round_map in schedule.rounds:
+            assert sorted(round_map) == list(range(part.P))
+            assert sorted(round_map.values()) == list(range(part.P))
+
+    @pytest.mark.parametrize(
+        "fixture", ["partition_q2", "partition_q3", "partition_sqs8"]
+    )
+    def test_every_neighbor_pair_served_once(self, fixture, request):
+        part = request.getfixturevalue(fixture)
+        schedule = build_exchange_schedule(part)
+        served = sorted(
+            (src, dst) for r in schedule.rounds for src, dst in r.items()
+        )
+        assert served == sorted(schedule.shared)
+
+    def test_shared_sets_symmetric(self, partition_q3):
+        schedule = build_exchange_schedule(partition_q3)
+        for (p, p2), common in schedule.shared.items():
+            assert schedule.shared[(p2, p)] == common
+            assert 1 <= len(common) <= 2
+
+    def test_neighbors_of(self, partition_sqs8):
+        schedule = build_exchange_schedule(partition_sqs8)
+        for p in range(partition_sqs8.P):
+            neighbors = schedule.neighbors_of(p)
+            assert len(neighbors) == 12
+            assert p not in neighbors
+
+    def test_step_count_property(self, partition_q2):
+        schedule = build_exchange_schedule(partition_q2)
+        assert schedule.step_count == len(schedule.rounds) == 9
+
+
+class TestScheduleStepFormula:
+    @pytest.mark.parametrize("q,expected", [(2, 9), (3, 26), (4, 55), (5, 99)])
+    def test_closed_form(self, q, expected):
+        assert schedule_step_count(q) == expected
+        assert schedule_step_count(q) == (q**3 + 3 * q * q - 2) // 2
+
+
+class TestNonNeighbors:
+    def test_q3_has_three_non_neighbors_per_processor(self, partition_q3):
+        """Paper §6.1.2 example: 'processor 1 does not share any data
+        with processor 26' — with q=3 every processor has exactly
+        P − 1 − 26 = 3 processors it never exchanges with."""
+        schedule = build_exchange_schedule(partition_q3)
+        for p in range(partition_q3.P):
+            neighbors = schedule.neighbors_of(p)
+            non_neighbors = partition_q3.P - 1 - len(neighbors)
+            assert non_neighbors == 3
+
+    def test_sqs8_has_one_non_neighbor(self, partition_sqs8):
+        schedule = build_exchange_schedule(partition_sqs8)
+        for p in range(partition_sqs8.P):
+            assert len(schedule.neighbors_of(p)) == 12  # 1 non-neighbor

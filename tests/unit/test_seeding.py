@@ -1,0 +1,34 @@
+"""RNG normalization and stream spawning."""
+
+import numpy as np
+
+from repro.util.seeding import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).normal(size=5)
+        b = as_generator(42).normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        children_a = spawn(as_generator(7), 3)
+        children_b = spawn(as_generator(7), 3)
+        draws_a = [c.normal(size=4) for c in children_a]
+        draws_b = [c.normal(size=4) for c in children_b]
+        for a, b in zip(draws_a, draws_b):
+            assert np.array_equal(a, b)
+        # Distinct children produce distinct streams.
+        assert not np.array_equal(draws_a[0], draws_a[1])
+
+    def test_spawn_count(self):
+        assert len(spawn(as_generator(1), 5)) == 5

@@ -1,0 +1,92 @@
+"""Partition JSON serialization with revalidation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import (
+    load_partition,
+    partition_from_dict,
+    partition_to_dict,
+    save_partition,
+)
+from repro.errors import PartitionError, SteinerError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("fixture", ["partition_q2", "partition_q3", "partition_sqs8"])
+    def test_dict_roundtrip(self, fixture, request):
+        original = request.getfixturevalue(fixture)
+        restored = partition_from_dict(partition_to_dict(original))
+        assert restored.R == original.R
+        assert restored.N == original.N
+        assert restored.D == original.D
+        assert restored.Q == original.Q
+
+    def test_file_roundtrip(self, partition_q2, tmp_path):
+        path = tmp_path / "partition.json"
+        save_partition(partition_q2, path)
+        restored = load_partition(path)
+        assert restored.R == partition_q2.R
+
+    def test_restored_partition_runs(self, partition_q2, tmp_path, rng):
+        """A loaded partition drives Algorithm 5 identically."""
+        from repro.core.parallel_sttsv import ParallelSTTSV
+        from repro.core.sttsv_sequential import sttsv_packed
+        from repro.machine.machine import Machine
+        from repro.tensor.dense import random_symmetric
+
+        path = tmp_path / "p.json"
+        save_partition(partition_q2, path)
+        restored = load_partition(path)
+        n = 30
+        tensor = random_symmetric(n, seed=0)
+        x = rng.normal(size=n)
+        machine = Machine(restored.P)
+        algo = ParallelSTTSV(restored, n)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), sttsv_packed(tensor, x))
+
+
+class TestTamperDetection:
+    def test_bad_schema(self, partition_q2):
+        payload = partition_to_dict(partition_q2)
+        payload["schema"] = 99
+        with pytest.raises(PartitionError):
+            partition_from_dict(payload)
+
+    def test_bad_kind(self, partition_q2):
+        payload = partition_to_dict(partition_q2)
+        payload["kind"] = "cubic"
+        with pytest.raises(PartitionError):
+            partition_from_dict(payload)
+
+    def test_corrupted_steiner_blocks_rejected(self, partition_q2):
+        payload = partition_to_dict(partition_q2)
+        payload["steiner_blocks"][0] = payload["steiner_blocks"][1]
+        with pytest.raises(SteinerError):
+            partition_from_dict(payload)
+
+    def test_stolen_diagonal_rejected(self, partition_q2):
+        payload = partition_to_dict(partition_q2)
+        # Move a non-central block to a processor whose R lacks its indices.
+        moved = payload["non_central"][0].pop()
+        victim = next(
+            p
+            for p in range(partition_q2.P)
+            if not set(v for b in [moved] for v in b)
+            <= set(payload["steiner_blocks"][p])
+        )
+        payload["non_central"][victim].append(moved)
+        with pytest.raises(PartitionError):
+            partition_from_dict(payload)
+
+    def test_wrong_p_declared(self, partition_q2, tmp_path):
+        payload = partition_to_dict(partition_q2)
+        payload["P"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PartitionError):
+            load_partition(path)

@@ -1,0 +1,93 @@
+"""Sparse symmetric tensors and the O(nnz) STTSV kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.errors import ConfigurationError
+from repro.tensor.hypergraph import adjacency_tensor, random_hypergraph
+from repro.tensor.sparse import SparseSymmetricTensor, sttsv_sparse
+
+
+class TestConstruction:
+    def test_canonicalization_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor(5, [[1, 2, 0]], [1.0])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor(5, [[3, 1, 0], [3, 1, 0]], [1.0, 2.0])
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor(3, [[3, 1, 0]], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor(5, [[3, 1, 0]], [1.0, 2.0])
+
+    def test_from_entries_any_order(self):
+        tensor = SparseSymmetricTensor.from_entries(
+            4, {(0, 2, 1): 5.0, (3, 3, 3): 1.0}
+        )
+        assert tensor[2, 1, 0] == 5.0
+        assert tensor[3, 3, 3] == 1.0
+
+    def test_from_entries_conflict(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor.from_entries(4, {(0, 1, 2): 1.0, (2, 1, 0): 2.0})
+
+    def test_from_hyperedges(self):
+        tensor = SparseSymmetricTensor.from_hyperedges(5, [(4, 2, 1), (3, 1, 0)])
+        assert tensor.nnz == 2
+        assert tensor[1, 2, 4] == 1.0
+
+    def test_hyperedge_needs_distinct(self):
+        with pytest.raises(ConfigurationError):
+            SparseSymmetricTensor.from_hyperedges(5, [(2, 2, 1)])
+
+    def test_empty(self):
+        tensor = SparseSymmetricTensor(4, np.empty((0, 3)), [])
+        assert tensor.nnz == 0
+        assert tensor[1, 1, 1] == 0.0
+
+
+class TestKernel:
+    def test_matches_dense_on_random_sparse(self, rng):
+        n = 20
+        entries = {}
+        for _ in range(40):
+            triple = tuple(int(v) for v in rng.integers(0, n, size=3))
+            entries[triple] = float(rng.normal())
+        tensor = SparseSymmetricTensor.from_entries(n, entries)
+        x = rng.normal(size=n)
+        assert np.allclose(
+            sttsv_sparse(tensor, x), sttsv_packed(tensor.to_packed(), x)
+        )
+
+    def test_hypergraph_equivalence(self, rng):
+        """Sparse and packed adjacency paths give the same STTSV."""
+        n = 25
+        edges = random_hypergraph(n, 60, seed=4)
+        sparse = SparseSymmetricTensor.from_hyperedges(n, edges)
+        packed = adjacency_tensor(n, edges)
+        x = rng.normal(size=n)
+        assert np.allclose(sttsv_sparse(sparse, x), sttsv_packed(packed, x))
+
+    def test_empty_tensor(self):
+        tensor = SparseSymmetricTensor(6, np.empty((0, 3)), [])
+        assert np.allclose(sttsv_sparse(tensor, np.ones(6)), 0.0)
+
+    def test_shape_validation(self):
+        tensor = SparseSymmetricTensor(4, [[2, 1, 0]], [1.0])
+        with pytest.raises(ConfigurationError):
+            sttsv_sparse(tensor, np.ones(5))
+
+    def test_memory_is_nnz_not_cubic(self):
+        """A million-vertex-scale sanity check: storage is O(nnz)."""
+        n = 10_000
+        edges = [(i + 2, i + 1, i) for i in range(0, n - 2, 3)]
+        tensor = SparseSymmetricTensor.from_hyperedges(n, edges)
+        assert tensor.indices.nbytes + tensor.values.nbytes < 10**6
+        y = sttsv_sparse(tensor, np.ones(n))
+        assert y.sum() == pytest.approx(6 * len(edges))

@@ -1,0 +1,186 @@
+"""Steiner systems: axioms, counting lemmas, constructions, catalog."""
+
+import pytest
+
+from repro.errors import SteinerError
+from repro.steiner.boolean import boolean_block_count, boolean_steiner_system
+from repro.steiner.catalog import (
+    admissible_processor_counts,
+    boolean_k_for_processors,
+    family_of,
+    spherical_q_for_processors,
+    steiner_system_for_processors,
+    wilson_divisibility_ok,
+)
+from repro.steiner.spherical import spherical_block_count, spherical_steiner_system
+from repro.steiner.system import SteinerSystem
+
+
+class TestSteinerSystemClass:
+    def test_rejects_duplicate_triple_coverage(self):
+        with pytest.raises(SteinerError):
+            SteinerSystem(5, 3, [(0, 1, 2), (0, 1, 3), (0, 1, 4), (2, 3, 4)])
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(SteinerError):
+            SteinerSystem(6, 3, [(0, 1, 2, 3)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SteinerError):
+            SteinerSystem(4, 3, [(0, 1, 9)])
+
+    def test_trivial_system(self):
+        # The single block {0,1,2} is an S(3,3,3).
+        system = SteinerSystem(3, 3, [(0, 1, 2)])
+        assert len(system) == 1
+
+    def test_s733_fano_like(self):
+        # S(7, 3, 2) doesn't apply here (t=2), but S(m, 3, 3) requires
+        # every triple to BE a block: blocks = all C(m,3) triples.
+        from itertools import combinations
+
+        system = SteinerSystem(5, 3, list(combinations(range(5), 3)))
+        assert len(system) == 10
+
+    def test_expected_block_count_rejects_impossible(self):
+        # C(7,3) = 35 is not divisible by C(4,3) = 4: no S(7,4,3) exists.
+        with pytest.raises(SteinerError):
+            SteinerSystem.expected_block_count(7, 4)
+
+    def test_expected_block_count_values(self):
+        assert SteinerSystem.expected_block_count(10, 4) == 30
+        assert SteinerSystem.expected_block_count(8, 4) == 14
+
+
+class TestCountingLemmas:
+    """Paper Lemmas 6.3 and 6.4 checked against explicit enumeration."""
+
+    @pytest.mark.parametrize("system_fixture", ["steiner_q3", "sqs8"])
+    def test_pair_replication(self, system_fixture, request):
+        system = request.getfixturevalue(system_fixture)
+        expected = system.pair_replication()
+        for a in range(system.m):
+            for b in range(a):
+                assert len(system.blocks_containing_pair(a, b)) == expected
+
+    @pytest.mark.parametrize("system_fixture", ["steiner_q3", "sqs8"])
+    def test_point_replication(self, system_fixture, request):
+        system = request.getfixturevalue(system_fixture)
+        expected = system.point_replication()
+        for a in range(system.m):
+            assert len(system.blocks_containing(a)) == expected
+
+    def test_q3_replication_values(self, steiner_q3):
+        # Paper §6: q(q+1) = 12 blocks per index, q+1 = 4 per pair.
+        assert steiner_q3.point_replication() == 12
+        assert steiner_q3.pair_replication() == 4
+
+    def test_sqs8_replication_values(self, sqs8):
+        assert sqs8.point_replication() == 7
+        assert sqs8.pair_replication() == 3
+
+
+class TestSphericalFamily:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_parameters(self, q):
+        system = spherical_steiner_system(q)
+        assert system.m == q * q + 1
+        assert system.r == q + 1
+        assert len(system) == q * (q * q + 1)
+
+    def test_block_count_formula(self):
+        assert spherical_block_count(3) == 30
+        assert spherical_block_count(2, alpha=3) == 84  # S(9,3,3): every triple
+
+    def test_alpha_three(self):
+        system = spherical_steiner_system(2, alpha=3)
+        assert system.m == 9
+        assert system.r == 3
+        assert len(system) == 84
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(SteinerError):
+            spherical_steiner_system(6)
+
+    def test_rejects_alpha_one(self):
+        with pytest.raises(SteinerError):
+            spherical_steiner_system(3, alpha=1)
+
+    def test_block_of_triple_unique(self, steiner_q3):
+        index = steiner_q3.block_of_triple(0, 1, 2)
+        block = steiner_q3.blocks[index]
+        assert {0, 1, 2} <= set(block)
+
+
+class TestBooleanFamily:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_parameters(self, k):
+        system = boolean_steiner_system(k)
+        assert system.m == 2**k
+        assert system.r == 4
+        assert len(system) == boolean_block_count(k)
+
+    def test_sqs8_matches_paper_table3_shape(self, sqs8):
+        # Table 3: m = 8, P = 14.
+        assert sqs8.m == 8
+        assert len(sqs8) == 14
+
+    def test_blocks_xor_to_zero(self, sqs8):
+        for block in sqs8:
+            acc = 0
+            for v in block:
+                acc ^= v
+            assert acc == 0
+
+    def test_k1_rejected(self):
+        with pytest.raises(SteinerError):
+            boolean_steiner_system(1)
+
+
+class TestRelabeling:
+    def test_relabel_preserves_axioms(self, sqs8):
+        permutation = [3, 1, 4, 0, 6, 2, 7, 5]
+        relabeled = sqs8.relabeled(permutation)
+        relabeled.verify()
+
+    def test_invalid_permutation(self, sqs8):
+        with pytest.raises(SteinerError):
+            sqs8.relabeled([0] * 8)
+
+
+class TestCatalog:
+    def test_wilson_conditions(self):
+        assert wilson_divisibility_ok(10, 4)
+        assert wilson_divisibility_ok(8, 4)
+        assert not wilson_divisibility_ok(9, 4)  # r-2=2 does not divide 7
+        assert not wilson_divisibility_ok(3, 4)
+
+    def test_spherical_lookup(self):
+        assert spherical_q_for_processors(30) == 3
+        assert spherical_q_for_processors(10) == 2
+        assert spherical_q_for_processors(68) == 4
+        assert spherical_q_for_processors(31) is None
+
+    def test_boolean_lookup(self):
+        assert boolean_k_for_processors(14) == 3
+        assert boolean_k_for_processors(140) == 4
+        assert boolean_k_for_processors(15) is None
+
+    def test_for_processors(self):
+        assert steiner_system_for_processors(30).m == 10
+        assert steiner_system_for_processors(14).m == 8
+        with pytest.raises(SteinerError):
+            steiner_system_for_processors(17)
+
+    def test_admissible_counts_partition_supported(self):
+        counts = admissible_processor_counts(200)
+        assert counts == [10, 14, 30, 68, 130]  # no SQS(4)=1, no SQS(16)=140
+
+    def test_admissible_counts_all_systems(self):
+        counts = admissible_processor_counts(200, partition_only=False)
+        assert 1 in counts and 140 in counts
+        assert all(counts[i] < counts[i + 1] for i in range(len(counts) - 1))
+
+    def test_family_of(self):
+        assert family_of(30) == {"spherical_q": 3, "boolean_k": None}
+        assert family_of(14) == {"spherical_q": None, "boolean_k": 3}

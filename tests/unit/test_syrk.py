@@ -1,0 +1,103 @@
+"""Parallel SYRK on the triangle partition (Al Daas et al. 2023 kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MachineError
+from repro.machine.machine import Machine
+from repro.matrix.partition import TriangleBlockPartition
+from repro.matrix.syrk import ParallelSYRK, syrk_bandwidth, syrk_reference
+from repro.steiner.pairwise import (
+    bose_triple_system,
+    projective_plane_system,
+)
+
+
+@pytest.fixture(scope="module")
+def fano():
+    part = TriangleBlockPartition(projective_plane_system(2))
+    part.validate()
+    return part
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(21, 1), (21, 4), (42, 3), (20, 2)])
+    def test_matches_dense(self, fano, n, k, rng):
+        A = rng.normal(size=(n, k))
+        machine = Machine(fano.P)
+        algo = ParallelSYRK(fano, n, k)
+        algo.load(machine, A)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), syrk_reference(A))
+
+    def test_bose_partition(self, rng):
+        partition = TriangleBlockPartition(bose_triple_system(1))
+        n, k = 36, 2
+        A = rng.normal(size=(n, k))
+        machine = Machine(partition.P)
+        algo = ParallelSYRK(partition, n, k)
+        algo.load(machine, A)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), syrk_reference(A))
+
+    def test_output_is_symmetric_psd(self, fano, rng):
+        A = rng.normal(size=(21, 5))
+        machine = Machine(fano.P)
+        algo = ParallelSYRK(fano, 21, 5)
+        algo.load(machine, A)
+        algo.run(machine)
+        C = algo.gather_result(machine)
+        assert np.allclose(C, C.T)
+        assert np.all(np.linalg.eigvalsh(C) > -1e-10)
+
+
+class TestCommunication:
+    def test_single_phase_exact_cost(self, fano, rng):
+        n, k = 21, 4
+        machine = Machine(fano.P)
+        algo = ParallelSYRK(fano, n, k)
+        algo.load(machine, rng.normal(size=(n, k)))
+        algo.run(machine)
+        expected = algo.expected_words_per_processor()
+        assert expected == syrk_bandwidth(fano, algo.b, k)
+        assert machine.ledger.words_sent == [expected] * fano.P
+        # ONE gather phase: half the rounds of SYMV's two phases.
+        from repro.matrix.bounds import symv_schedule_step_count
+
+        assert machine.ledger.round_count() == symv_schedule_step_count(
+            fano.m, fano.r
+        )
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_cost_scales_linearly_in_k(self, fano, rng):
+        costs = []
+        for k in (1, 2, 4):
+            machine = Machine(fano.P)
+            algo = ParallelSYRK(fano, 21, k)
+            algo.load(machine, rng.normal(size=(21, k)))
+            algo.run(machine)
+            costs.append(machine.ledger.max_words_sent())
+        assert costs[1] == 2 * costs[0]
+        assert costs[2] == 4 * costs[0]
+
+    def test_no_output_communication(self, fano, rng):
+        """All messages belong to the gather phase (tag check)."""
+        machine = Machine(fano.P)
+        algo = ParallelSYRK(fano, 21, 2)
+        algo.load(machine, rng.normal(size=(21, 2)))
+        algo.run(machine)
+        for record in machine.ledger.rounds:
+            for message in record.messages:
+                assert message.tag == "syrk-gather"
+
+
+class TestValidation:
+    def test_wrong_shape(self, fano):
+        algo = ParallelSYRK(fano, 21, 3)
+        with pytest.raises(ConfigurationError):
+            algo.load(Machine(7), np.ones((21, 4)))
+
+    def test_wrong_machine(self, fano):
+        algo = ParallelSYRK(fano, 21, 3)
+        with pytest.raises(MachineError):
+            algo.load(Machine(5), np.ones((21, 3)))

@@ -1,0 +1,64 @@
+"""Tensor persistence round-trips and corruption detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.dense import random_symmetric
+from repro.tensor.io import load_tensor, save_tensor
+from repro.tensor.sparse import SparseSymmetricTensor
+
+
+class TestPackedRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        tensor = random_symmetric(9, seed=0)
+        path = tmp_path / "t.npz"
+        save_tensor(tensor, path)
+        loaded = load_tensor(path)
+        assert loaded.n == 9
+        assert np.array_equal(loaded.data, tensor.data)
+
+    def test_sttsv_after_reload(self, tmp_path, rng):
+        from repro.core.sttsv_sequential import sttsv_packed
+
+        tensor = random_symmetric(12, seed=1)
+        path = tmp_path / "t.npz"
+        save_tensor(tensor, path)
+        x = rng.normal(size=12)
+        assert np.allclose(
+            sttsv_packed(load_tensor(path), x), sttsv_packed(tensor, x)
+        )
+
+
+class TestSparseRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        tensor = SparseSymmetricTensor(6, [[4, 2, 1], [5, 3, 0]], [1.5, -2.0])
+        path = tmp_path / "s.npz"
+        save_tensor(tensor, path)
+        loaded = load_tensor(path)
+        assert isinstance(loaded, SparseSymmetricTensor)
+        assert loaded.nnz == 2
+        assert loaded[1, 2, 4] == 1.5
+
+
+class TestCorruption:
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_tensor(np.zeros(3), tmp_path / "x.npz")
+
+    def test_non_repro_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, whatever=np.ones(3))
+        with pytest.raises(ConfigurationError):
+            load_tensor(path)
+
+    def test_inconsistent_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            format=np.array("repro-packed-sym-3"),
+            n=np.array(10),
+            data=np.ones(7),  # wrong length for n=10
+        )
+        with pytest.raises(ConfigurationError):
+            load_tensor(path)

@@ -1,0 +1,82 @@
+"""Communication trace rendering."""
+
+import numpy as np
+
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.machine.machine import Machine
+from repro.reporting.trace import (
+    activity_strip,
+    round_table,
+    utilization,
+    word_histogram,
+)
+from repro.tensor.dense import random_symmetric
+
+
+def _run_q2(partition_q2):
+    n = 30
+    machine = Machine(partition_q2.P)
+    algo = ParallelSTTSV(partition_q2, n)
+    algo.load(machine, random_symmetric(n, seed=0), np.ones(n))
+    algo.run(machine)
+    return machine.ledger
+
+
+class TestRoundTable:
+    def test_one_line_per_round(self, partition_q2):
+        ledger = _run_q2(partition_q2)
+        table = round_table(ledger)
+        assert len(table.splitlines()) == 1 + ledger.round_count()
+        assert "x-exchange" in table
+        assert "yes" in table and " NO" not in table
+
+    def test_limit_truncates(self, partition_q2):
+        ledger = _run_q2(partition_q2)
+        table = round_table(ledger, limit=3)
+        assert "more rounds" in table
+        assert len(table.splitlines()) == 1 + 3 + 1
+
+
+class TestActivityStrip:
+    def test_optimal_schedule_is_solid(self, partition_q2):
+        """Permutation rounds: every processor sends every round."""
+        ledger = _run_q2(partition_q2)
+        strip = activity_strip(ledger)
+        body = strip.splitlines()[1:]
+        assert len(body) == partition_q2.P
+        for row in body:
+            cells = row.split(None, 1)[1]
+            assert set(cells) == {"#"}
+
+    def test_idle_cells_marked(self):
+        from repro.machine.collectives import broadcast
+
+        machine = Machine(4)
+        broadcast(machine, 0, np.ones(2))
+        strip = activity_strip(machine.ledger)
+        assert "." in strip  # leaves idle during early rounds
+
+
+class TestUtilization:
+    def test_optimal_is_full(self, partition_q2):
+        assert utilization(_run_q2(partition_q2)) == 1.0
+
+    def test_broadcast_below_full(self):
+        from repro.machine.collectives import broadcast
+
+        machine = Machine(8)
+        broadcast(machine, 0, np.ones(1))
+        assert 0.0 < utilization(machine.ledger) < 1.0
+
+    def test_empty_ledger(self):
+        assert utilization(Machine(3).ledger) == 0.0
+
+
+class TestWordHistogram:
+    def test_uniform_messages_single_bucket(self, partition_q2):
+        """q=2 pairs all share exactly ... 1 or 2 blocks; shard=1 word,
+        so message sizes are 1 or 2 words."""
+        ledger = _run_q2(partition_q2)
+        histogram = word_histogram(ledger)
+        assert set(histogram) <= {1, 2}
+        assert sum(histogram.values()) == sum(ledger.messages_sent)

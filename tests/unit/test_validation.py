@@ -1,0 +1,83 @@
+"""Argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_divides,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_ints(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(1, "x") == 1
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_numpy_integers_accepted(self):
+        import numpy as np
+
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="block_size"):
+            check_positive_int(-1, "block_size")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range(0, "x", 0, 10)
+        check_in_range(10, "x", 0, 10)
+
+    def test_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(11, "x", 0, 10)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(1.1, "p")
+        with pytest.raises(ConfigurationError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckDivides:
+    def test_divides(self):
+        check_divides(3, 12, "ctx")
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError, match="ctx"):
+            check_divides(5, 12, "ctx")

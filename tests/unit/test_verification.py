@@ -1,0 +1,36 @@
+"""RunVerdict bundle: PASS on healthy runs, FAIL on injected faults."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sttsv import CommBackend
+from repro.core.verification import verify_sttsv_run
+from repro.tensor.dense import random_symmetric
+
+
+class TestHealthyRuns:
+    @pytest.mark.parametrize("backend", list(CommBackend))
+    def test_pass(self, partition_q2, backend, rng):
+        tensor = random_symmetric(30, seed=0)
+        verdict = verify_sttsv_run(partition_q2, tensor, rng.normal(size=30), backend)
+        assert verdict.ok, verdict.summary()
+        assert "PASS" in verdict.summary()
+        assert verdict.words_per_processor == verdict.expected_words
+        assert verdict.words_per_processor >= verdict.lower_bound
+
+    def test_padded_run_passes(self, partition_sqs8, rng):
+        tensor = random_symmetric(50, seed=1)
+        verdict = verify_sttsv_run(partition_sqs8, tensor, rng.normal(size=50))
+        assert verdict.ok
+        assert verdict.n_padded == 56
+
+
+class TestFaultDetection:
+    def test_impossible_tolerance_fails(self, partition_q2, rng):
+        tensor = random_symmetric(30, seed=2)
+        verdict = verify_sttsv_run(
+            partition_q2, tensor, rng.normal(size=30), tolerance=0.0
+        )
+        assert not verdict.ok
+        assert any("numerical" in p for p in verdict.problems)
+        assert "FAIL" in verdict.summary()
