@@ -65,6 +65,7 @@ from repro.core import (
     build_exchange_schedule,
 )
 from repro.core.sttsv_sequential import sttsv
+from repro.core.plans import SequentialPlan, sequential_plan
 from repro.apps import (
     hopm,
     parallel_hopm,
@@ -100,6 +101,8 @@ __all__ = [
     "CostModel",
     # core
     "sttsv",
+    "SequentialPlan",
+    "sequential_plan",
     "sttsv_naive",
     "sttsv_symmetric",
     "sttsv_packed",

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
-from repro.core.sttsv_sequential import sttsv_packed
+from repro.core.plans import sequential_plan
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
@@ -46,11 +46,16 @@ def _check_factor(tensor: PackedSymmetricTensor, X: np.ndarray) -> np.ndarray:
 
 
 def cp_gradient(tensor: PackedSymmetricTensor, X: np.ndarray) -> np.ndarray:
-    """Algorithm 2: ``∇f(X) = X ((XᵀX) ∗ (XᵀX)) − [A ×₂ x_ℓ ×₃ x_ℓ]_ℓ``."""
+    """Algorithm 2: ``∇f(X) = X ((XᵀX) ∗ (XᵀX)) − [A ×₂ x_ℓ ×₃ x_ℓ]_ℓ``.
+
+    The ``r`` STTSV columns are evaluated through the compiled plan's
+    batched ``apply_batch`` — one pass over the tensor operator instead
+    of ``r`` independent scatter passes.
+    """
     X = _check_factor(tensor, X)
     gram = X.T @ X
     G = gram * gram
-    Y = np.column_stack([sttsv_packed(tensor, X[:, col]) for col in range(X.shape[1])])
+    Y = sequential_plan(tensor).apply_batch(X)
     return X @ G - Y
 
 
@@ -60,16 +65,19 @@ def cp_objective(tensor: PackedSymmetricTensor, X: np.ndarray) -> float:
     Expansion: ``||A||² − 2⟨A, Σ⟩ + ||Σ||²`` with
     ``⟨A, Σ⟩ = Σ_ℓ A ×₁x_ℓ ×₂x_ℓ ×₃x_ℓ`` and
     ``||Σ||² = Σ_{ℓ,ℓ'} (x_ℓᵀ x_{ℓ'})³``. ``||A||²`` uses the packed
-    entries with permutation multiplicities.
+    entries with permutation multiplicities (the cached scatter plan's
+    weights sum to exactly the multiplicity of each entry).
+
+    The inner product deliberately uses the ``np.add.at`` scatter
+    kernel column by column: its summation order makes the three terms
+    cancel bitwise at an exact factorization (pinned by the test
+    suite), which the faster batched paths do not guarantee.
     """
     X = _check_factor(tensor, X)
-    from repro.tensor.packed import PackedSymmetricTensor as _P
+    from repro.core.sttsv_sequential import _scatter_plan, sttsv_packed
 
-    I, J, K = _P.index_arrays(tensor.n)
-    multiplicity = np.where(
-        (I == J) & (J == K), 1.0, np.where((I == J) | (J == K), 3.0, 6.0)
-    )
-    norm_a_sq = float(np.sum(multiplicity * tensor.data**2))
+    w_i, w_j, w_k = _scatter_plan(tensor.n)[3:]
+    norm_a_sq = float(np.sum((w_i + w_j + w_k) * tensor.data**2))
     inner = sum(
         float(X[:, col] @ sttsv_packed(tensor, X[:, col]))
         for col in range(X.shape[1])

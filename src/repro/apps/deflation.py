@@ -38,8 +38,14 @@ class DeflationResult:
 def _subtract_rank_one(
     tensor: PackedSymmetricTensor, weight: float, vector: np.ndarray
 ) -> PackedSymmetricTensor:
-    """Packed ``A − weight · v∘v∘v`` without densifying."""
-    I, J, K = PackedSymmetricTensor.index_arrays(tensor.n)
+    """Packed ``A − weight · v∘v∘v`` without densifying.
+
+    Index arrays come from the shared cached scatter plan, so repeated
+    deflation stages skip the O(n²) Python index-construction loop.
+    """
+    from repro.core.sttsv_sequential import _scatter_plan
+
+    I, J, K = _scatter_plan(tensor.n)[:3]
     update = weight * vector[I] * vector[J] * vector[K]
     return PackedSymmetricTensor(tensor.n, tensor.data - update)
 

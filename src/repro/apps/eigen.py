@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.sttsv_sequential import sttsv_packed
+from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError
 from repro.tensor.packed import PackedSymmetricTensor
 
@@ -24,7 +24,7 @@ def rayleigh_quotient(tensor: PackedSymmetricTensor, x: np.ndarray) -> float:
     if norm == 0:
         raise ConfigurationError("Rayleigh quotient of the zero vector")
     unit = x / norm
-    return float(unit @ sttsv_packed(tensor, unit))
+    return float(unit @ sttsv(tensor, unit))
 
 
 def z_eigen_residual(
@@ -37,7 +37,7 @@ def z_eigen_residual(
     """
     x = np.asarray(x, dtype=np.float64)
     unit = x / np.linalg.norm(x)
-    y = sttsv_packed(tensor, unit)
+    y = sttsv(tensor, unit)
     if eigenvalue is None:
         eigenvalue = float(unit @ y)
     return float(np.linalg.norm(y - eigenvalue * unit))

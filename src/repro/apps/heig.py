@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
-from repro.core.sttsv_sequential import sttsv_packed
+from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
 from repro.machine.ledger import CommunicationLedger
@@ -76,7 +76,7 @@ def nqz_h_eigenpair(
     lower = upper = float("nan")
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        y = sttsv_packed(tensor, x)
+        y = sttsv(tensor, x)
         if np.any(y <= 0):
             raise ConvergenceError(
                 "NQZ iterate left the positive cone; tensor is likely"
@@ -108,7 +108,7 @@ def h_eigen_residual(
 ) -> float:
     """``||A ×₂ x ×₃ x − λ x^{[2]}||`` — the H-eigen equation residual."""
     x = np.asarray(x, dtype=np.float64)
-    return float(np.linalg.norm(sttsv_packed(tensor, x) - eigenvalue * x * x))
+    return float(np.linalg.norm(sttsv(tensor, x) - eigenvalue * x * x))
 
 
 def parallel_nqz_h_eigenpair(

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
-from repro.core.sttsv_sequential import sttsv_packed
+from repro.core.sttsv_sequential import sttsv, sttsv_packed_bincount
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
 from repro.machine.ledger import CommunicationLedger
@@ -88,16 +88,12 @@ def suggested_shift(tensor: PackedSymmetricTensor) -> float:
     (the ∞-norm of the flattening), computable in one pass over packed
     storage with permutation multiplicities.
     """
-    I, J, K = PackedSymmetricTensor.index_arrays(tensor.n)
-    absolute = np.abs(tensor.data)
     # Row sums of the mode-1 flattening of |A|: each canonical entry
-    # contributes to rows i, j, k with the count of ordered (j,k) pairs.
-    from repro.tensor.multiplicity import contribution_weights
-
-    w_i, w_j, w_k = contribution_weights(I, J, K)
-    rows = np.bincount(I, weights=w_i * absolute, minlength=tensor.n)
-    rows += np.bincount(J, weights=w_j * absolute, minlength=tensor.n)
-    rows += np.bincount(K, weights=w_k * absolute, minlength=tensor.n)
+    # contributes to rows i, j, k with the count of ordered (j,k) pairs
+    # — exactly |A| ×₂ 1 ×₃ 1, so the shared scatter kernel (with its
+    # cached index/weight arrays) computes it directly.
+    magnitude = PackedSymmetricTensor(tensor.n, np.abs(tensor.data))
+    rows = sttsv_packed_bincount(magnitude, np.ones(tensor.n))
     return 2.0 * float(rows.max())
 
 
@@ -129,7 +125,7 @@ def hopm(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        raw = sttsv_packed(tensor, x)
+        raw = sttsv(tensor, x)
         # λ-history records the Rayleigh quotient of the *pre-update*
         # (unit) iterate — the quantity SS-HOPM proves monotone.
         history.append(float(x @ raw))
@@ -151,7 +147,7 @@ def hopm(
         raise ConvergenceError(
             f"HOPM did not converge in {max_iterations} iterations"
         )
-    y = sttsv_packed(tensor, x)
+    y = sttsv(tensor, x)
     eigenvalue = float(x @ y)
     residual = float(np.linalg.norm(y - eigenvalue * x))
     return HOPMResult(
@@ -245,7 +241,7 @@ def parallel_hopm(
 
     x = assemble_vector(partition, shards, algo.b, original_length=n)
     x = x / np.linalg.norm(x)
-    y = sttsv_packed(tensor, x)
+    y = sttsv(tensor, x)
     eigenvalue = float(x @ y)
     residual = float(np.linalg.norm(y - eigenvalue * x))
     return HOPMResult(

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
-from repro.core.sttsv_sequential import _scatter_plan, sttsv_packed
+from repro.core.plans import sequential_plan
+from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
@@ -38,29 +39,23 @@ def symmetric_mttkrp(
     """Column-by-column reference: ``Y[:, ℓ] = A ×₂ x_ℓ ×₃ x_ℓ``."""
     X = _check_factor(tensor, X)
     return np.column_stack(
-        [sttsv_packed(tensor, X[:, col]) for col in range(X.shape[1])]
+        [sttsv(tensor, X[:, col]) for col in range(X.shape[1])]
     )
 
 
 def symmetric_mttkrp_batched(
     tensor: PackedSymmetricTensor, X: np.ndarray
 ) -> np.ndarray:
-    """All columns in three batched scatter-adds.
+    """All columns through the compiled plan's batched engine.
 
-    Processes the whole factor matrix at once: each weighted scatter of
-    the vectorized Algorithm 4 becomes a row-scatter of an
-    ``entries × r`` block — one pass over the tensor regardless of
-    ``r``, which is how a production MTTKRP amortizes tensor traffic.
+    Processes the whole factor matrix at once: the plan's ``gemm``
+    strategy reduces the batch with a single multi-column GEMM over the
+    precompiled symmetry-reduced unfolding — one pass over the tensor
+    operator regardless of ``r``, which is how a production MTTKRP
+    amortizes tensor traffic. See :mod:`repro.core.plans`.
     """
     X = _check_factor(tensor, X)
-    n = tensor.n
-    I, J, K, w_i, w_j, w_k = _scatter_plan(n)
-    a = tensor.data[:, None]
-    Y = np.zeros_like(X)
-    np.add.at(Y, I, (w_i[:, None] * a) * X[J] * X[K])
-    np.add.at(Y, J, (w_j[:, None] * a) * X[I] * X[K])
-    np.add.at(Y, K, (w_k[:, None] * a) * X[I] * X[J])
-    return Y
+    return sequential_plan(tensor).apply_batch(X)
 
 
 def parallel_symmetric_mttkrp(

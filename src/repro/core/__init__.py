@@ -3,11 +3,19 @@ partitioning, the communication-optimal parallel algorithm, lower
 bounds, and baselines."""
 
 from repro.core.sttsv_sequential import (
+    sttsv,
     sttsv_packed_bincount,
     sttsv_naive,
     sttsv_symmetric,
     sttsv_packed,
     sttsv_dense_reference,
+    ttv_all_modes,
+)
+from repro.core.plans import (
+    ExchangePlan,
+    SequentialPlan,
+    invalidate_plan,
+    sequential_plan,
 )
 from repro.core.partition import TetrahedralPartition
 from repro.core.parallel_sttsv import ParallelSTTSV, CommBackend
@@ -30,6 +38,12 @@ from repro.core.baselines import (
 )
 
 __all__ = [
+    "sttsv",
+    "ttv_all_modes",
+    "SequentialPlan",
+    "ExchangePlan",
+    "sequential_plan",
+    "invalidate_plan",
     "sttsv_packed_bincount",
     "sttsv_blocked",
     "RunVerdict",

@@ -31,6 +31,7 @@ Two communication backends:
 from __future__ import annotations
 
 import enum
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
 import numpy as np
@@ -38,6 +39,7 @@ import numpy as np
 from repro.core import distribution as dist
 from repro.core.block_kernels import apply_block
 from repro.core.partition import TetrahedralPartition
+from repro.core.plans import ExchangePlan
 from repro.core.schedule import ExchangeSchedule, build_exchange_schedule
 from repro.errors import ConfigurationError, MachineError
 from repro.machine.collectives import all_to_all, point_to_point_rounds
@@ -90,6 +92,14 @@ class ParallelSTTSV:
         the shard replication that makes ``n' >= n``.
     backend:
         Communication realization (see :class:`CommBackend`).
+    local_threads:
+        When > 1, phase 2 dispatches the per-processor block kernels to
+        a thread pool of that many workers (capped at ``P``). The
+        simulated processors are independent in phase 2, so results are
+        bitwise identical to the serial path (tested); NumPy's
+        einsum/BLAS kernels release the GIL, so real speedup is
+        available for large blocks. Default ``None`` keeps the serial
+        loop.
 
     Examples
     --------
@@ -106,10 +116,16 @@ class ParallelSTTSV:
         partition: TetrahedralPartition,
         n: int,
         backend: CommBackend = CommBackend.POINT_TO_POINT,
+        local_threads: Optional[int] = None,
     ):
+        if local_threads is not None and local_threads < 1:
+            raise ConfigurationError(
+                f"local_threads must be >= 1, got {local_threads}"
+            )
         self.partition = partition
         self.backend = backend
         self.n = n
+        self.local_threads = local_threads
         replication = partition.steiner.point_replication()
         m = partition.m
         per_row = -(-n // m)  # ceil(n / m): minimal row-block size
@@ -117,6 +133,10 @@ class ParallelSTTSV:
         self.n_padded = m * self.b
         self.shard = partition.shard_size(self.b)
         self.schedule: ExchangeSchedule = build_exchange_schedule(partition)
+        # Compiled once per instance: flat gather/scatter index arrays
+        # and reusable buffers for both exchange phases (same payload
+        # contents/sizes as the direct dict-walking formulation).
+        self.exchange_plan = ExchangePlan(partition, self.schedule, self.b)
 
     # -- data loading -----------------------------------------------------------
 
@@ -155,22 +175,12 @@ class ParallelSTTSV:
     # -- payload builders ----------------------------------------------------------
 
     def _x_payload(self, machine: Machine, src: int, dst: int) -> Optional[np.ndarray]:
-        common = self.schedule.shared.get((src, dst))
-        if not common:
-            return None
-        shards = machine[src].load("x_shards")
-        return np.concatenate([shards[i] for i in sorted(common)])
+        """Compiled x-phase payload (requires staged ``x_shards``)."""
+        return self.exchange_plan.x_payload(src, dst)
 
     def _y_payload(self, machine: Machine, src: int, dst: int) -> Optional[np.ndarray]:
-        common = self.schedule.shared.get((src, dst))
-        if not common:
-            return None
-        partial = machine[src].load("y_partial")
-        pieces = []
-        for i in sorted(common):
-            lo, hi = dist.shard_bounds(self.partition, i, dst, self.b)
-            pieces.append(partial[i][lo:hi])
-        return np.concatenate(pieces)
+        """Compiled y-phase payload (requires staged ``y_partial``)."""
+        return self.exchange_plan.y_payload(src, dst)
 
     def _pad_uniform(self, payload: Optional[np.ndarray]) -> np.ndarray:
         """Pad a payload to the uniform 2-shard slot of the All-to-All
@@ -185,6 +195,9 @@ class ParallelSTTSV:
 
     def _exchange_x(self, machine: Machine) -> None:
         P = machine.P
+        plan = self.exchange_plan
+        for p in range(P):
+            plan.stage_x(p, machine[p].load("x_shards"))
         if self.backend is CommBackend.POINT_TO_POINT:
             received = point_to_point_rounds(
                 machine,
@@ -203,43 +216,47 @@ class ParallelSTTSV:
             ]
             received = all_to_all(machine, sendbufs, tag="x-exchange")
         for p in range(P):
-            proc = machine[p]
-            own = proc.load("x_shards")
-            full: Dict[int, np.ndarray] = {
-                i: np.zeros(self.b) for i in self.partition.R[p]
-            }
-            for i, shard in own.items():
-                lo, hi = dist.shard_bounds(self.partition, i, p, self.b)
-                full[i][lo:hi] = shard
-            for src, payload in received[p].items():
-                common = self.schedule.shared.get((src, p))
-                if not common:
-                    continue  # pure zero-padding from a non-neighbor
-                offset = 0
-                for i in sorted(common):
-                    lo, hi = dist.shard_bounds(self.partition, i, src, self.b)
-                    full[i][lo:hi] = payload[offset : offset + (hi - lo)]
-                    offset += hi - lo
-            proc.store("x_full", full)
+            machine[p].store("x_full", plan.unpack_x(p, received[p]))
 
     # -- phase 2: local compute ----------------------------------------------------------
 
+    def _compute_processor(self, machine: Machine, p: int) -> None:
+        """Phase-2 work of one simulated processor (thread-safe: touches
+        only processor ``p``'s memory)."""
+        proc = machine[p]
+        x_full = proc.load("x_full")
+        blocks = proc.load("tensor_blocks")
+        y_partial: Dict[int, np.ndarray] = {
+            i: np.zeros(self.b) for i in self.partition.R[p]
+        }
+        for index, block in blocks.items():
+            apply_block(index, block, x_full, y_partial)
+        proc.store("y_partial", y_partial)
+
     def _local_compute(self, machine: Machine) -> None:
-        for p in range(machine.P):
-            proc = machine[p]
-            x_full = proc.load("x_full")
-            blocks = proc.load("tensor_blocks")
-            y_partial: Dict[int, np.ndarray] = {
-                i: np.zeros(self.b) for i in self.partition.R[p]
-            }
-            for index, block in blocks.items():
-                apply_block(index, block, x_full, y_partial)
-            proc.store("y_partial", y_partial)
+        threads = self.local_threads
+        if threads is not None and threads > 1 and machine.P > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(threads, machine.P)
+            ) as pool:
+                # list() re-raises any worker exception.
+                list(
+                    pool.map(
+                        lambda p: self._compute_processor(machine, p),
+                        range(machine.P),
+                    )
+                )
+        else:
+            for p in range(machine.P):
+                self._compute_processor(machine, p)
 
     # -- phase 3: scatter-reduce y ----------------------------------------------------------
 
     def _exchange_y(self, machine: Machine) -> None:
         P = machine.P
+        plan = self.exchange_plan
+        for p in range(P):
+            plan.stage_y(p, machine[p].load("y_partial"))
         if self.backend is CommBackend.POINT_TO_POINT:
             received = point_to_point_rounds(
                 machine,
@@ -258,22 +275,7 @@ class ParallelSTTSV:
             ]
             received = all_to_all(machine, sendbufs, tag="y-exchange")
         for p in range(P):
-            proc = machine[p]
-            partial = proc.load("y_partial")
-            final: Dict[int, np.ndarray] = {}
-            for i in self.partition.R[p]:
-                lo, hi = dist.shard_bounds(self.partition, i, p, self.b)
-                final[i] = partial[i][lo:hi].copy()
-            for src, payload in received[p].items():
-                common = self.schedule.shared.get((src, p))
-                if not common:
-                    continue  # pure zero-padding from a non-neighbor
-                offset = 0
-                for i in sorted(common):
-                    size = self.shard
-                    final[i] += payload[offset : offset + size]
-                    offset += size
-            proc.store("y_shards", final)
+            machine[p].store("y_shards", plan.reduce_y(p, received[p]))
 
     # -- driver --------------------------------------------------------------------------------
 

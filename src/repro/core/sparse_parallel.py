@@ -76,42 +76,47 @@ class SparseParallelSTTSV(ParallelSTTSV):
             )
             machine[p].store("x_shards", shards[p])
 
-    def _local_compute(self, machine: Machine) -> None:
-        for p in range(machine.P):
-            proc = machine[p]
-            x_full: Dict[int, np.ndarray] = proc.load("x_full")
-            indices, values = proc.load("sparse_entries")
-            # Assemble a local view of x over the padded index space;
-            # only rows in R_p are populated — exactly the data the
-            # exchange phase delivered (ownership guarantees every
-            # local entry's indices fall inside R_p's row blocks).
-            local_x = np.zeros(self.n_padded)
-            for i, row in x_full.items():
-                local_x[i * self.b : (i + 1) * self.b] = row
-            local_y = np.zeros(self.n_padded)
-            if values.size:
-                I, J, K = indices[:, 0], indices[:, 1], indices[:, 2]
-                w_i, w_j, w_k = contribution_weights(I, J, K)
-                local_y += np.bincount(
-                    I,
-                    weights=w_i * values * local_x[J] * local_x[K],
-                    minlength=self.n_padded,
-                )
-                local_y += np.bincount(
-                    J,
-                    weights=w_j * values * local_x[I] * local_x[K],
-                    minlength=self.n_padded,
-                )
-                local_y += np.bincount(
-                    K,
-                    weights=w_k * values * local_x[I] * local_x[J],
-                    minlength=self.n_padded,
-                )
-            y_partial = {
-                i: local_y[i * self.b : (i + 1) * self.b].copy()
-                for i in self.partition.R[p]
-            }
-            proc.store("y_partial", y_partial)
+    def _compute_processor(self, machine: Machine, p: int) -> None:
+        """Sparse phase-2 work of one simulated processor.
+
+        Overriding the per-processor hook (rather than the phase
+        driver) means the base class's opt-in thread pool applies to
+        the sparse variant unchanged.
+        """
+        proc = machine[p]
+        x_full: Dict[int, np.ndarray] = proc.load("x_full")
+        indices, values = proc.load("sparse_entries")
+        # Assemble a local view of x over the padded index space;
+        # only rows in R_p are populated — exactly the data the
+        # exchange phase delivered (ownership guarantees every
+        # local entry's indices fall inside R_p's row blocks).
+        local_x = np.zeros(self.n_padded)
+        for i, row in x_full.items():
+            local_x[i * self.b : (i + 1) * self.b] = row
+        local_y = np.zeros(self.n_padded)
+        if values.size:
+            I, J, K = indices[:, 0], indices[:, 1], indices[:, 2]
+            w_i, w_j, w_k = contribution_weights(I, J, K)
+            local_y += np.bincount(
+                I,
+                weights=w_i * values * local_x[J] * local_x[K],
+                minlength=self.n_padded,
+            )
+            local_y += np.bincount(
+                J,
+                weights=w_j * values * local_x[I] * local_x[K],
+                minlength=self.n_padded,
+            )
+            local_y += np.bincount(
+                K,
+                weights=w_k * values * local_x[I] * local_x[J],
+                minlength=self.n_padded,
+            )
+        y_partial = {
+            i: local_y[i * self.b : (i + 1) * self.b].copy()
+            for i in self.partition.R[p]
+        }
+        proc.store("y_partial", y_partial)
 
     def load_balance(self, machine: Machine) -> Dict[str, float]:
         """Realized nonzero distribution across processors."""

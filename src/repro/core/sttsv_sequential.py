@@ -135,8 +135,17 @@ def sttsv_packed_bincount(
 
 
 def sttsv(tensor: PackedSymmetricTensor, x: np.ndarray) -> np.ndarray:
-    """Public entry point: the fastest exact sequential kernel."""
-    return sttsv_packed_bincount(tensor, x)
+    """Public entry point: the fastest exact sequential kernel.
+
+    Compiles (and caches on the tensor) an execution plan so repeated
+    products against the same tensor — the shape of every iterative
+    driver in :mod:`repro.apps` — skip all ``x``-independent work. See
+    :mod:`repro.core.plans` for strategy selection and the batched
+    multi-vector entry point ``sequential_plan(tensor).apply_batch(X)``.
+    """
+    from repro.core.plans import sequential_plan  # deferred: avoids cycle
+
+    return sequential_plan(tensor).apply(x)
 
 
 def ttv_all_modes(tensor: PackedSymmetricTensor, x: np.ndarray) -> float:
@@ -144,4 +153,4 @@ def ttv_all_modes(tensor: PackedSymmetricTensor, x: np.ndarray) -> float:
 
     For a symmetric tensor this is ``xᵀ (A ×₂ x ×₃ x) = xᵀ y``.
     """
-    return float(np.dot(_check_vector(x, tensor.n), sttsv_packed(tensor, x)))
+    return float(np.dot(_check_vector(x, tensor.n), sttsv(tensor, x)))

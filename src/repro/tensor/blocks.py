@@ -20,6 +20,7 @@ with the multiplicity weights folded into the kernel (see
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -95,6 +96,30 @@ def block_counts(m: int) -> dict:
     }
 
 
+@lru_cache(maxsize=4096)
+def _block_offsets(I: int, J: int, K: int, b: int) -> np.ndarray:
+    """Packed offsets of block ``(I, J, K)`` of size ``b``, cached.
+
+    The offset map is independent of the tensor dimension ``n`` (the
+    packed layout is layered: entries with largest index < n occupy the
+    same offsets regardless of n), so one cache entry serves every
+    tensor — reloading a machine (HOPM restarts, deflation sweeps)
+    skips the offset recomputation entirely.
+    """
+    axis_i = np.arange(I * b, (I + 1) * b)
+    axis_j = np.arange(J * b, (J + 1) * b)
+    axis_k = np.arange(K * b, (K + 1) * b)
+    gi, gj, gk = np.meshgrid(axis_i, axis_j, axis_k, indexing="ij")
+    # Canonicalize (sort descending) without np.sort: min/max/the middle via
+    # elementwise ops is ~3x faster than a lexicographic sort pass.
+    hi = np.maximum(np.maximum(gi, gj), gk)
+    lo = np.minimum(np.minimum(gi, gj), gk)
+    mid = gi + gj + gk - hi - lo
+    offsets = hi * (hi + 1) * (hi + 2) // 6 + mid * (mid + 1) // 2 + lo
+    offsets.setflags(write=False)
+    return offsets
+
+
 def extract_block(
     tensor: PackedSymmetricTensor,
     block_index: Tuple[int, int, int],
@@ -106,7 +131,7 @@ def extract_block(
     mode 1 and analogously in modes 2 and 3. Extraction is fully
     vectorized: global indices are canonicalized (sorted descending)
     per element and gathered from packed storage in one fancy-indexing
-    pass.
+    pass over cached offsets (see :func:`_block_offsets`).
     """
     I, J, K = block_index
     n = tensor.n
@@ -114,17 +139,7 @@ def extract_block(
         raise ConfigurationError(
             f"block {block_index} with size {b} exceeds dimension {n}"
         )
-    axis_i = np.arange(I * b, (I + 1) * b)
-    axis_j = np.arange(J * b, (J + 1) * b)
-    axis_k = np.arange(K * b, (K + 1) * b)
-    gi, gj, gk = np.meshgrid(axis_i, axis_j, axis_k, indexing="ij")
-    # Canonicalize (sort descending) without np.sort: min/max/the middle via
-    # elementwise ops is ~3x faster than a lexicographic sort pass.
-    hi = np.maximum(np.maximum(gi, gj), gk)
-    lo = np.minimum(np.minimum(gi, gj), gk)
-    mid = gi + gj + gk - hi - lo
-    offsets = hi * (hi + 1) * (hi + 2) // 6 + mid * (mid + 1) // 2 + lo
-    return tensor.data[offsets]
+    return tensor.data[_block_offsets(I, J, K, b)]
 
 
 def extract_owned_blocks(

@@ -104,6 +104,11 @@ class PackedSymmetricTensor:
                     f"packed data must have shape ({size},), got {data.shape}"
                 )
         self.data = data
+        # Element-write counter consumed by the compiled-plan cache
+        # (see repro.core.plans): a plan bakes current values into its
+        # precomputed products, so it must detect writes through
+        # ``tensor[i, j, k] = v``.
+        self._mutations = 0
 
     # -- element access ---------------------------------------------------------
 
@@ -116,6 +121,7 @@ class PackedSymmetricTensor:
         i, j, k = canonical_triple(*indices)
         self._check_bounds(i)
         self.data[packed_index(i, j, k)] = value
+        self._mutations += 1
 
     def _check_bounds(self, largest: int) -> None:
         if largest >= self.n:

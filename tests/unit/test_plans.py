@@ -1,0 +1,347 @@
+"""Compiled execution plans: correctness, caching, and the invariance
+of communication accounting under the exchange-plan rewrite."""
+
+import numpy as np
+import pytest
+
+from repro.core import bounds
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.core.plans import (
+    DEFAULT_GEMM_BUDGET_BYTES,
+    ExchangePlan,
+    SequentialPlan,
+    invalidate_plan,
+    sequential_plan,
+)
+from repro.core.sparse_parallel import SparseParallelSTTSV
+from repro.core.sttsv_sequential import (
+    sttsv,
+    sttsv_packed,
+    sttsv_packed_bincount,
+)
+from repro.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.tensor.dense import random_symmetric
+from repro.tensor.packed import PackedSymmetricTensor
+from repro.tensor.sparse import SparseSymmetricTensor
+
+
+class TestSequentialPlanCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 30])
+    @pytest.mark.parametrize("strategy", ["gemm", "bincount"])
+    def test_apply_matches_reference(self, n, strategy, rng):
+        tensor = random_symmetric(n, seed=n)
+        x = rng.normal(size=n)
+        plan = SequentialPlan(tensor, strategy=strategy)
+        assert np.allclose(
+            plan.apply(x), sttsv_packed(tensor, x), rtol=1e-12, atol=1e-12
+        )
+
+    def test_bincount_strategy_bitwise_matches_kernel(self, rng):
+        """The bincount plan is the bincount kernel with weights hoisted
+        — identical multiply grouping, so identical bits."""
+        tensor = random_symmetric(23, seed=1)
+        x = rng.normal(size=23)
+        plan = SequentialPlan(tensor, strategy="bincount")
+        assert np.array_equal(plan.apply(x), sttsv_packed_bincount(tensor, x))
+
+    @pytest.mark.parametrize("strategy", ["gemm", "bincount"])
+    def test_apply_batch_vs_column_loop(self, strategy, rng):
+        """Batched result vs a column-by-column sttsv loop.
+
+        The bincount strategy is exactly a column loop, so equality is
+        exact; gemm uses a multi-column GEMM whose per-column bits may
+        differ from a GEMV in the last ulp — tight allclose there.
+        """
+        n, s = 20, 7
+        tensor = random_symmetric(n, seed=2)
+        X = rng.normal(size=(n, s))
+        plan = SequentialPlan(tensor, strategy=strategy)
+        batched = plan.apply_batch(X)
+        looped = np.column_stack([plan.apply(X[:, c]) for c in range(s)])
+        if strategy == "bincount":
+            assert np.array_equal(batched, looped)
+        else:
+            assert np.allclose(batched, looped, rtol=1e-12, atol=1e-14)
+
+    def test_apply_batch_vs_public_sttsv_loop(self, rng):
+        """Column-by-column public sttsv agrees with the batch engine."""
+        n, s = 18, 5
+        tensor = random_symmetric(n, seed=3)
+        X = rng.normal(size=(n, s))
+        batched = sequential_plan(tensor).apply_batch(X)
+        looped = np.column_stack([sttsv(tensor, X[:, c]) for c in range(s)])
+        assert np.allclose(batched, looped, rtol=1e-12, atol=1e-14)
+
+    def test_apply_batch_empty(self):
+        tensor = random_symmetric(6, seed=4)
+        out = sequential_plan(tensor).apply_batch(np.zeros((6, 0)))
+        assert out.shape == (6, 0)
+
+    def test_frobenius_norm_matches_multiplicity_sum(self):
+        tensor = random_symmetric(9, seed=5)
+        I, J, K = PackedSymmetricTensor.index_arrays(9)
+        multiplicity = np.where(
+            (I == J) & (J == K), 1.0, np.where((I == J) | (J == K), 3.0, 6.0)
+        )
+        expected = float(np.sum(multiplicity * tensor.data**2))
+        plan = sequential_plan(tensor)
+        assert plan.frobenius_norm_sq() == expected
+        dense = tensor.to_dense()
+        assert np.isclose(plan.frobenius_norm_sq(), np.sum(dense**2))
+
+    def test_shape_validation(self):
+        tensor = random_symmetric(5, seed=6)
+        plan = sequential_plan(tensor)
+        with pytest.raises(ConfigurationError):
+            plan.apply(np.ones(4))
+        with pytest.raises(ConfigurationError):
+            plan.apply_batch(np.ones((4, 2)))
+        with pytest.raises(ConfigurationError):
+            plan.apply_batch(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            SequentialPlan(tensor, strategy="magic")
+
+
+class TestStrategySelection:
+    def test_auto_prefers_gemm_within_budget(self):
+        plan = SequentialPlan(random_symmetric(12, seed=0))
+        assert plan.strategy == "gemm"
+        assert plan.nbytes() <= DEFAULT_GEMM_BUDGET_BYTES
+
+    def test_auto_falls_back_to_bincount(self):
+        plan = SequentialPlan(
+            random_symmetric(12, seed=0), gemm_budget_bytes=1
+        )
+        assert plan.strategy == "bincount"
+
+    def test_gemm_bytes_formula(self):
+        assert SequentialPlan._gemm_bytes(200) == 200 * (200 * 201 // 2) * 8
+
+
+class TestPlanCache:
+    def test_reuse_across_x_values(self, rng):
+        """Different vectors against the same tensor share one plan."""
+        tensor = random_symmetric(14, seed=7)
+        first = sequential_plan(tensor)
+        for _ in range(3):
+            x = rng.normal(size=14)
+            assert np.allclose(sttsv(tensor, x), sttsv_packed(tensor, x))
+        assert sequential_plan(tensor) is first
+
+    def test_distinct_tensors_get_distinct_plans(self):
+        """Plans are per-tensor: different n (and hence block size b in
+        any parallel embedding) never share compiled state."""
+        small = random_symmetric(8, seed=8)
+        large = random_symmetric(13, seed=9)
+        plan_small = sequential_plan(small)
+        plan_large = sequential_plan(large)
+        assert plan_small is not plan_large
+        assert plan_small.n == 8 and plan_large.n == 13
+
+    def test_element_write_invalidates(self, rng):
+        tensor = random_symmetric(10, seed=10)
+        x = rng.normal(size=10)
+        stale = sequential_plan(tensor)
+        before = sttsv(tensor, x)
+        tensor[3, 2, 1] = 99.0
+        assert not stale.matches(tensor)
+        after = sttsv(tensor, x)
+        assert sequential_plan(tensor) is not stale
+        assert not np.allclose(before, after)
+        assert np.allclose(after, sttsv_packed(tensor, x))
+
+    def test_data_replacement_invalidates(self, rng):
+        tensor = random_symmetric(10, seed=11)
+        stale = sequential_plan(tensor)
+        tensor.data = tensor.data * 2.0  # new array object
+        assert not stale.matches(tensor)
+        x = rng.normal(size=10)
+        assert np.allclose(sttsv(tensor, x), sttsv_packed(tensor, x))
+
+    def test_explicit_invalidation(self):
+        tensor = random_symmetric(7, seed=12)
+        first = sequential_plan(tensor)
+        invalidate_plan(tensor)
+        assert sequential_plan(tensor) is not first
+
+    def test_strategy_change_recompiles(self):
+        tensor = random_symmetric(7, seed=13)
+        auto = sequential_plan(tensor)
+        forced = sequential_plan(tensor, strategy="bincount")
+        assert forced.strategy == "bincount"
+        assert forced is not auto
+
+
+class TestThreadedLocalCompute:
+    def test_threaded_bitwise_identical_dense_q2(self, partition_q2, rng):
+        n = 30
+        tensor = random_symmetric(n, seed=14)
+        x = rng.normal(size=n)
+        results = []
+        for threads in (None, 4):
+            machine = Machine(partition_q2.P)
+            algo = ParallelSTTSV(partition_q2, n, local_threads=threads)
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            results.append(algo.gather_result(machine))
+        assert np.array_equal(results[0], results[1])
+
+    def test_threaded_bitwise_identical_sparse_q2(self, partition_q2, rng):
+        n = 30
+        entries = {(5, 3, 2): 1.5, (10, 10, 10): -2.0, (29, 7, 7): 0.25}
+        tensor = SparseSymmetricTensor.from_entries(n, entries)
+        x = rng.normal(size=n)
+        results = []
+        for threads in (None, 3):
+            machine = Machine(partition_q2.P)
+            algo = SparseParallelSTTSV(
+                partition_q2, n, local_threads=threads
+            )
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            results.append(algo.gather_result(machine))
+        assert np.array_equal(results[0], results[1])
+
+    def test_invalid_thread_count_rejected(self, partition_q2):
+        with pytest.raises(ConfigurationError):
+            ParallelSTTSV(partition_q2, 30, local_threads=0)
+
+
+class TestExchangePlan:
+    def test_payloads_match_direct_formulation(self, partition_q2, rng):
+        """The compiled gather produces exactly the payloads of the
+        seed's dict-walking formulation (same contents, same sizes)."""
+        from repro.core import distribution as dist
+
+        n = 30
+        tensor = random_symmetric(n, seed=15)
+        x = rng.normal(size=n)
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, n)
+        algo.load(machine, tensor, x)
+        plan = algo.exchange_plan
+        for p in range(machine.P):
+            plan.stage_x(p, machine[p].load("x_shards"))
+        for (src, dst), common in algo.schedule.shared.items():
+            shards = machine[src].load("x_shards")
+            reference = np.concatenate([shards[i] for i in sorted(common)])
+            assert np.array_equal(plan.x_payload(src, dst), reference)
+        algo.run(machine)
+        for p in range(machine.P):
+            plan.stage_y(p, machine[p].load("y_partial"))
+        for (src, dst), common in algo.schedule.shared.items():
+            partial = machine[src].load("y_partial")
+            pieces = []
+            for i in sorted(common):
+                lo, hi = dist.shard_bounds(partition_q2, i, dst, algo.b)
+                pieces.append(partial[i][lo:hi])
+            reference = np.concatenate(pieces)
+            assert np.array_equal(plan.y_payload(src, dst), reference)
+
+    def test_non_neighbor_payload_is_none(self, partition_sqs8):
+        algo = ParallelSTTSV(partition_sqs8, 56)
+        plan = algo.exchange_plan
+        non_neighbors = [
+            (src, dst)
+            for src in range(partition_sqs8.P)
+            for dst in range(partition_sqs8.P)
+            if src != dst and (src, dst) not in algo.schedule.shared
+        ]
+        assert non_neighbors, "SQS(8) exchange graph should not be complete"
+        src, dst = non_neighbors[0]
+        assert plan.x_payload(src, dst) is None
+        assert plan.y_payload(src, dst) is None
+
+    def test_plan_compiled_per_instance_dimensions(self, partition_q2):
+        """Different n (hence different b) compile different plans."""
+        small = ParallelSTTSV(partition_q2, 30).exchange_plan
+        large = ParallelSTTSV(partition_q2, 61).exchange_plan
+        assert small.b == 6 and large.b == 18
+        assert small.shard == 1 and large.shard == 3
+        pair = next(iter(small.x_gather))
+        assert small.x_gather[pair].size < large.x_gather[pair].size
+
+
+class TestCommunicationAccountingInvariance:
+    """The exchange-plan rewrite must not change a single ledger count:
+    words, messages, and rounds pinned to their analytic values for
+    both backends (the values the direct implementation produced)."""
+
+    N = 30
+
+    def _run(self, partition, backend):
+        machine = Machine(partition.P)
+        algo = ParallelSTTSV(partition, self.N, backend)
+        algo.load(machine, random_symmetric(self.N, seed=16), np.ones(self.N))
+        algo.run(machine)
+        return machine, algo
+
+    def test_point_to_point_counts(self, partition_q2):
+        machine, algo = self._run(partition_q2, CommBackend.POINT_TO_POINT)
+        P = partition_q2.P
+        lam = partition_q2.steiner.point_replication()
+        words = 2 * partition_q2.r * (lam - 1) * algo.shard
+        assert machine.ledger.words_sent == [words] * P
+        assert machine.ledger.words_received == [words] * P
+        assert int(words) == int(bounds.optimal_bandwidth_cost(self.N, 2))
+        messages = 2 * algo.schedule.degrees.total
+        assert machine.ledger.messages_sent == [messages] * P
+        assert machine.ledger.messages_received == [messages] * P
+        assert machine.ledger.round_count() == 2 * bounds.schedule_step_count(2)
+        assert machine.ledger.all_rounds_are_permutations()
+
+    def test_all_to_all_counts(self, partition_q2):
+        machine, algo = self._run(partition_q2, CommBackend.ALL_TO_ALL)
+        P = partition_q2.P
+        words = 2 * (P - 1) * 2 * algo.shard
+        assert machine.ledger.words_sent == [words] * P
+        assert machine.ledger.words_received == [words] * P
+        messages = 2 * (P - 1)
+        assert machine.ledger.messages_sent == [messages] * P
+        assert machine.ledger.messages_received == [messages] * P
+        assert machine.ledger.round_count() == 2 * (P - 1)
+
+    @pytest.mark.parametrize("backend", list(CommBackend))
+    def test_results_still_correct(self, partition_q2, backend, rng):
+        tensor = random_symmetric(self.N, seed=17)
+        x = rng.normal(size=self.N)
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, self.N, backend)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        assert np.allclose(
+            algo.gather_result(machine), sttsv_packed(tensor, x)
+        )
+
+    def test_expected_words_helper_still_agrees(self, partition_sqs8):
+        machine = Machine(partition_sqs8.P)
+        algo = ParallelSTTSV(partition_sqs8, 56)
+        algo.load(machine, random_symmetric(56, seed=18), np.ones(56))
+        algo.run(machine)
+        assert (
+            machine.ledger.max_words_sent()
+            == algo.expected_words_per_processor()
+        )
+
+
+class TestRepeatedRuns:
+    def test_buffer_reuse_is_idempotent(self, partition_q2, rng):
+        """Reused staging/send buffers must not leak state run-to-run."""
+        n = 30
+        tensor = random_symmetric(n, seed=19)
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, n)
+        x1 = rng.normal(size=n)
+        algo.load(machine, tensor, x1)
+        algo.run(machine)
+        first = algo.gather_result(machine)
+        # Second run with different data through the same compiled plan.
+        x2 = rng.normal(size=n)
+        algo.load(machine, tensor, x2)
+        algo.run(machine)
+        assert np.allclose(algo.gather_result(machine), sttsv_packed(tensor, x2))
+        # And back: same input must reproduce the same output bitwise.
+        algo.load(machine, tensor, x1)
+        algo.run(machine)
+        assert np.array_equal(algo.gather_result(machine), first)
