@@ -12,7 +12,7 @@ Run:  python examples/hopm_eigenpairs.py
 
 import numpy as np
 
-from repro import Machine, TetrahedralPartition, spherical_steiner_system
+from repro import TetrahedralPartition, spherical_steiner_system
 from repro.apps.eigen import z_eigen_residual
 from repro.apps.hopm import parallel_hopm
 from repro.core.bounds import optimal_bandwidth_cost

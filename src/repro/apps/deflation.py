@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.hopm import HOPMResult, hopm, parallel_hopm
 from repro.core.partition import TetrahedralPartition
 from repro.errors import ConfigurationError
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 from repro.util.seeding import SeedLike, as_generator
 
@@ -59,6 +60,7 @@ def deflated_eigenpairs(
     tolerance: float = 1e-10,
     max_iterations: int = 300,
     seed: SeedLike = 0,
+    transport: Optional[Transport] = None,
 ) -> DeflationResult:
     """Find ``count`` Z-eigenpairs by HOPM + deflation.
 
@@ -71,6 +73,9 @@ def deflated_eigenpairs(
     restarts:
         Random restarts per stage; the run with the largest |λ| wins,
         biasing stages toward the dominant remaining component.
+    transport:
+        Passed through to every parallel HOPM stage (default in-process
+        simulation; the caller owns the transport's lifecycle).
 
     Examples
     --------
@@ -107,6 +112,7 @@ def deflated_eigenpairs(
                     x0=start,
                     tolerance=tolerance,
                     max_iterations=max_iterations,
+                    transport=transport,
                 )
             if best is None or abs(candidate.eigenvalue) > abs(best.eigenvalue):
                 best = candidate

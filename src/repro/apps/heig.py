@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 from repro.util.seeding import SeedLike, as_generator
 
@@ -119,12 +120,14 @@ def parallel_nqz_h_eigenpair(
     tolerance: float = 1e-12,
     max_iterations: int = 500,
     seed: SeedLike = 0,
+    transport: Optional[Transport] = None,
 ) -> HEigenResult:
     """Parallel NQZ: one Algorithm-5 exchange plus two scalar
     allreduces (Collatz bounds) and one (norm) per iteration.
 
     The iterate stays distributed as shards; Collatz–Wielandt min/max
     ratios reduce with max/min allreduces over per-processor partials.
+    ``transport`` selects who moves the bytes (caller-owned lifecycle).
     """
     _check_nonnegative(tensor)
     n = tensor.n
@@ -139,7 +142,7 @@ def parallel_nqz_h_eigenpair(
     rng = as_generator(seed)
     x = np.abs(rng.uniform(0.5, 1.5, size=n))
     x /= np.linalg.norm(x)
-    machine = Machine(partition.P)
+    machine = Machine(partition.P, transport=transport)
     algo = algo_probe
     algo.load(machine, tensor, x)
     total = CommunicationLedger(partition.P)

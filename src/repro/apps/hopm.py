@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 from repro.util.seeding import SeedLike, as_generator
 
@@ -169,15 +170,19 @@ def parallel_hopm(
     tolerance: float = 1e-10,
     max_iterations: int = 200,
     seed: SeedLike = 0,
+    transport: Optional["Transport"] = None,
 ) -> HOPMResult:
     """Parallel Algorithm 1 on the simulated machine.
 
     The iterate stays distributed as vector shards between iterations;
     each iteration costs one full Algorithm-5 exchange (measured in the
-    returned ledger) plus two scalar allreduces.
+    returned ledger) plus two scalar allreduces. ``transport`` selects
+    who moves the bytes (default in-process; pass a
+    :class:`~repro.machine.transport.shm.SharedMemoryTransport` to run
+    exchanges across worker processes — the caller closes it).
     """
     n = tensor.n
-    machine = Machine(partition.P)
+    machine = Machine(partition.P, transport=transport)
     algo = ParallelSTTSV(partition, n, backend)
     x = _initial_vector(n, x0, seed)
     algo.load(machine, tensor, x)

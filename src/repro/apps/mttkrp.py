@@ -10,7 +10,7 @@ optimal STTSV exchanges.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 
 
@@ -64,16 +65,18 @@ def parallel_symmetric_mttkrp(
     X: np.ndarray,
     *,
     backend: CommBackend = CommBackend.POINT_TO_POINT,
+    transport: Optional[Transport] = None,
 ) -> Tuple[np.ndarray, CommunicationLedger]:
     """Parallel MTTKRP: ``r`` Algorithm-5 executions on the simulator.
 
     Returns ``(Y, ledger)``; the ledger shows exactly ``r`` times the
     single-STTSV optimal cost in ``r`` times the steps. See
     :func:`parallel_symmetric_mttkrp_batched` for the variant that
-    ships all columns per message.
+    ships all columns per message. ``transport`` selects who moves the
+    bytes (caller-owned lifecycle).
     """
     X = _check_factor(tensor, X)
-    machine = Machine(partition.P)
+    machine = Machine(partition.P, transport=transport)
     algo = ParallelSTTSV(partition, tensor.n, backend)
     total = CommunicationLedger(partition.P)
     columns = []
@@ -89,6 +92,8 @@ def parallel_symmetric_mttkrp_batched(
     partition: TetrahedralPartition,
     tensor: PackedSymmetricTensor,
     X: np.ndarray,
+    *,
+    transport: Optional[Transport] = None,
 ) -> Tuple[np.ndarray, CommunicationLedger]:
     """Column-batched parallel MTTKRP: one exchange for all ``r`` columns.
 
@@ -101,10 +106,9 @@ def parallel_symmetric_mttkrp_batched(
     """
     X = _check_factor(tensor, X)
     n, r = X.shape
-    machine = Machine(partition.P)
+    machine = Machine(partition.P, transport=transport)
     algo = ParallelSTTSV(partition, n)
     b, shard = algo.b, algo.shard
-    m = partition.m
     from repro.core.distribution import shard_bounds
     from repro.core.parallel_sttsv import pad_tensor
     from repro.tensor.blocks import extract_block

@@ -30,6 +30,7 @@ from repro.core.schedule import build_exchange_schedule
 from repro.core.sttsv_ndim import sttsv_ndim_lower_bound
 from repro.errors import ReproError
 from repro.machine.machine import Machine
+from repro.machine.transport import TRANSPORTS, make_transport
 from repro.reporting.tables import (
     render_processor_table,
     render_row_block_table,
@@ -52,6 +53,16 @@ def _partition_from_args(args) -> TetrahedralPartition:
     partition = TetrahedralPartition(system)
     partition.validate()
     return partition
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=sorted(TRANSPORTS),
+        default="simulated",
+        help="who moves the bytes: in-process simulation (default) or"
+        " shared-memory worker processes (ledger counts are identical)",
+    )
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
@@ -112,21 +123,31 @@ def _command_analyze(args) -> int:
     x = np.random.default_rng(args.seed + 1).normal(size=n)
     print(
         f"Algorithm 5 on P = {partition.P} processors, n = {n}"
-        f" (padded to {ParallelSTTSV(partition, n).n_padded})"
+        f" (padded to {ParallelSTTSV(partition, n).n_padded},"
+        f" transport {args.backend})"
     )
     all_ok = True
-    for backend in CommBackend:
-        verdict = verify_sttsv_run(partition, tensor, x, backend)
-        print(
-            f"  {backend.value:>16}: {verdict.words_per_processor:>8}"
-            f" words/proc, {verdict.rounds:>4} rounds,"
-            f" max error {verdict.max_error:.2e}"
-        )
-        if args.audit:
-            print("   ", verdict.summary())
-            if not verdict.audit.ok:
-                print("   ", str(verdict.audit))
-        all_ok &= verdict.ok
+    transport = make_transport(args.backend, partition.P)
+    try:
+        for backend in CommBackend:
+            verdict = verify_sttsv_run(
+                partition, tensor, x, backend, transport=transport
+            )
+            print(
+                f"  {backend.value:>16}: {verdict.words_per_processor:>8}"
+                f" words/proc, {verdict.rounds:>4} rounds,"
+                f" max error {verdict.max_error:.2e}"
+            )
+            if args.timings:
+                for name, seconds in verdict.phase_seconds.items():
+                    print(f"      {name:<24} {seconds * 1e3:8.2f} ms")
+            if args.audit:
+                print("   ", verdict.summary())
+                if not verdict.audit.ok:
+                    print("   ", str(verdict.audit))
+            all_ok &= verdict.ok
+    finally:
+        transport.close()
     print(
         f"  {'lower bound':>16}: {bounds.sttsv_lower_bound(n, partition.P):>8.1f}"
         f" words/proc (Theorem 5.2)"
@@ -176,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the full ledger audit and exit nonzero on any violation",
     )
+    analyze.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-phase wall-clock timings (instrumentation spans)",
+    )
+    _add_backend_argument(analyze)
     analyze.set_defaults(func=_command_analyze)
 
     admissible = subparsers.add_parser(
@@ -194,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     symv.add_argument("--n", type=int, default=None)
     symv.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(symv)
     symv.set_defaults(func=_command_symv)
 
     return parser
@@ -212,13 +240,18 @@ def _command_symv(args) -> int:
     n = args.n if args.n else partition.m * partition.steiner.point_replication()
     matrix = random_symmetric_matrix(n, seed=args.seed)
     x = np.random.default_rng(args.seed + 1).normal(size=n)
-    machine = Machine(partition.P)
-    algo = ParallelSYMV(partition, n)
-    algo.load(machine, matrix, x)
-    algo.run(machine)
-    error = float(np.max(np.abs(algo.gather_result(machine) - symv_kernel(matrix, x))))
+    with Machine(
+        partition.P, transport=make_transport(args.backend, partition.P)
+    ) as machine:
+        algo = ParallelSYMV(partition, n)
+        algo.load(machine, matrix, x)
+        algo.run(machine)
+        error = float(
+            np.max(np.abs(algo.gather_result(machine) - symv_kernel(matrix, x)))
+        )
     print(
-        f"parallel SYMV on P = {partition.P} (PG(2,{args.q})), n = {n}:"
+        f"parallel SYMV on P = {partition.P} (PG(2,{args.q})), n = {n}"
+        f" [{args.backend}]:"
         f" {machine.ledger.max_words_sent()} words/proc,"
         f" {machine.ledger.round_count()} rounds, max error {error:.2e}"
     )

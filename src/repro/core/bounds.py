@@ -98,7 +98,7 @@ def computation_cost_exact(n: int, q: int) -> int:
     """Maximum per-processor ternary multiplications of Algorithm 5
     (§7.1) for padded dimension ``n`` divisible by ``q²+1``:
     ``C(q+1,3)·3b³ + q·(3b²(b−1)/2 + 2b²) + 3b(b−1)(b−2)/6 + 2b(b−1) + b``."""
-    P = processors_for_q(q)
+    processors_for_q(q)  # validates q is a prime power
     m = q * q + 1
     if n % m != 0:
         raise ConfigurationError(f"n={n} not divisible by q²+1={m}")

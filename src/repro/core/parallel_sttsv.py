@@ -13,6 +13,13 @@ Phases (function ``STTSV`` of the paper):
    covering ``p'``'s shard, and sums what it receives into its own
    final shard ``y[i]^{(p)}``.
 
+All data movement goes through the machine's pluggable transport
+(:mod:`repro.machine.transport`): construct the :class:`Machine` with a
+:class:`~repro.machine.transport.shm.SharedMemoryTransport` to execute
+both exchange phases across ``multiprocessing`` workers over shared
+memory. Ledger accounting is schedule-derived and therefore identical
+under every transport.
+
 Two communication backends:
 
 * ``CommBackend.POINT_TO_POINT`` — the §7.2.2 schedule: messages only
@@ -281,10 +288,18 @@ class ParallelSTTSV:
 
     def run(self, machine: Machine) -> None:
         """Execute all three phases; results stay distributed as
-        ``y_shards`` in each processor's memory."""
-        self._exchange_x(machine)
-        self._local_compute(machine)
-        self._exchange_y(machine)
+        ``y_shards`` in each processor's memory.
+
+        Each phase is wrapped in an instrumentation span, so traces and
+        the backend benchmarks can attribute wall-clock time to gather /
+        compute / reduce regardless of which transport moves the bytes.
+        """
+        with machine.instrument.span("sttsv:exchange-x"):
+            self._exchange_x(machine)
+        with machine.instrument.span("sttsv:local-compute"):
+            self._local_compute(machine)
+        with machine.instrument.span("sttsv:exchange-y"):
+            self._exchange_y(machine)
 
     def gather_result(self, machine: Machine) -> np.ndarray:
         """Reassemble the distributed ``y`` (verification step, outside

@@ -41,7 +41,7 @@ batch columns may differ from single-vector products in the last ulp
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

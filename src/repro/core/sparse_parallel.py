@@ -9,7 +9,11 @@ share as canonical COO entries and computes locally with the
 O(local-nnz) scatter kernel. **Communication is identical to the dense
 Algorithm 5** — only vector shards ever cross the network — so the
 optimal word counts carry over unchanged; what changes is local memory
-(O(nnz/P) instead of O(n³/6P)) and local work.
+(O(nnz/P) instead of O(n³/6P)) and local work. The exchange phases are
+inherited from :class:`~repro.core.parallel_sttsv.ParallelSTTSV`, so
+they run over whatever transport the :class:`Machine` was built with
+(in-process simulation or shared-memory workers) with identical ledger
+counts.
 
 Load balance caveat: the paper's load-balance analysis assumes dense
 blocks (uniform entry counts); a skewed hypergraph can concentrate

@@ -10,7 +10,7 @@ integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.partition import TetrahedralPartition
 from repro.core.sttsv_sequential import sttsv_packed
 from repro.machine.auditing import AuditReport, audit_ledger
 from repro.machine.machine import Machine
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 
 
@@ -38,6 +39,8 @@ class RunVerdict:
     rounds: int
     audit: AuditReport
     problems: List[str] = field(default_factory=list)
+    transport: str = "simulated"
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -62,9 +65,15 @@ def verify_sttsv_run(
     backend: CommBackend = CommBackend.POINT_TO_POINT,
     *,
     tolerance: float = 1e-9,
+    transport: Optional[Transport] = None,
 ) -> RunVerdict:
-    """Execute Algorithm 5 and return the full verdict."""
-    machine = Machine(partition.P)
+    """Execute Algorithm 5 and return the full verdict.
+
+    ``transport`` selects who moves the bytes (default: in-process
+    simulation); the ledger checks are transport-independent. The
+    caller owns the transport's lifecycle (``close()``).
+    """
+    machine = Machine(partition.P, transport=transport)
     algo = ParallelSTTSV(partition, tensor.n, backend)
     algo.load(machine, tensor, x)
     algo.run(machine)
@@ -101,4 +110,9 @@ def verify_sttsv_run(
         rounds=machine.ledger.round_count(),
         audit=audit,
         problems=problems,
+        transport=machine.transport.name,
+        phase_seconds={
+            name: timing.total_seconds
+            for name, timing in machine.instrument.timings().items()
+        },
     )

@@ -10,9 +10,22 @@ processors is recorded in a :class:`~repro.machine.ledger.CommunicationLedger`.
 
 Design notes
 ------------
-The simulator is sequential and deterministic: SPMD algorithms are
-expressed as loops over per-processor state with all cross-processor
-data movement funneled through the collectives in
+The machine layer is split into three pluggable services:
+
+* **Transport** (:mod:`repro.machine.transport`) — moves the bytes.
+  :class:`SimulatedTransport` is the sequential, deterministic default
+  (bit-for-bit the seed simulator's behavior);
+  :class:`SharedMemoryTransport` executes every exchange round across
+  ``multiprocessing`` workers over OS shared-memory buffers.
+* **CostModel** (:mod:`repro.machine.cost`) — prices each round's
+  transfer *schedule* into the ledger before any bytes move, so word /
+  message / round counts are identical under every transport. It also
+  carries the α-β-γ parameters and time estimates.
+* **Instrumentation** (:mod:`repro.machine.instrument`) — per-phase
+  wall-clock spans consumed by traces and benchmarks.
+
+SPMD algorithms are expressed as loops over per-processor state with
+all cross-processor data movement funneled through the collectives in
 :mod:`repro.machine.collectives`. Nothing stops Python code from
 peeking at another processor's memory — instead, correctness is
 enforced by the test suite, which verifies that algorithms produce
@@ -26,11 +39,21 @@ from repro.machine.message import Message
 from repro.machine.ledger import CommunicationLedger, RoundRecord
 from repro.machine.processor import Processor
 from repro.machine.machine import Machine
-from repro.machine.topology import CostModel
+from repro.machine.cost import CostModel
+from repro.machine.instrument import Instrumentation, PhaseTiming
+from repro.machine.transport import (
+    SharedMemoryTransport,
+    SimulatedTransport,
+    Transfer,
+    Transport,
+    TRANSPORTS,
+    make_transport,
+)
 from repro.machine.auditing import AuditReport, audit_ledger
 from repro.machine.collectives import (
     all_to_all,
     all_to_all_words,
+    execute_round,
     reduce_scatter,
     all_reduce_vector,
     point_to_point_rounds,
@@ -50,8 +73,17 @@ __all__ = [
     "Processor",
     "Machine",
     "CostModel",
+    "Instrumentation",
+    "PhaseTiming",
+    "SharedMemoryTransport",
+    "SimulatedTransport",
+    "Transfer",
+    "Transport",
+    "TRANSPORTS",
+    "make_transport",
     "all_to_all",
     "all_to_all_words",
+    "execute_round",
     "point_to_point_rounds",
     "all_gather",
     "all_reduce_scalar",

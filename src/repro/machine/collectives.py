@@ -16,6 +16,15 @@ bandwidth-optimal algorithms referenced by the paper (Thakur et al.):
   ``O(log P)`` rounds of one word each.
 * **Scheduled point-to-point** — caller-provided permutation rounds
   (the paper's Theorem 7.2 schedule).
+
+Every round follows the same three-step discipline:
+
+1. build the round's transfer *schedule* (a list of
+   :class:`~repro.machine.transport.base.Transfer` records);
+2. price the schedule into the ledger through ``machine.cost`` — so
+   word / message / round counts depend only on the schedule;
+3. hand the same schedule to ``machine.transport`` to move the bytes
+   (in-process copies, shared-memory workers, or any future backend).
 """
 
 from __future__ import annotations
@@ -26,10 +35,30 @@ import numpy as np
 
 from repro.errors import MachineError
 from repro.machine.machine import Machine
-from repro.machine.message import Message, word_count
+from repro.machine.message import word_count
+from repro.machine.transport import Transfer
 
 
 SendBuffers = Sequence[Dict[int, np.ndarray]]
+
+
+def execute_round(
+    machine: Machine,
+    label: str,
+    tag: str,
+    transfers: Sequence[Transfer],
+    record_empty: bool = False,
+) -> List[np.ndarray]:
+    """Price one round's schedule into the ledger, then move the bytes.
+
+    Returns the delivered arrays in transfer order. This is the single
+    funnel every collective's rounds go through — the separation that
+    keeps ledger counts transport-independent.
+    """
+    machine.cost.price_round(
+        machine.ledger, label, transfers, tag, record_empty=record_empty
+    )
+    return machine.transport.exchange(transfers)
 
 
 def _validate_sendbufs(machine: Machine, sendbufs: SendBuffers) -> None:
@@ -70,18 +99,18 @@ def all_to_all(
         if src in sendbufs[src]:
             recv[src][src] = np.array(sendbufs[src][src], copy=True)
     for shift in range(1, P):
-        machine.ledger.begin_round(f"{tag}:shift{shift}")
+        transfers: List[Transfer] = []
         for src in range(P):
             dst = (src + shift) % P
             payload = sendbufs[src].get(dst)
-            if payload is None:
+            if payload is None or word_count(payload) == 0:
                 continue
-            words = word_count(payload)
-            if words == 0:
-                continue
-            machine.ledger.record(Message(src, dst, words, tag))
-            recv[dst][src] = np.array(payload, copy=True)
-        machine.ledger.end_round()
+            transfers.append(Transfer(src, dst, payload))
+        delivered = execute_round(
+            machine, f"{tag}:shift{shift}", tag, transfers
+        )
+        for transfer, array in zip(transfers, delivered):
+            recv[transfer.dest][transfer.source] = array
     return recv
 
 
@@ -125,17 +154,19 @@ def point_to_point_rounds(
         receivers = list(round_map.values())
         if len(set(senders)) != len(senders) or len(set(receivers)) != len(receivers):
             raise MachineError(f"round {index} is not a permutation")
-        machine.ledger.begin_round(f"{tag}:round{index}")
+        transfers: List[Transfer] = []
         for src, dst in round_map.items():
             if src == dst:
                 raise MachineError(f"round {index}: self-send at {src}")
             payload = payload_for(src, dst)
-            words = word_count(payload)
-            if words == 0:
+            if word_count(payload) == 0:
                 continue
-            machine.ledger.record(Message(src, dst, words, tag))
-            recv[dst][src] = np.array(payload, copy=True)
-        machine.ledger.end_round()
+            transfers.append(Transfer(src, dst, payload))
+        delivered = execute_round(
+            machine, f"{tag}:round{index}", tag, transfers
+        )
+        for transfer, array in zip(transfers, delivered):
+            recv[transfer.dest][transfer.source] = array
     return recv
 
 
@@ -158,22 +189,21 @@ def all_gather(
     for p in range(P):
         gathered[p][p] = np.array(contributions[p], copy=True)
     for step in range(P - 1):
-        machine.ledger.begin_round(f"{tag}:step{step}")
+        transfers: List[Transfer] = []
+        origins: List[int] = []
         for p in range(P):
             dst = (p + 1) % P
             origin = (p - step) % P
             payload = gathered[p][origin]
             if payload is None:
                 raise MachineError("ring allgather lost a piece (internal)")
-            words = word_count(payload)
-            if words > 0:
-                machine.ledger.record(Message(p, dst, words, tag))
-        # Apply deliveries after recording the full round (synchronous step).
-        for p in range(P):
-            dst = (p + 1) % P
-            origin = (p - step) % P
-            gathered[dst][origin] = np.array(gathered[p][origin], copy=True)
-        machine.ledger.end_round()
+            transfers.append(Transfer(p, dst, payload))
+            origins.append(origin)
+        # Price the full round from the schedule, then apply deliveries
+        # (synchronous step); empty pieces travel but cost nothing.
+        delivered = execute_round(machine, f"{tag}:step{step}", tag, transfers)
+        for transfer, origin, array in zip(transfers, origins, delivered):
+            gathered[transfer.dest][origin] = array
     return [list(row) for row in gathered]
 
 
@@ -202,21 +232,21 @@ def broadcast(
     results: List[Optional[np.ndarray]] = [None] * P
     results[root] = payload.copy()
     for distance in reversed(_binomial_tree_rounds(P)):
-        machine.ledger.begin_round(f"{tag}:d{distance}")
-        new_holders = set()
+        transfers: List[Transfer] = []
         for src in holders:
             relative = (src - root) % P
             if relative % (2 * distance) == 0:
                 dst_rel = relative + distance
                 if dst_rel < P:
-                    dst = (root + dst_rel) % P
-                    machine.ledger.record(
-                        Message(src, dst, int(payload.size), tag)
+                    transfers.append(
+                        Transfer(src, (root + dst_rel) % P, payload)
                     )
-                    results[dst] = payload.copy()
-                    new_holders.add(dst)
-        holders |= new_holders
-        machine.ledger.end_round()
+        delivered = execute_round(
+            machine, f"{tag}:d{distance}", tag, transfers, record_empty=True
+        )
+        for transfer, array in zip(transfers, delivered):
+            results[transfer.dest] = array
+            holders.add(transfer.dest)
     if any(r is None for r in results):
         raise MachineError("broadcast failed to reach every processor")
     return [r for r in results]
@@ -251,18 +281,19 @@ def reduce_scatter(
         for p in range(P)
     ]
     for step in range(P - 1):
-        machine.ledger.begin_round(f"{tag}:step{step}")
-        transfers = []
+        transfers: List[Transfer] = []
+        slice_indices: List[int] = []
         for p in range(P):
             dst = (p + 1) % P
             slice_index = (p - step) % P
-            payload = running[p].pop(slice_index)
-            if slice_size > 0:
-                machine.ledger.record(Message(p, dst, slice_size, tag))
-            transfers.append((dst, slice_index, payload))
-        for dst, slice_index, payload in transfers:
-            running[dst][slice_index] = running[dst][slice_index] + payload
-        machine.ledger.end_round()
+            transfers.append(Transfer(p, dst, running[p].pop(slice_index)))
+            slice_indices.append(slice_index)
+        delivered = execute_round(machine, f"{tag}:step{step}", tag, transfers)
+        for transfer, slice_index, array in zip(
+            transfers, slice_indices, delivered
+        ):
+            dst = transfer.dest
+            running[dst][slice_index] = running[dst][slice_index] + array
     results = []
     for p in range(P):
         # After P-1 steps processor p holds exactly slice (p+1) mod P.
@@ -304,16 +335,19 @@ def all_reduce_scalar(
     if len(values) != P:
         raise MachineError("need one value per processor")
     partial = list(values)
-    alive = list(range(P))
     # Reduce to rank 0 along a binomial tree.
     for distance in _binomial_tree_rounds(P):
-        machine.ledger.begin_round(f"{tag}:reduce-d{distance}")
+        transfers: List[Transfer] = []
         for p in range(P):
             if p % (2 * distance) == distance:
-                dst = p - distance
-                machine.ledger.record(Message(p, dst, 1, tag))
-                partial[dst] = op(partial[dst], partial[p])
-        machine.ledger.end_round()
+                transfers.append(
+                    Transfer(p, p - distance, np.array([partial[p]]))
+                )
+        delivered = execute_round(
+            machine, f"{tag}:reduce-d{distance}", tag, transfers
+        )
+        for transfer, array in zip(transfers, delivered):
+            partial[transfer.dest] = op(partial[transfer.dest], float(array[0]))
     total = partial[0]
     results = broadcast(machine, 0, np.array([total]), tag=f"{tag}:bcast")
     return [float(r[0]) for r in results]

@@ -1,0 +1,85 @@
+"""The CostModel layer: schedule pricing + α-β-γ time estimates.
+
+Communication cost in this codebase is a pure function of the *round
+schedule* — the list of :class:`~repro.machine.transport.base.Transfer`
+records a collective is about to execute — never of the transport that
+moves the bytes. :meth:`CostModel.price_round` records a round into the
+:class:`~repro.machine.ledger.CommunicationLedger` *before* the
+transport runs, which is what guarantees word / message / round counts
+are identical under the simulated and shared-memory backends (asserted
+by the cross-backend equivalence tests).
+
+The same class carries the α-β-γ machine parameters (§3.1) and the
+derived time estimates the benchmarks report; it subsumes the old
+``repro.machine.topology.CostModel``, which now re-exports this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.machine.ledger import CommunicationLedger
+from repro.machine.message import Message, word_count
+from repro.machine.transport.base import Transfer
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """α-β-γ machine parameters plus the schedule-pricing rules.
+
+    Defaults are representative of a commodity cluster: 1 µs latency,
+    1 ns per 8-byte word (≈ 8 GB/s links), 0.1 ns per flop.
+    """
+
+    alpha: float = 1e-6
+    beta: float = 1e-9
+    gamma: float = 1e-10
+
+    # -- schedule pricing ------------------------------------------------------
+
+    def price_round(
+        self,
+        ledger: CommunicationLedger,
+        label: str,
+        transfers: Sequence[Transfer],
+        tag: str,
+        record_empty: bool = False,
+    ) -> None:
+        """Record one synchronous round's schedule into ``ledger``.
+
+        Each transfer becomes one :class:`Message` of
+        ``word_count(payload)`` words. Zero-word transfers are skipped
+        unless ``record_empty`` — mirroring the collectives' historical
+        accounting (broadcast records empties, ring collectives do not).
+        """
+        ledger.begin_round(label)
+        for transfer in transfers:
+            words = word_count(transfer.payload)
+            if words == 0 and not record_empty:
+                continue
+            ledger.record(Message(transfer.source, transfer.dest, words, tag))
+        ledger.end_round()
+
+    # -- α-β-γ time estimates --------------------------------------------------
+
+    def bandwidth_time(self, ledger: CommunicationLedger) -> float:
+        """``β · Σ_rounds max-per-processor-words`` — the synchronous
+        critical-path bandwidth time."""
+        return self.beta * sum(r.max_words() for r in ledger.rounds)
+
+    def latency_time(self, ledger: CommunicationLedger) -> float:
+        """``α · #rounds`` — one latency per synchronous step."""
+        return self.alpha * ledger.round_count()
+
+    def communication_time(self, ledger: CommunicationLedger) -> float:
+        """Latency plus bandwidth along the synchronous critical path."""
+        return self.latency_time(ledger) + self.bandwidth_time(ledger)
+
+    def computation_time(self, flops: int) -> float:
+        """``γ · flops`` for a per-processor flop count."""
+        return self.gamma * flops
+
+    def total_time(self, ledger: CommunicationLedger, flops: int) -> float:
+        """Estimated wall time: communication + per-processor computation."""
+        return self.communication_time(ledger) + self.computation_time(flops)

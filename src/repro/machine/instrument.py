@@ -1,0 +1,101 @@
+"""Wall-clock instrumentation: per-phase timers and span hooks.
+
+Every :class:`~repro.machine.machine.Machine` owns an
+:class:`Instrumentation`; algorithm drivers wrap their phases in
+``machine.instrument.span("sttsv:exchange-x")`` so benchmarks
+(``benchmarks/run_backends_bench.py``) and traces
+(:func:`repro.reporting.trace.phase_table`) can attribute time to
+gather / compute / reduce without touching the ledger — the model
+costs stay schedule-derived, the spans measure reality.
+
+Hooks registered with :meth:`Instrumentation.add_hook` fire on every
+span close with ``(name, seconds)``, which is how external profilers or
+streaming dashboards subscribe without polling.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
+
+SpanHook = Callable[[str, float], None]
+
+
+@dataclass
+class PhaseTiming:
+    """Aggregated wall-clock time of one named phase."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average duration per span (0 when never entered)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class Instrumentation:
+    """Per-phase timer registry with span hooks.
+
+    Examples
+    --------
+    >>> instrument = Instrumentation()
+    >>> with instrument.span("demo"):
+    ...     pass
+    >>> instrument.timings()["demo"].count
+    1
+    """
+
+    def __init__(self):
+        self._timings: Dict[str, PhaseTiming] = {}
+        self._hooks: List[SpanHook] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a phase; nesting is allowed (each level records itself)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            record = self._timings.get(name)
+            if record is None:
+                record = self._timings[name] = PhaseTiming(name)
+            record.count += 1
+            record.total_seconds += elapsed
+            for hook in self._hooks:
+                hook(name, elapsed)
+
+    def add_hook(self, hook: SpanHook) -> None:
+        """Subscribe ``hook(name, seconds)`` to every span close."""
+        self._hooks.append(hook)
+
+    def timings(self) -> Dict[str, PhaseTiming]:
+        """Aggregated timings keyed by span name (insertion-ordered)."""
+        return dict(self._timings)
+
+    def total_seconds(self, name: str) -> float:
+        """Total time spent in ``name`` (0.0 if never entered)."""
+        record = self._timings.get(name)
+        return record.total_seconds if record else 0.0
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly summary used by the benchmark reports."""
+        return {
+            name: {
+                "count": record.count,
+                "total_seconds": record.total_seconds,
+                "mean_seconds": record.mean_seconds,
+            }
+            for name, record in self._timings.items()
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded timings (hooks stay registered)."""
+        self._timings.clear()
+
+    def __repr__(self) -> str:
+        return f"Instrumentation(phases={sorted(self._timings)})"

@@ -1,21 +1,30 @@
-"""The simulated machine: processors + network ledger."""
+"""The simulated machine: processors + transport + cost model + ledger."""
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.errors import MachineError
+from repro.machine.cost import CostModel
+from repro.machine.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.processor import Processor
+from repro.machine.transport import SimulatedTransport, Transport
 from repro.util.validation import check_positive_int
 
 
 class Machine:
     """``P`` fully connected processors in the α-β-γ model (paper §3.1).
 
-    The machine owns the :class:`CommunicationLedger`; all collectives
-    in :mod:`repro.machine.collectives` take the machine as their first
-    argument and account every transferred word through it.
+    The machine composes the three machine-layer services:
+
+    * :attr:`transport` moves bytes (default
+      :class:`~repro.machine.transport.simulated.SimulatedTransport`;
+      pass a :class:`~repro.machine.transport.shm.SharedMemoryTransport`
+      to execute exchanges across OS processes);
+    * :attr:`cost` prices round schedules into :attr:`ledger` — counts
+      depend only on the schedule, never on the transport;
+    * :attr:`instrument` exposes per-phase wall-clock spans.
 
     Examples
     --------
@@ -24,12 +33,29 @@ class Machine:
     4
     >>> [p.rank for p in machine]
     [0, 1, 2, 3]
+    >>> machine.transport.name
+    'simulated'
     """
 
-    def __init__(self, n_processors: int):
+    def __init__(
+        self,
+        n_processors: int,
+        transport: Optional[Transport] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
         self.P = check_positive_int(n_processors, "n_processors")
+        if transport is None:
+            transport = SimulatedTransport(self.P)
+        if transport.P != self.P:
+            raise MachineError(
+                f"transport connects {transport.P} processors, machine"
+                f" has {self.P}"
+            )
+        self.transport = transport
+        self.cost = cost_model if cost_model is not None else CostModel()
         self.processors: List[Processor] = [Processor(r) for r in range(self.P)]
         self.ledger = CommunicationLedger(self.P)
+        self.instrument = Instrumentation()
 
     def __iter__(self) -> Iterator[Processor]:
         return iter(self.processors)
@@ -52,5 +78,15 @@ class Machine:
         self.ledger = CommunicationLedger(self.P)
         return old
 
+    def close(self) -> None:
+        """Release transport resources (worker processes, segments)."""
+        self.transport.close()
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
-        return f"Machine(P={self.P})"
+        return f"Machine(P={self.P}, transport={self.transport.name!r})"

@@ -1,47 +1,14 @@
-"""Cost models for runs recorded in a :class:`CommunicationLedger`.
+"""Backwards-compatible alias for the α-β-γ cost model.
 
-The α-β-γ model assigns ``α`` per message latency, ``β`` per word
-bandwidth, and ``γ`` per flop. The paper analyses the bandwidth term;
-this module evaluates full model estimates so benchmarks can also
-report latency-dominated regimes.
+The cost model moved to :mod:`repro.machine.cost` when the machine
+layer was split into Transport / CostModel / Instrumentation; the class
+gained schedule pricing (:meth:`~repro.machine.cost.CostModel.
+price_round`) while keeping the α-β-γ time estimates unchanged. Import
+from :mod:`repro.machine.cost` (or :mod:`repro.machine`) in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.machine.cost import CostModel
 
-from repro.machine.ledger import CommunicationLedger
-
-
-@dataclass(frozen=True)
-class CostModel:
-    """α-β-γ machine parameters (seconds per message / word / flop).
-
-    Defaults are representative of a commodity cluster: 1 µs latency,
-    1 ns per 8-byte word (≈ 8 GB/s links), 0.1 ns per flop.
-    """
-
-    alpha: float = 1e-6
-    beta: float = 1e-9
-    gamma: float = 1e-10
-
-    def bandwidth_time(self, ledger: CommunicationLedger) -> float:
-        """``β · Σ_rounds max-per-processor-words`` — the synchronous
-        critical-path bandwidth time."""
-        return self.beta * sum(r.max_words() for r in ledger.rounds)
-
-    def latency_time(self, ledger: CommunicationLedger) -> float:
-        """``α · #rounds`` — one latency per synchronous step."""
-        return self.alpha * ledger.round_count()
-
-    def communication_time(self, ledger: CommunicationLedger) -> float:
-        """Latency plus bandwidth along the synchronous critical path."""
-        return self.latency_time(ledger) + self.bandwidth_time(ledger)
-
-    def computation_time(self, flops: int) -> float:
-        """``γ · flops`` for a per-processor flop count."""
-        return self.gamma * flops
-
-    def total_time(self, ledger: CommunicationLedger, flops: int) -> float:
-        """Estimated wall time: communication + per-processor computation."""
-        return self.communication_time(ledger) + self.computation_time(flops)
+__all__ = ["CostModel"]

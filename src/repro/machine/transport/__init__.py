@@ -1,0 +1,58 @@
+"""Pluggable data-movement backends for the simulated machine.
+
+``Transport`` is the seam every scaling backend plugs into: the
+collectives in :mod:`repro.machine.collectives` compute a round's
+transfer *schedule*, price it into the ledger through the
+:class:`~repro.machine.cost.CostModel`, and hand the same schedule to
+``machine.transport`` to move the bytes. Adding a backend (MPI, async
+sockets, multi-node) means implementing ``exchange`` + ``close`` and
+registering a constructor here — no algorithm or ledger code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.machine.transport.base import Transfer, Transport, check_transfers
+from repro.machine.transport.shm import SharedMemoryTransport
+from repro.machine.transport.simulated import SimulatedTransport
+
+#: Registry of constructible backends, keyed by CLI name.
+TRANSPORTS: Dict[str, Callable[..., Transport]] = {
+    "simulated": SimulatedTransport,
+    "shm": SharedMemoryTransport,
+}
+
+
+def make_transport(name: str, n_processors: int, **kwargs) -> Transport:
+    """Construct a registered transport by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`TRANSPORTS` (``"simulated"``, ``"shm"``).
+    n_processors:
+        Machine size the transport connects.
+    kwargs:
+        Backend-specific options (e.g. ``n_workers`` for ``"shm"``).
+    """
+    try:
+        factory = TRANSPORTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown transport {name!r}; available:"
+            f" {', '.join(sorted(TRANSPORTS))}"
+        ) from None
+    return factory(n_processors, **kwargs)
+
+
+__all__ = [
+    "Transfer",
+    "Transport",
+    "TRANSPORTS",
+    "SharedMemoryTransport",
+    "SimulatedTransport",
+    "check_transfers",
+    "make_transport",
+]

@@ -1,0 +1,95 @@
+"""The Transport protocol: *who moves the bytes* of a communication round.
+
+The machine layer separates three concerns that the paper's model keeps
+distinct as well:
+
+* **Transport** (this protocol) — actually delivering payloads between
+  processors, one synchronous round at a time. Implementations range
+  from an in-process copy loop (:class:`~repro.machine.transport.
+  simulated.SimulatedTransport`) to worker processes copying through
+  OS shared memory (:class:`~repro.machine.transport.shm.
+  SharedMemoryTransport`).
+* **CostModel** (:mod:`repro.machine.cost`) — pricing the *schedule* of
+  a round into the :class:`~repro.machine.ledger.CommunicationLedger`.
+  Costs are a pure function of the transfer list, so word / message /
+  round counts are identical no matter which transport moved the bytes.
+* **Instrumentation** (:mod:`repro.machine.instrument`) — wall-clock
+  spans around phases, for benchmarks and traces.
+
+A transport receives the full round as an ordered list of
+:class:`Transfer` records and returns the delivered arrays in the same
+order. Deliveries must be *copies*: mutating a sender-side payload
+after ``exchange`` returns must never be observable at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled point-to-point payload of a synchronous round.
+
+    Attributes
+    ----------
+    source, dest:
+        Processor ranks; ``source != dest`` (local movement never goes
+        through a transport).
+    payload:
+        The array to deliver. May be empty (zero words); collectives
+        decide whether such transfers are scheduled at all.
+    """
+
+    source: int
+    dest: int
+    payload: np.ndarray
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Minimal interface every backend implements.
+
+    Attributes
+    ----------
+    name:
+        Stable backend identifier (``"simulated"``, ``"shm"``) used by
+        CLI flags and benchmark reports.
+    P:
+        Number of processors the transport connects.
+    """
+
+    name: str
+    P: int
+
+    def exchange(self, transfers: Sequence[Transfer]) -> List[np.ndarray]:
+        """Execute one synchronous round.
+
+        Returns one delivered array per transfer, in input order; each
+        is an independent copy of the corresponding payload.
+        """
+        ...
+
+    def close(self) -> None:
+        """Release any resources (worker processes, shared segments).
+
+        Must be idempotent; the in-process transport makes it a no-op.
+        """
+        ...
+
+
+def check_transfers(P: int, transfers: Sequence[Transfer]) -> None:
+    """Validate ranks of a round's transfers against ``P`` processors."""
+    for t in transfers:
+        if not (0 <= t.source < P and 0 <= t.dest < P):
+            raise MachineError(
+                f"transfer {t.source}->{t.dest} references unknown"
+                f" processor (P={P})"
+            )
+        if t.source == t.dest:
+            raise MachineError(f"transfer at rank {t.source} is a self-send")

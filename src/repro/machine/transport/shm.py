@@ -1,0 +1,257 @@
+"""Shared-memory transport: rounds executed by ``multiprocessing`` workers.
+
+Every synchronous round makes a real cross-process trip:
+
+1. the coordinator packs all payloads into a shared *outbox* segment
+   (:class:`multiprocessing.shared_memory.SharedMemory`);
+2. a persistent pool of worker processes — the "network" — copies each
+   payload's bytes from the outbox into a shared *inbox* segment (the
+   copy instructions are split across workers, so disjoint payloads
+   move concurrently);
+3. the coordinator unpacks the inbox into fresh receiver-side arrays.
+
+Because the wire format is raw little-endian bytes of the original
+arrays, delivered values are bitwise identical to the payloads — the
+property the cross-backend equivalence tests assert. The ledger never
+sees this module: costs are priced from the transfer schedule by
+:class:`repro.machine.cost.CostModel` before the bytes move, so word /
+message / round counts are the same as under the simulated transport.
+
+The worker pool and both segments are created lazily on the first
+``exchange`` and grow geometrically when a round needs more room.
+Always ``close()`` the transport (or use it as a context manager) so
+the segments are unlinked and the workers join.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import uuid
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.transport.base import Transfer, check_transfers
+from repro.util.validation import check_positive_int
+
+#: (outbox offset, inbox offset, byte count) copy instruction.
+CopyOp = Tuple[int, int, int]
+
+_WORKER_TIMEOUT_SECONDS = 60.0
+
+
+def _attach(cache: Dict[str, shared_memory.SharedMemory], name: str):
+    segment = cache.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        cache[name] = segment
+    return segment
+
+
+def _worker_main(task_queue, done_queue) -> None:
+    """Worker loop: copy byte ranges from the outbox into the inbox.
+
+    Runs in a child process. Tasks are ``(out_name, in_name, ops)``;
+    ``None`` shuts the worker down. Each completed task is acknowledged
+    on ``done_queue`` with ``("ok", n_ops)`` or ``("error", message)``.
+    """
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            out_name, in_name, ops = task
+            try:
+                outbox = _attach(segments, out_name)
+                inbox = _attach(segments, in_name)
+                for out_offset, in_offset, nbytes in ops:
+                    inbox.buf[in_offset : in_offset + nbytes] = outbox.buf[
+                        out_offset : out_offset + nbytes
+                    ]
+                done_queue.put(("ok", len(ops)))
+            except Exception as error:  # surfaced by the coordinator
+                done_queue.put(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        for segment in segments.values():
+            segment.close()
+
+
+class SharedMemoryTransport:
+    """Cross-process delivery over OS shared memory.
+
+    Parameters
+    ----------
+    n_processors:
+        Simulated machine size (ranks the transfers may reference).
+    n_workers:
+        Worker processes performing the copies; defaults to
+        ``min(4, os.cpu_count())``. More workers only help when rounds
+        carry many independent payloads.
+    """
+
+    name = "shm"
+
+    def __init__(self, n_processors: int, n_workers: Optional[int] = None):
+        self.P = check_positive_int(n_processors, "n_processors")
+        if n_workers is None:
+            n_workers = min(4, os.cpu_count() or 1)
+        self.n_workers = check_positive_int(n_workers, "n_workers")
+        self._context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
+        self._workers: List[mp.process.BaseProcess] = []
+        self._task_queue = None
+        self._done_queue = None
+        self._outbox: Optional[shared_memory.SharedMemory] = None
+        self._inbox: Optional[shared_memory.SharedMemory] = None
+        self._capacity = 0
+        self._closed = False
+        #: Rounds executed and bytes moved (for benchmark reports).
+        self.rounds_executed = 0
+        self.bytes_moved = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        self._task_queue = self._context.Queue()
+        self._done_queue = self._context.Queue()
+        for _ in range(self.n_workers):
+            process = self._context.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._done_queue),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(process)
+
+    def _ensure_capacity(self, nbytes: int) -> None:
+        if nbytes <= self._capacity:
+            return
+        new_capacity = max(nbytes, 2 * self._capacity, 1 << 16)
+        self._release_segments()
+        token = uuid.uuid4().hex[:12]
+        self._outbox = shared_memory.SharedMemory(
+            create=True, size=new_capacity, name=f"repro-out-{token}"
+        )
+        self._inbox = shared_memory.SharedMemory(
+            create=True, size=new_capacity, name=f"repro-in-{token}"
+        )
+        self._capacity = new_capacity
+
+    def _release_segments(self) -> None:
+        for segment in (self._outbox, self._inbox):
+            if segment is not None:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+        self._outbox = None
+        self._inbox = None
+        self._capacity = 0
+
+    def close(self) -> None:
+        """Shut down workers and unlink both shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers:
+            for _ in self._workers:
+                self._task_queue.put(None)
+            for process in self._workers:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+            self._task_queue.close()
+            self._done_queue.close()
+            self._workers = []
+        self._release_segments()
+
+    def __enter__(self) -> "SharedMemoryTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the round -----------------------------------------------------------
+
+    def exchange(self, transfers: Sequence[Transfer]) -> List[np.ndarray]:
+        """Move one round of payloads through shared memory."""
+        if self._closed:
+            raise MachineError("exchange() on a closed SharedMemoryTransport")
+        transfers = list(transfers)
+        check_transfers(self.P, transfers)
+        arrays = [np.ascontiguousarray(t.payload) for t in transfers]
+        offsets: List[int] = []
+        total = 0
+        for array in arrays:
+            offsets.append(total)
+            total += array.nbytes
+        if total == 0:
+            # Nothing on the wire; deliver empty/0-d copies directly.
+            return [array.copy() for array in arrays]
+
+        self._ensure_capacity(total)
+        self._ensure_workers()
+        out_view = np.frombuffer(self._outbox.buf, dtype=np.uint8)
+        for array, offset in zip(arrays, offsets):
+            if array.nbytes:
+                out_view[offset : offset + array.nbytes] = array.reshape(
+                    -1
+                ).view(np.uint8)
+
+        ops: List[CopyOp] = [
+            (offset, offset, array.nbytes)
+            for array, offset in zip(arrays, offsets)
+            if array.nbytes
+        ]
+        chunk = -(-len(ops) // len(self._workers))
+        batches = [ops[i : i + chunk] for i in range(0, len(ops), chunk)]
+        for batch in batches:
+            self._task_queue.put(
+                (self._outbox.name, self._inbox.name, batch)
+            )
+        for _ in batches:
+            try:
+                status, detail = self._done_queue.get(
+                    timeout=_WORKER_TIMEOUT_SECONDS
+                )
+            except Exception:
+                self.close()
+                raise MachineError(
+                    "shared-memory worker did not acknowledge a round"
+                    f" within {_WORKER_TIMEOUT_SECONDS:.0f}s"
+                ) from None
+            if status != "ok":
+                self.close()
+                raise MachineError(f"shared-memory worker failed: {detail}")
+
+        delivered: List[np.ndarray] = []
+        for array, offset in zip(arrays, offsets):
+            received = np.empty(array.shape, dtype=array.dtype)
+            if array.nbytes:
+                received.reshape(-1).view(np.uint8)[:] = np.frombuffer(
+                    self._inbox.buf, dtype=np.uint8
+                )[offset : offset + array.nbytes]
+            delivered.append(received)
+        self.rounds_executed += 1
+        self.bytes_moved += total
+        return delivered
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryTransport(P={self.P}, workers={self.n_workers},"
+            f" rounds={self.rounds_executed})"
+        )

@@ -1,0 +1,42 @@
+"""In-process transport preserving the seed simulator's behavior.
+
+Delivery is ``np.array(payload, copy=True)`` — exactly the copy the
+pre-refactor collectives performed inline — so every algorithm that ran
+on the monolithic machine layer produces bit-for-bit identical results
+through this transport.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.machine.transport.base import Transfer, check_transfers
+from repro.util.validation import check_positive_int
+
+
+class SimulatedTransport:
+    """Sequential, deterministic in-process delivery (the default)."""
+
+    name = "simulated"
+
+    def __init__(self, n_processors: int):
+        self.P = check_positive_int(n_processors, "n_processors")
+
+    def exchange(self, transfers: Sequence[Transfer]) -> List[np.ndarray]:
+        """Deliver each payload as an independent in-process copy."""
+        check_transfers(self.P, transfers)
+        return [np.array(t.payload, copy=True) for t in transfers]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+    def __enter__(self) -> "SimulatedTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SimulatedTransport(P={self.P})"

@@ -145,7 +145,20 @@ class ParallelSYMV:
         return store[i]
 
     def run(self, machine: Machine) -> None:
-        """Execute gather-x, block kernels, scatter-reduce-y."""
+        """Execute gather-x, block kernels, scatter-reduce-y.
+
+        Phases are wrapped in instrumentation spans; data movement goes
+        through the machine's transport (ledger counts are
+        schedule-derived, identical under every backend).
+        """
+        with machine.instrument.span("symv:exchange-x"):
+            self._gather_x(machine)
+        with machine.instrument.span("symv:local-compute"):
+            self._local_compute(machine)
+        with machine.instrument.span("symv:exchange-y"):
+            self._reduce_y(machine)
+
+    def _gather_x(self, machine: Machine) -> None:
         partition = self.partition
         P = machine.P
         received = point_to_point_rounds(
@@ -170,6 +183,9 @@ class ParallelSYMV:
                 full[i][lo:hi] = payload
             proc.store("x_full", full)
 
+    def _local_compute(self, machine: Machine) -> None:
+        partition = self.partition
+        P = machine.P
         for p in range(P):
             proc = machine[p]
             x_full = proc.load("x_full")
@@ -182,6 +198,9 @@ class ParallelSYMV:
                     partial[J] += block.T @ x_full[I]
             proc.store("y_partial", partial)
 
+    def _reduce_y(self, machine: Machine) -> None:
+        partition = self.partition
+        P = machine.P
         received = point_to_point_rounds(
             machine,
             self.rounds,

@@ -6,10 +6,22 @@ from repro.reporting.tables import (
     render_schedule,
     format_block,
 )
+from repro.reporting.trace import (
+    activity_strip,
+    phase_table,
+    round_table,
+    utilization,
+    word_histogram,
+)
 
 __all__ = [
     "render_processor_table",
     "render_row_block_table",
     "render_schedule",
     "format_block",
+    "activity_strip",
+    "phase_table",
+    "round_table",
+    "utilization",
+    "word_histogram",
 ]

@@ -63,7 +63,6 @@ def summary_statistics(partition: TetrahedralPartition) -> Dict[str, int]:
     """Structural invariants to compare against the paper's tables."""
     sizes_r = {len(r) for r in partition.R}
     sizes_n = {len(nn) for nn in partition.N}
-    sizes_d = {len(dd) for dd in partition.D}
     sizes_q = {len(qq) for qq in partition.Q}
     return {
         "P": partition.P,

@@ -4,18 +4,28 @@ Turns a :class:`~repro.machine.ledger.CommunicationLedger` into text
 summaries — a per-round table and a per-processor activity strip — used
 for debugging algorithms and for eyeballing that a schedule's rounds
 are balanced (every processor busy every step, uniform message sizes).
+:func:`phase_table` renders the wall-clock side: the per-phase timers
+collected by :class:`~repro.machine.instrument.Instrumentation`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.machine.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
 
 
-def round_table(ledger: CommunicationLedger, limit: int = None) -> str:
-    """One line per round: label, message count, words, permutation flag."""
+def round_table(ledger: CommunicationLedger, limit: Optional[int] = None) -> str:
+    """One line per round: label, message count, words, permutation flag.
+
+    An empty ledger renders as the header plus an explicit
+    ``(no rounds recorded)`` line rather than a bare header.
+    """
     lines = [f"{'#':>4} {'label':<24} {'msgs':>5} {'words':>7} {'perm':>5}"]
+    if not ledger.rounds:
+        lines.append("(no rounds recorded)")
+        return "\n".join(lines)
     rounds = ledger.rounds if limit is None else ledger.rounds[:limit]
     for index, record in enumerate(rounds):
         total = sum(message.words for message in record.messages)
@@ -69,3 +79,28 @@ def word_histogram(ledger: CommunicationLedger) -> Dict[int, int]:
         for message in record.messages:
             histogram[message.words] = histogram.get(message.words, 0) + 1
     return histogram
+
+
+def phase_table(
+    instrument: Instrumentation, limit: Optional[int] = None
+) -> str:
+    """Wall-clock per-phase summary from an instrumentation registry.
+
+    One line per span name: entry count, total and mean milliseconds.
+    Complements :func:`round_table` — rounds show the *model* cost,
+    phases show where real time went under the active transport.
+    """
+    lines = [f"{'phase':<28} {'count':>6} {'total ms':>10} {'mean ms':>10}"]
+    timings = list(instrument.timings().values())
+    if not timings:
+        lines.append("(no phases recorded)")
+        return "\n".join(lines)
+    if limit is not None:
+        timings = timings[:limit]
+    for record in timings:
+        lines.append(
+            f"{record.name[:28]:<28} {record.count:>6}"
+            f" {record.total_seconds * 1e3:>10.3f}"
+            f" {record.mean_seconds * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)

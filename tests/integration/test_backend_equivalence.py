@@ -1,0 +1,143 @@
+"""Cross-backend equivalence: shm and simulated transports agree exactly.
+
+The refactoring contract (three-step round discipline): ledger counts
+are derived from the transfer *schedule*, so they cannot depend on the
+transport; and the shared-memory backend moves raw little-endian bytes,
+so every delivered array — and hence every float accumulation in the
+reduce phases — is bit-for-bit the same as in-process copying. These
+tests pin both halves of that contract on real admissible systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.machine.machine import Machine
+from repro.machine.transport import SharedMemoryTransport, SimulatedTransport
+from repro.tensor.dense import random_symmetric
+
+
+def _ledger_fingerprint(ledger):
+    return {
+        "words_sent": list(ledger.words_sent),
+        "words_received": list(ledger.words_received),
+        "messages_sent": list(ledger.messages_sent),
+        "messages_received": list(ledger.messages_received),
+        "rounds": ledger.round_count(),
+        "labels": [record.label for record in ledger.rounds],
+    }
+
+
+def _run_sttsv(partition, n, seed, backend, transport):
+    tensor = random_symmetric(n, seed=seed)
+    x = np.random.default_rng(seed + 1).normal(size=n)
+    machine = Machine(partition.P, transport=transport)
+    algo = ParallelSTTSV(partition, n, backend)
+    algo.load(machine, tensor, x)
+    algo.run(machine)
+    return algo.gather_result(machine), _ledger_fingerprint(machine.ledger)
+
+
+@pytest.fixture(scope="module")
+def shm_q2():
+    transport = SharedMemoryTransport(10, n_workers=2)
+    yield transport
+    transport.close()
+
+
+@pytest.fixture(scope="module")
+def shm_q3():
+    transport = SharedMemoryTransport(30, n_workers=2)
+    yield transport
+    transport.close()
+
+
+class TestSTTSVEquivalence:
+    @pytest.mark.parametrize("backend", list(CommBackend))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_q2_bitwise_identical(self, partition_q2, shm_q2, backend, seed):
+        n = 30
+        y_sim, ledger_sim = _run_sttsv(
+            partition_q2, n, seed, backend, SimulatedTransport(partition_q2.P)
+        )
+        y_shm, ledger_shm = _run_sttsv(partition_q2, n, seed, backend, shm_q2)
+        assert np.array_equal(
+            y_sim.view(np.uint64), y_shm.view(np.uint64)
+        ), "y differs at the bit level between transports"
+        assert ledger_sim == ledger_shm
+
+    @pytest.mark.parametrize("backend", list(CommBackend))
+    def test_q3_bitwise_identical(self, partition_q3, shm_q3, backend):
+        n = 60
+        y_sim, ledger_sim = _run_sttsv(
+            partition_q3, n, 3, backend, SimulatedTransport(partition_q3.P)
+        )
+        y_shm, ledger_shm = _run_sttsv(partition_q3, n, 3, backend, shm_q3)
+        assert np.array_equal(y_sim.view(np.uint64), y_shm.view(np.uint64))
+        assert ledger_sim == ledger_shm
+
+    def test_q2_matches_sequential(self, partition_q2, shm_q2):
+        """The shm run is not just self-consistent — it is correct."""
+        from repro.core.sttsv_sequential import sttsv
+        from repro.tensor.packed import PackedSymmetricTensor
+
+        n = 30
+        tensor = random_symmetric(n, seed=1)
+        x = np.random.default_rng(2).normal(size=n)
+        machine = Machine(partition_q2.P, transport=shm_q2)
+        algo = ParallelSTTSV(partition_q2, n)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        assert isinstance(tensor, PackedSymmetricTensor)
+        assert np.allclose(
+            algo.gather_result(machine), sttsv(tensor, x), atol=1e-10
+        )
+
+
+class TestSYMVEquivalence:
+    def test_fano_plane_bitwise_identical(self):
+        from repro.matrix.packed import random_symmetric_matrix
+        from repro.matrix.parallel_symv import ParallelSYMV
+        from repro.matrix.partition import TriangleBlockPartition
+        from repro.steiner.pairwise import projective_plane_system
+
+        partition = TriangleBlockPartition(projective_plane_system(2))
+        partition.validate()
+        n = partition.m * partition.steiner.point_replication()
+        matrix = random_symmetric_matrix(n, seed=5)
+        x = np.random.default_rng(6).normal(size=n)
+
+        results = {}
+        fingerprints = {}
+        with SharedMemoryTransport(partition.P, n_workers=2) as shm:
+            for name, transport in (
+                ("simulated", SimulatedTransport(partition.P)),
+                ("shm", shm),
+            ):
+                machine = Machine(partition.P, transport=transport)
+                algo = ParallelSYMV(partition, n)
+                algo.load(machine, matrix, x)
+                algo.run(machine)
+                results[name] = algo.gather_result(machine)
+                fingerprints[name] = _ledger_fingerprint(machine.ledger)
+        assert np.array_equal(
+            results["simulated"].view(np.uint64),
+            results["shm"].view(np.uint64),
+        )
+        assert fingerprints["simulated"] == fingerprints["shm"]
+
+
+class TestInstrumentationAcrossBackends:
+    def test_spans_recorded_under_both(self, partition_q2, shm_q2):
+        n = 30
+        for transport in (SimulatedTransport(partition_q2.P), shm_q2):
+            machine = Machine(partition_q2.P, transport=transport)
+            algo = ParallelSTTSV(partition_q2, n)
+            algo.load(machine, random_symmetric(n, seed=0), np.ones(n))
+            algo.run(machine)
+            names = set(machine.instrument.timings())
+            assert {
+                "sttsv:exchange-x",
+                "sttsv:local-compute",
+                "sttsv:exchange-y",
+            } <= names

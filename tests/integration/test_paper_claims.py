@@ -11,7 +11,7 @@ import pytest
 from repro.core import bounds
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
-from repro.core.schedule import build_exchange_schedule, exchange_degrees
+from repro.core.schedule import build_exchange_schedule
 from repro.core.sttsv_sequential import sttsv_packed, sttsv_symmetric
 from repro.machine.machine import Machine
 from repro.reporting.tables import (
@@ -20,7 +20,6 @@ from repro.reporting.tables import (
     render_schedule,
     summary_statistics,
 )
-from repro.steiner import spherical_steiner_system
 from repro.tensor.dense import random_symmetric
 
 

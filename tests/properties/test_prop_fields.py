@@ -1,6 +1,6 @@
 """Property tests: GF(p^k) obeys the field axioms for random elements."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.fields.gf import GF

@@ -1,0 +1,89 @@
+"""Closed-form cost laws for the collectives, checked across P.
+
+The CostModel prices every round from the transfer schedule, so these
+counts are properties of the *algorithm*, independent of which
+transport moves the bytes. Each test asserts the textbook closed form:
+
+* all-to-all with uniform buffers of ``s`` words: every processor
+  sends ``(P-1)·s`` words across exactly ``P-1`` permutation rounds;
+* binomial-tree broadcast: ``ceil(log2 P)`` rounds, ``P-1`` messages
+  total (one per non-root), root sends ``ceil(log2 P)`` of them;
+* ring reduce-scatter on length-``L`` vectors: every processor sends
+  ``(L/P)·(P-1)`` words.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.collectives import all_to_all, broadcast, reduce_scatter
+from repro.machine.machine import Machine
+
+PROCESSOR_COUNTS = [2, 3, 4, 7, 8, 13]
+
+
+class TestAllToAllClosedForm:
+    @pytest.mark.parametrize("P", PROCESSOR_COUNTS)
+    @pytest.mark.parametrize("s", [1, 3])
+    def test_uniform_buffers(self, P, s):
+        machine = Machine(P)
+        send = [
+            {dst: np.ones(s) for dst in range(P) if dst != src}
+            for src in range(P)
+        ]
+        all_to_all(machine, send)
+        ledger = machine.ledger
+        assert ledger.words_sent == [(P - 1) * s] * P
+        assert ledger.words_received == [(P - 1) * s] * P
+        assert ledger.messages_sent == [P - 1] * P
+        assert ledger.round_count() == P - 1
+        assert ledger.all_rounds_are_permutations()
+
+    @pytest.mark.parametrize("P", PROCESSOR_COUNTS)
+    def test_self_buffers_are_free(self, P):
+        machine = Machine(P)
+        send = [{src: np.ones(5)} for src in range(P)]
+        all_to_all(machine, send)
+        assert machine.ledger.total_words() == 0
+
+
+class TestBroadcastClosedForm:
+    @pytest.mark.parametrize("P", PROCESSOR_COUNTS)
+    def test_binomial_tree(self, P):
+        machine = Machine(P)
+        broadcast(machine, root=0, value=np.ones(4))
+        ledger = machine.ledger
+        log_rounds = math.ceil(math.log2(P))
+        assert ledger.round_count() == log_rounds
+        assert sum(ledger.messages_sent) == P - 1
+        assert ledger.messages_sent[0] == log_rounds
+        assert sum(ledger.words_sent) == 4 * (P - 1)
+        assert ledger.all_rounds_are_permutations()
+
+    @pytest.mark.parametrize("P", PROCESSOR_COUNTS)
+    def test_nonzero_root_same_cost(self, P):
+        machine = Machine(P)
+        broadcast(machine, root=P - 1, value=np.ones(2))
+        ledger = machine.ledger
+        assert ledger.round_count() == math.ceil(math.log2(P))
+        assert sum(ledger.messages_sent) == P - 1
+
+    def test_single_processor_is_free(self):
+        machine = Machine(1)
+        broadcast(machine, root=0, value=np.ones(3))
+        assert machine.ledger.round_count() == 0
+
+
+class TestReduceScatterClosedForm:
+    @pytest.mark.parametrize("P", PROCESSOR_COUNTS)
+    @pytest.mark.parametrize("chunk", [1, 2])
+    def test_ring_words(self, P, chunk):
+        length = chunk * P
+        machine = Machine(P)
+        reduce_scatter(machine, [np.ones(length)] * P)
+        ledger = machine.ledger
+        assert ledger.words_sent == [chunk * (P - 1)] * P
+        assert ledger.words_received == [chunk * (P - 1)] * P
+        assert ledger.round_count() == P - 1
+        assert ledger.all_rounds_are_permutations()

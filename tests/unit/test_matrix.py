@@ -4,7 +4,7 @@ parallel SYMV and its bounds."""
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, PartitionError
+from repro.errors import ConfigurationError
 from repro.machine.machine import Machine
 from repro.matrix.bounds import (
     symv_lower_bound,

@@ -8,7 +8,6 @@ from repro.core import bounds
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.plans import (
     DEFAULT_GEMM_BUDGET_BYTES,
-    ExchangePlan,
     SequentialPlan,
     invalidate_plan,
     sequential_plan,

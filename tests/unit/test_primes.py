@@ -1,6 +1,5 @@
 """Primality / prime-power recognition used by the q-parameter checks."""
 
-import pytest
 
 from repro.fields.primes import (
     factorize,

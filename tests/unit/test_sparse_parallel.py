@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.core.parallel_sttsv import ParallelSTTSV
 from repro.core.sparse_parallel import SparseParallelSTTSV
 from repro.core.sttsv_sequential import sttsv_packed
 from repro.machine.machine import Machine

@@ -3,9 +3,11 @@
 import numpy as np
 
 from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.machine.instrument import Instrumentation
 from repro.machine.machine import Machine
 from repro.reporting.trace import (
     activity_strip,
+    phase_table,
     round_table,
     utilization,
     word_histogram,
@@ -35,6 +37,16 @@ class TestRoundTable:
         table = round_table(ledger, limit=3)
         assert "more rounds" in table
         assert len(table.splitlines()) == 1 + 3 + 1
+
+    def test_empty_ledger_is_explicit(self):
+        table = round_table(Machine(4).ledger)
+        assert "(no rounds recorded)" in table
+        assert len(table.splitlines()) == 2
+
+    def test_empty_ledger_with_limit(self):
+        table = round_table(Machine(4).ledger, limit=5)
+        assert "(no rounds recorded)" in table
+        assert "more rounds" not in table
 
 
 class TestActivityStrip:
@@ -80,3 +92,30 @@ class TestWordHistogram:
         histogram = word_histogram(ledger)
         assert set(histogram) <= {1, 2}
         assert sum(histogram.values()) == sum(ledger.messages_sent)
+
+
+class TestPhaseTable:
+    def test_empty_instrumentation_is_explicit(self):
+        table = phase_table(Instrumentation())
+        assert "(no phases recorded)" in table
+        assert len(table.splitlines()) == 2
+
+    def test_one_line_per_phase(self, partition_q2):
+        n = 30
+        machine = Machine(partition_q2.P)
+        algo = ParallelSTTSV(partition_q2, n)
+        algo.load(machine, random_symmetric(n, seed=0), np.ones(n))
+        algo.run(machine)
+        table = phase_table(machine.instrument)
+        assert "sttsv:exchange-x" in table
+        assert "sttsv:local-compute" in table
+        assert "sttsv:exchange-y" in table
+        assert len(table.splitlines()) == 1 + len(machine.instrument.timings())
+
+    def test_limit_truncates(self):
+        instrument = Instrumentation()
+        for name in ("a", "b", "c"):
+            with instrument.span(name):
+                pass
+        table = phase_table(instrument, limit=2)
+        assert len(table.splitlines()) == 1 + 2

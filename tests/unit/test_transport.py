@@ -1,0 +1,166 @@
+"""Transport layer: Transfer validation, both backends, byte fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MachineError
+from repro.machine.machine import Machine
+from repro.machine.transport import (
+    TRANSPORTS,
+    SharedMemoryTransport,
+    SimulatedTransport,
+    Transfer,
+    Transport,
+    check_transfers,
+    make_transport,
+)
+
+
+@pytest.fixture(scope="module")
+def shm_transport():
+    """One worker pool for the whole module — spawning is the slow part."""
+    transport = SharedMemoryTransport(4, n_workers=2)
+    yield transport
+    transport.close()
+
+
+def _round_trip(transport, payloads):
+    transfers = [
+        Transfer(source=src, dest=(src + 1) % transport.P, payload=arr)
+        for src, arr in enumerate(payloads)
+    ]
+    return transport.exchange(transfers)
+
+
+class TestCheckTransfers:
+    def test_self_send_rejected(self):
+        with pytest.raises(MachineError):
+            check_transfers(4, [Transfer(2, 2, np.ones(1))])
+
+    @pytest.mark.parametrize("src,dst", [(-1, 0), (0, 4), (9, 1)])
+    def test_unknown_rank_rejected(self, src, dst):
+        with pytest.raises(MachineError):
+            check_transfers(4, [Transfer(src, dst, np.ones(1))])
+
+    def test_valid_transfers_pass(self):
+        check_transfers(4, [Transfer(0, 1, np.ones(2)), Transfer(3, 2, None)])
+
+
+class TestMakeTransport:
+    def test_registry_names(self):
+        assert set(TRANSPORTS) == {"simulated", "shm"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_transport("mpi", 4)
+
+    @pytest.mark.parametrize("name", ["simulated", "shm"])
+    def test_instances_satisfy_protocol(self, name):
+        transport = make_transport(name, 3)
+        try:
+            assert isinstance(transport, Transport)
+            assert transport.name == name
+            assert transport.P == 3
+        finally:
+            transport.close()
+
+
+class TestSimulatedTransport:
+    def test_delivery_order_matches_transfer_order(self):
+        transport = SimulatedTransport(4)
+        out = _round_trip(transport, [np.full(2, float(p)) for p in range(4)])
+        for p, arr in enumerate(out):
+            assert np.array_equal(arr, np.full(2, float(p)))
+
+    def test_delivery_is_a_copy(self):
+        transport = SimulatedTransport(2)
+        payload = np.ones(3)
+        (delivered,) = transport.exchange([Transfer(0, 1, payload)])
+        payload[:] = 99.0
+        assert np.all(delivered == 1.0)
+
+    def test_context_manager(self):
+        with SimulatedTransport(2) as transport:
+            transport.exchange([Transfer(0, 1, np.ones(1))])
+
+
+class TestSharedMemoryTransport:
+    def test_delivery_order_matches_transfer_order(self, shm_transport):
+        out = _round_trip(
+            shm_transport, [np.full(3, float(p)) for p in range(4)]
+        )
+        for p, arr in enumerate(out):
+            assert np.array_equal(arr, np.full(3, float(p)))
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32, np.int64, np.int32, np.uint8]
+    )
+    def test_bitwise_fidelity_across_dtypes(self, shm_transport, dtype):
+        rng = np.random.default_rng(7)
+        payload = rng.integers(0, 100, size=17).astype(dtype)
+        (delivered,) = shm_transport.exchange([Transfer(0, 1, payload)])
+        assert delivered.dtype == payload.dtype
+        assert delivered.tobytes() == payload.tobytes()
+
+    def test_float_payload_bit_exact(self, shm_transport):
+        payload = np.random.default_rng(11).normal(size=64)
+        (delivered,) = shm_transport.exchange([Transfer(2, 3, payload)])
+        assert np.array_equal(
+            delivered.view(np.uint64), payload.view(np.uint64)
+        )
+
+    def test_multidimensional_shape_preserved(self, shm_transport):
+        payload = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        (delivered,) = shm_transport.exchange([Transfer(1, 0, payload)])
+        assert delivered.shape == (2, 3, 4)
+        assert np.array_equal(delivered, payload)
+
+    def test_empty_payload(self, shm_transport):
+        (delivered,) = shm_transport.exchange([Transfer(0, 2, np.empty(0))])
+        assert delivered.size == 0
+
+    def test_delivery_is_a_copy(self, shm_transport):
+        payload = np.ones(5)
+        (delivered,) = shm_transport.exchange([Transfer(0, 1, payload)])
+        payload[:] = -1.0
+        assert np.all(delivered == 1.0)
+
+    def test_buffer_growth(self, shm_transport):
+        """Rounds larger than the initial segment force regrowth."""
+        big = np.random.default_rng(3).normal(size=300_000)
+        (delivered,) = shm_transport.exchange([Transfer(0, 1, big)])
+        assert np.array_equal(delivered, big)
+        assert shm_transport.rounds_executed >= 1
+        assert shm_transport.bytes_moved >= big.nbytes
+
+    def test_many_rounds_reuse_pool(self, shm_transport):
+        before = shm_transport.rounds_executed
+        for _ in range(10):
+            _round_trip(shm_transport, [np.ones(4)] * 4)
+        assert shm_transport.rounds_executed == before + 10
+
+    def test_close_is_idempotent(self):
+        transport = SharedMemoryTransport(2, n_workers=1)
+        transport.exchange([Transfer(0, 1, np.ones(2))])
+        transport.close()
+        transport.close()
+
+    def test_context_manager_closes(self):
+        with SharedMemoryTransport(2, n_workers=1) as transport:
+            (out,) = transport.exchange([Transfer(1, 0, np.arange(3.0))])
+            assert np.array_equal(out, [0.0, 1.0, 2.0])
+
+
+class TestMachineTransportWiring:
+    def test_default_is_simulated(self):
+        machine = Machine(3)
+        assert machine.transport.name == "simulated"
+        assert machine.transport.P == 3
+
+    def test_processor_count_mismatch_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(3, transport=SimulatedTransport(4))
+
+    def test_machine_close_closes_transport(self):
+        with Machine(2, transport=SimulatedTransport(2)) as machine:
+            assert machine.transport.name == "simulated"

@@ -1,6 +1,5 @@
 """RunVerdict bundle: PASS on healthy runs, FAIL on injected faults."""
 
-import numpy as np
 import pytest
 
 from repro.core.parallel_sttsv import CommBackend
