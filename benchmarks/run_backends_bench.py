@@ -81,6 +81,10 @@ def bench_backend(
 
         total = median_seconds(run, repeats)
         machine.instrument.reset()
+        # Transport counters accumulated over warmup + timed repeats;
+        # zero them so the recorded shm_rounds_executed / shm_bytes_moved
+        # attribute to exactly the one instrumented run below.
+        transport.reset_stats()
         algo.load(machine, tensor, x)
         algo.run(machine)
         result = algo.gather_result(machine)

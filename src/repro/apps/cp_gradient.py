@@ -32,6 +32,8 @@ from repro.core.plans import sequential_plan
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
+from repro.machine.recovery import RecoveryPolicy
+from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 from repro.util.seeding import SeedLike, as_generator
 
@@ -93,6 +95,8 @@ def parallel_cp_gradient(
     X: np.ndarray,
     *,
     backend: CommBackend = CommBackend.POINT_TO_POINT,
+    transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> tuple:
     """Algorithm 2 with the r STTSVs executed in parallel on the simulator.
 
@@ -104,16 +108,20 @@ def parallel_cp_gradient(
 
     The ``backend`` parameter selects the exchange realization for the
     non-batched fallback; the batched path uses the point-to-point
-    schedule.
+    schedule. ``transport`` selects who moves the bytes and
+    ``recovery`` bounds the integrity-retry loop (DESIGN.md §8);
+    both are forwarded to the underlying machine.
     """
     X = _check_factor(tensor, X)
     if backend is CommBackend.POINT_TO_POINT:
         from repro.apps.mttkrp import parallel_symmetric_mttkrp_batched
 
-        Y, ledger = parallel_symmetric_mttkrp_batched(partition, tensor, X)
+        Y, ledger = parallel_symmetric_mttkrp_batched(
+            partition, tensor, X, transport=transport, recovery=recovery
+        )
         gram = X.T @ X
         return X @ (gram * gram) - Y, ledger
-    machine = Machine(partition.P)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = ParallelSTTSV(partition, tensor.n, backend)
     columns = []
     total = CommunicationLedger(partition.P)

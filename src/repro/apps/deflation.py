@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.hopm import HOPMResult, hopm, parallel_hopm
 from repro.core.partition import TetrahedralPartition
 from repro.errors import ConfigurationError
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 from repro.util.seeding import SeedLike, as_generator
@@ -61,6 +62,7 @@ def deflated_eigenpairs(
     max_iterations: int = 300,
     seed: SeedLike = 0,
     transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> DeflationResult:
     """Find ``count`` Z-eigenpairs by HOPM + deflation.
 
@@ -113,6 +115,7 @@ def deflated_eigenpairs(
                     tolerance=tolerance,
                     max_iterations=max_iterations,
                     transport=transport,
+                    recovery=recovery,
                 )
             if best is None or abs(candidate.eigenvalue) > abs(best.eigenvalue):
                 best = candidate

@@ -26,6 +26,7 @@ from repro.core.partition import TetrahedralPartition
 from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
 from repro.machine.transport import Transport
@@ -121,6 +122,7 @@ def parallel_nqz_h_eigenpair(
     max_iterations: int = 500,
     seed: SeedLike = 0,
     transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> HEigenResult:
     """Parallel NQZ: one Algorithm-5 exchange plus two scalar
     allreduces (Collatz bounds) and one (norm) per iteration.
@@ -142,7 +144,7 @@ def parallel_nqz_h_eigenpair(
     rng = as_generator(seed)
     x = np.abs(rng.uniform(0.5, 1.5, size=n))
     x /= np.linalg.norm(x)
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = algo_probe
     algo.load(machine, tensor, x)
     total = CommunicationLedger(partition.P)

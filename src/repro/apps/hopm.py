@@ -28,6 +28,7 @@ from repro.core.partition import TetrahedralPartition
 from repro.core.sttsv_sequential import sttsv, sttsv_packed_bincount
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.machine.collectives import all_reduce_scalar
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
 from repro.machine.transport import Transport
@@ -171,6 +172,7 @@ def parallel_hopm(
     max_iterations: int = 200,
     seed: SeedLike = 0,
     transport: Optional["Transport"] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> HOPMResult:
     """Parallel Algorithm 1 on the simulated machine.
 
@@ -179,10 +181,12 @@ def parallel_hopm(
     returned ledger) plus two scalar allreduces. ``transport`` selects
     who moves the bytes (default in-process; pass a
     :class:`~repro.machine.transport.shm.SharedMemoryTransport` to run
-    exchanges across worker processes — the caller closes it).
+    exchanges across worker processes — the caller closes it);
+    ``recovery`` bounds the retry loop for transfers that fail
+    end-of-round integrity verification (DESIGN.md §8).
     """
     n = tensor.n
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = ParallelSTTSV(partition, n, backend)
     x = _initial_vector(n, x0, seed)
     algo.load(machine, tensor, x)

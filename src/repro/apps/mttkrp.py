@@ -21,6 +21,7 @@ from repro.core.sttsv_sequential import sttsv
 from repro.errors import ConfigurationError
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.machine import Machine
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 
@@ -66,6 +67,7 @@ def parallel_symmetric_mttkrp(
     *,
     backend: CommBackend = CommBackend.POINT_TO_POINT,
     transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> Tuple[np.ndarray, CommunicationLedger]:
     """Parallel MTTKRP: ``r`` Algorithm-5 executions on the simulator.
 
@@ -76,7 +78,7 @@ def parallel_symmetric_mttkrp(
     bytes (caller-owned lifecycle).
     """
     X = _check_factor(tensor, X)
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = ParallelSTTSV(partition, tensor.n, backend)
     total = CommunicationLedger(partition.P)
     columns = []
@@ -94,6 +96,7 @@ def parallel_symmetric_mttkrp_batched(
     X: np.ndarray,
     *,
     transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> Tuple[np.ndarray, CommunicationLedger]:
     """Column-batched parallel MTTKRP: one exchange for all ``r`` columns.
 
@@ -106,7 +109,7 @@ def parallel_symmetric_mttkrp_batched(
     """
     X = _check_factor(tensor, X)
     n, r = X.shape
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = ParallelSTTSV(partition, n)
     b, shard = algo.b, algo.shard
     from repro.core.distribution import shard_bounds

@@ -30,7 +30,7 @@ from repro.core.schedule import build_exchange_schedule
 from repro.core.sttsv_ndim import sttsv_ndim_lower_bound
 from repro.errors import ReproError
 from repro.machine.machine import Machine
-from repro.machine.transport import TRANSPORTS, make_transport
+from repro.machine.transport import TRANSPORTS, FaultPolicy, make_transport
 from repro.reporting.tables import (
     render_processor_table,
     render_row_block_table,
@@ -113,23 +113,44 @@ def _command_bound(args) -> int:
     return 0
 
 
+class _RetryView:
+    """Duck-typed ledger view carrying only the retry side-channel,
+    for rendering a verdict through :func:`fault_summary`."""
+
+    def __init__(self, retry_rounds: int, retry_words: int, retry_messages: int):
+        self.retry_rounds = retry_rounds
+        self.retry_words = retry_words
+        self.retry_messages = retry_messages
+
+
 def _command_analyze(args) -> int:
     from repro.core.verification import verify_sttsv_run
+    from repro.reporting.trace import fault_summary
 
     partition = _partition_from_args(args)
     replication = partition.steiner.point_replication()
     n = args.n if args.n else partition.m * replication
     tensor = random_symmetric(n, seed=args.seed)
     x = np.random.default_rng(args.seed + 1).normal(size=n)
+    fault_policy = (
+        FaultPolicy.parse(args.faults) if args.faults is not None else None
+    )
     print(
         f"Algorithm 5 on P = {partition.P} processors, n = {n}"
         f" (padded to {ParallelSTTSV(partition, n).n_padded},"
-        f" transport {args.backend})"
+        f" transport {args.backend}"
+        + (f", faults {args.faults}" if fault_policy else "")
+        + ")"
     )
     all_ok = True
-    transport = make_transport(args.backend, partition.P)
-    try:
-        for backend in CommBackend:
+    for backend in CommBackend:
+        # One transport per comm backend: exchange() may close a broken
+        # transport mid-run (worker death), and per-backend stats must
+        # not accumulate across iterations.
+        transport = make_transport(
+            args.backend, partition.P, faults=fault_policy
+        )
+        try:
             verdict = verify_sttsv_run(
                 partition, tensor, x, backend, transport=transport
             )
@@ -137,17 +158,33 @@ def _command_analyze(args) -> int:
                 f"  {backend.value:>16}: {verdict.words_per_processor:>8}"
                 f" words/proc, {verdict.rounds:>4} rounds,"
                 f" max error {verdict.max_error:.2e}"
+                + (
+                    f" [{verdict.retry_rounds} retry rounds,"
+                    f" {verdict.retry_words} retry words]"
+                    if fault_policy
+                    else ""
+                )
             )
+            for warning in verdict.warnings:
+                print(f"      warning: {warning}")
             if args.timings:
                 for name, seconds in verdict.phase_seconds.items():
                     print(f"      {name:<24} {seconds * 1e3:8.2f} ms")
+            if fault_policy:
+                ledger = _RetryView(
+                    verdict.retry_rounds,
+                    verdict.retry_words,
+                    verdict.retry_messages,
+                )
+                for line in fault_summary(ledger, transport).splitlines():
+                    print(f"      {line}")
             if args.audit:
                 print("   ", verdict.summary())
                 if not verdict.audit.ok:
                     print("   ", str(verdict.audit))
             all_ok &= verdict.ok
-    finally:
-        transport.close()
+        finally:
+            transport.close()
     print(
         f"  {'lower bound':>16}: {bounds.sttsv_lower_bound(n, partition.P):>8.1f}"
         f" words/proc (Theorem 5.2)"
@@ -201,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print per-phase wall-clock timings (instrumentation spans)",
+    )
+    analyze.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="inject seeded transport faults, e.g."
+        " 'drop=0.1,corrupt=0.05,duplicate=0.05,seed=7' — results and"
+        " algorithmic ledger counts are unchanged; recovery cost shows"
+        " up in the retry counters",
     )
     _add_backend_argument(analyze)
     analyze.set_defaults(func=_command_analyze)

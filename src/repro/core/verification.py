@@ -20,6 +20,7 @@ from repro.core.partition import TetrahedralPartition
 from repro.core.sttsv_sequential import sttsv_packed
 from repro.machine.auditing import AuditReport, audit_ledger
 from repro.machine.machine import Machine
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import Transport
 from repro.tensor.packed import PackedSymmetricTensor
 
@@ -41,6 +42,13 @@ class RunVerdict:
     problems: List[str] = field(default_factory=list)
     transport: str = "simulated"
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # Recovery side-channel (DESIGN.md §8): cost of redelivering faulty
+    # transfers, kept apart from the algorithmic counts above.
+    retry_rounds: int = 0
+    retry_words: int = 0
+    retry_messages: int = 0
+    failed_over: bool = False
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -66,14 +74,20 @@ def verify_sttsv_run(
     *,
     tolerance: float = 1e-9,
     transport: Optional[Transport] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> RunVerdict:
     """Execute Algorithm 5 and return the full verdict.
 
     ``transport`` selects who moves the bytes (default: in-process
-    simulation); the ledger checks are transport-independent. The
-    caller owns the transport's lifecycle (``close()``).
+    simulation); the ledger checks are transport-independent — in
+    particular the ledger-vs-formula equality holds even under an
+    injected-fault transport, because redelivery cost is accounted in
+    the verdict's ``retry_*`` fields, never in ``words_sent``.
+    ``recovery`` bounds the retry loop (defaults to the machine's
+    default policy). The caller owns the transport's lifecycle
+    (``close()``).
     """
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, recovery=recovery)
     algo = ParallelSTTSV(partition, tensor.n, backend)
     algo.load(machine, tensor, x)
     algo.run(machine)
@@ -115,4 +129,9 @@ def verify_sttsv_run(
             name: timing.total_seconds
             for name, timing in machine.instrument.timings().items()
         },
+        retry_rounds=machine.ledger.retry_rounds,
+        retry_words=machine.ledger.retry_words,
+        retry_messages=machine.ledger.retry_messages,
+        failed_over=machine.failed_over,
+        warnings=list(machine.instrument.warnings),
     )

@@ -41,13 +41,18 @@ from repro.machine.processor import Processor
 from repro.machine.machine import Machine
 from repro.machine.cost import CostModel
 from repro.machine.instrument import Instrumentation, PhaseTiming
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import (
+    FaultInjectingTransport,
+    FaultPolicy,
+    FaultStats,
     SharedMemoryTransport,
     SimulatedTransport,
     Transfer,
     Transport,
     TRANSPORTS,
     make_transport,
+    payload_checksum,
 )
 from repro.machine.auditing import AuditReport, audit_ledger
 from repro.machine.collectives import (
@@ -75,6 +80,11 @@ __all__ = [
     "CostModel",
     "Instrumentation",
     "PhaseTiming",
+    "FaultInjectingTransport",
+    "FaultPolicy",
+    "FaultStats",
+    "RecoveryPolicy",
+    "payload_checksum",
     "SharedMemoryTransport",
     "SimulatedTransport",
     "Transfer",

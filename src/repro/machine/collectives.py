@@ -17,18 +17,28 @@ bandwidth-optimal algorithms referenced by the paper (Thakur et al.):
 * **Scheduled point-to-point** — caller-provided permutation rounds
   (the paper's Theorem 7.2 schedule).
 
-Every round follows the same three-step discipline:
+Every round follows the same four-step discipline:
 
 1. build the round's transfer *schedule* (a list of
    :class:`~repro.machine.transport.base.Transfer` records);
 2. price the schedule into the ledger through ``machine.cost`` — so
    word / message / round counts depend only on the schedule;
 3. hand the same schedule to ``machine.transport`` to move the bytes
-   (in-process copies, shared-memory workers, or any future backend).
+   (in-process copies, shared-memory workers, or any future backend);
+4. verify every delivered payload against a checksum computed from the
+   schedule *before* the bytes moved, re-executing only the failed
+   transfers under the machine's :class:`~repro.machine.recovery.
+   RecoveryPolicy` (retry cost lands in the ledger's ``retry_*``
+   side-channel, never in the algorithmic counts).
+
+If the transport itself dies mid-round — e.g. the shared-memory worker
+pool loses a process — and the machine allows failover, the round is
+re-executed on a fresh in-process transport (DESIGN.md §8).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -36,10 +46,24 @@ import numpy as np
 from repro.errors import MachineError
 from repro.machine.machine import Machine
 from repro.machine.message import word_count
-from repro.machine.transport import Transfer
+from repro.machine.transport import Transfer, payload_checksum
 
 
 SendBuffers = Sequence[Dict[int, np.ndarray]]
+
+
+def _exchange_with_failover(
+    machine: Machine, transfers: Sequence[Transfer]
+) -> List[np.ndarray]:
+    """One transport exchange, failing over to the in-process transport
+    when an unrecoverable transport error allows it."""
+    try:
+        return machine.transport.exchange(transfers)
+    except MachineError as error:
+        replacement = machine.fail_over(str(error))
+        if replacement is None:
+            raise
+        return replacement.exchange(transfers)
 
 
 def execute_round(
@@ -49,16 +73,63 @@ def execute_round(
     transfers: Sequence[Transfer],
     record_empty: bool = False,
 ) -> List[np.ndarray]:
-    """Price one round's schedule into the ledger, then move the bytes.
+    """Price one round's schedule into the ledger, move the bytes, and
+    verify the deliveries.
 
     Returns the delivered arrays in transfer order. This is the single
     funnel every collective's rounds go through — the separation that
-    keeps ledger counts transport-independent.
+    keeps ledger counts transport-independent, and the place where
+    end-of-round integrity verification happens: each payload's
+    checksum is computed from the schedule before the transport runs,
+    and any delivery that fails the check is re-executed (failed
+    transfers only) under ``machine.recovery``. A round that still
+    fails after the retry budget raises
+    :class:`~repro.errors.MachineError` — a faulty transport can cost
+    retry rounds but can never corrupt a result.
     """
+    transfers = list(transfers)
     machine.cost.price_round(
         machine.ledger, label, transfers, tag, record_empty=record_empty
     )
-    return machine.transport.exchange(transfers)
+    expected = [
+        payload_checksum(t.payload)
+        if isinstance(t.payload, np.ndarray)
+        else None
+        for t in transfers
+    ]
+    delivered = _exchange_with_failover(machine, transfers)
+    failed = [
+        index
+        for index, (array, digest) in enumerate(zip(delivered, expected))
+        if digest is not None and payload_checksum(array) != digest
+    ]
+    attempt = 0
+    recovery = machine.recovery
+    while failed:
+        attempt += 1
+        if attempt > recovery.max_retries:
+            raise MachineError(
+                f"round {label!r}: {len(failed)} transfer(s) failed"
+                f" integrity verification after {recovery.max_retries}"
+                " retries — unrecoverable transport faults"
+            )
+        backoff = recovery.backoff_seconds(attempt)
+        if backoff > 0:
+            time.sleep(backoff)
+        subset = [transfers[index] for index in failed]
+        machine.ledger.record_retry(
+            words=sum(word_count(t.payload) for t in subset),
+            messages=len(subset),
+        )
+        redelivered = _exchange_with_failover(machine, subset)
+        still_failed: List[int] = []
+        for index, array in zip(failed, redelivered):
+            if payload_checksum(array) == expected[index]:
+                delivered[index] = array
+            else:
+                still_failed.append(index)
+        failed = still_failed
+    return delivered
 
 
 def _validate_sendbufs(machine: Machine, sendbufs: SendBuffers) -> None:
@@ -320,6 +391,35 @@ def all_reduce_vector(
     return [np.concatenate(gathered[p]) for p in range(P)]
 
 
+def _check_reduction_op(op: Callable[[float, float], float]) -> None:
+    """Spot-check that ``op`` is associative and commutative.
+
+    The binomial tree applies ``op`` in a fixed, implementation-chosen
+    order (``op(partial[dest], incoming)`` at each merge), so any
+    order-sensitive operator would make the result depend on the tree
+    shape. The probe uses small integers whose float arithmetic is
+    exact, so well-behaved operators (``+``, ``*``, ``min``, ``max``)
+    always pass; it cannot prove the properties for every input — the
+    contract is documented on :func:`all_reduce_scalar`.
+    """
+    a, b, c = 2.0, 3.0, 5.0
+    try:
+        commutes = op(a, b) == op(b, a)
+        associates = op(op(a, b), c) == op(a, op(b, c))
+    except Exception as error:
+        raise MachineError(
+            f"allreduce op failed on float probes: {error}"
+        ) from error
+    if not (commutes and associates):
+        raise MachineError(
+            "allreduce op must be associative and commutative (the"
+            " binomial tree fixes the application order); probe"
+            f" op(2,3)={op(a, b)!r} op(3,2)={op(b, a)!r}"
+            f" op(op(2,3),5)={op(op(a, b), c)!r}"
+            f" op(2,op(3,5))={op(a, op(b, c))!r}"
+        )
+
+
 def all_reduce_scalar(
     machine: Machine,
     values: Sequence[float],
@@ -330,10 +430,22 @@ def all_reduce_scalar(
 
     Used by the parallel HOPM for norm computation; costs
     ``2 ceil(log2 P)`` rounds of one word each.
+
+    ``op`` **must be associative and commutative** (``+``, ``*``,
+    ``min``, ``max``): the binomial tree merges partials in a fixed
+    order determined only by ``P`` — rank pairs ``(p, p - distance)``
+    for distances 1, 2, 4, … — so for a conforming ``op`` the result is
+    deterministic and identical across transports (bitwise, even for
+    float summation, since every backend executes the same tree in the
+    same order). A cheap probe rejects obviously order-sensitive
+    operators like subtraction; true floating-point non-associativity
+    of ``+`` is harmless here precisely because the reduction order is
+    fixed.
     """
     P = machine.P
     if len(values) != P:
         raise MachineError("need one value per processor")
+    _check_reduction_op(op)
     partial = list(values)
     # Reduce to rank 0 along a binomial tree.
     for distance in _binomial_tree_rounds(P):

@@ -11,6 +11,13 @@ costs stay schedule-derived, the spans measure reality.
 Hooks registered with :meth:`Instrumentation.add_hook` fire on every
 span close with ``(name, seconds)``, which is how external profilers or
 streaming dashboards subscribe without polling.
+
+The same registry carries out-of-band *warnings*: degradation events
+that are not errors — most importantly a transport failover, when the
+machine abandons a dead shared-memory worker pool for the in-process
+transport. :meth:`Instrumentation.warn` records the message and fires
+every hook added with :meth:`Instrumentation.add_warning_hook`, so
+operators see the degradation without the run aborting.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List
 
 SpanHook = Callable[[str, float], None]
+WarningHook = Callable[[str], None]
 
 
 @dataclass
@@ -52,6 +60,9 @@ class Instrumentation:
     def __init__(self):
         self._timings: Dict[str, PhaseTiming] = {}
         self._hooks: List[SpanHook] = []
+        self._warning_hooks: List[WarningHook] = []
+        #: Degradation messages recorded by :meth:`warn`, in order.
+        self.warnings: List[str] = []
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
@@ -72,6 +83,20 @@ class Instrumentation:
     def add_hook(self, hook: SpanHook) -> None:
         """Subscribe ``hook(name, seconds)`` to every span close."""
         self._hooks.append(hook)
+
+    def add_warning_hook(self, hook: WarningHook) -> None:
+        """Subscribe ``hook(message)`` to every :meth:`warn` call."""
+        self._warning_hooks.append(hook)
+
+    def warn(self, message: str) -> None:
+        """Record a degradation event and notify warning hooks.
+
+        Used by the machine's transport failover: the run continues on
+        the fallback transport, but the event is never silent.
+        """
+        self.warnings.append(message)
+        for hook in self._warning_hooks:
+            hook(message)
 
     def timings(self) -> Dict[str, PhaseTiming]:
         """Aggregated timings keyed by span name (insertion-ordered)."""
@@ -94,8 +119,9 @@ class Instrumentation:
         }
 
     def reset(self) -> None:
-        """Drop all recorded timings (hooks stay registered)."""
+        """Drop all recorded timings and warnings (hooks stay registered)."""
         self._timings.clear()
+        self.warnings.clear()
 
     def __repr__(self) -> str:
         return f"Instrumentation(phases={sorted(self._timings)})"

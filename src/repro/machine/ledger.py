@@ -57,6 +57,12 @@ class CommunicationLedger:
         self.messages_received: List[int] = [0] * n_processors
         self.rounds: List[RoundRecord] = []
         self._open_round: Optional[RoundRecord] = None
+        # Recovery side-channel: redelivery cost after transport faults.
+        # Kept out of words_sent / rounds so the algorithmic counts the
+        # paper's closed forms are asserted against never move.
+        self.retry_rounds = 0
+        self.retry_words = 0
+        self.retry_messages = 0
 
     # -- round management ------------------------------------------------------
 
@@ -87,6 +93,20 @@ class CommunicationLedger:
         self.words_received[message.dest] += message.words
         self.messages_sent[message.source] += 1
         self.messages_received[message.dest] += 1
+
+    def record_retry(self, words: int, messages: int) -> None:
+        """Account one recovery round (re-execution of failed transfers).
+
+        Retries are real traffic on a faulty network, but they are not
+        part of the algorithm's schedule — they accumulate here instead
+        of the per-processor counters so ``words_sent`` etc. stay equal
+        to the closed forms while the recovery cost stays visible.
+        """
+        if words < 0 or messages < 0:
+            raise MachineError("negative retry accounting")
+        self.retry_rounds += 1
+        self.retry_words += words
+        self.retry_messages += messages
 
     # -- derived quantities -------------------------------------------------------
 
@@ -146,6 +166,9 @@ class CommunicationLedger:
             self.messages_sent[p] += other.messages_sent[p]
             self.messages_received[p] += other.messages_received[p]
         self.rounds.extend(other.rounds)
+        self.retry_rounds += other.retry_rounds
+        self.retry_words += other.retry_words
+        self.retry_messages += other.retry_messages
 
     def __repr__(self) -> str:
         return (

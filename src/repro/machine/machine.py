@@ -9,6 +9,7 @@ from repro.machine.cost import CostModel
 from repro.machine.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
 from repro.machine.processor import Processor
+from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import SimulatedTransport, Transport
 from repro.util.validation import check_positive_int
 
@@ -24,7 +25,19 @@ class Machine:
       to execute exchanges across OS processes);
     * :attr:`cost` prices round schedules into :attr:`ledger` — counts
       depend only on the schedule, never on the transport;
-    * :attr:`instrument` exposes per-phase wall-clock spans.
+    * :attr:`instrument` exposes per-phase wall-clock spans and
+      degradation warnings;
+    * :attr:`recovery` bounds the retry-with-backoff loop the
+      collectives run when a delivered payload fails its integrity
+      checksum (DESIGN.md §8).
+
+    When :attr:`failover` is enabled (the default) and a non-simulated
+    transport dies mid-run — e.g. the shared-memory worker pool loses a
+    process — :meth:`fail_over` swaps in a fresh
+    :class:`SimulatedTransport`, records a warning through
+    :attr:`instrument`, and the round is re-executed there. Delivered
+    values are bitwise identical across transports, so the run
+    completes correctly, just slower.
 
     Examples
     --------
@@ -42,6 +55,8 @@ class Machine:
         n_processors: int,
         transport: Optional[Transport] = None,
         cost_model: Optional[CostModel] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        failover: bool = True,
     ):
         self.P = check_positive_int(n_processors, "n_processors")
         if transport is None:
@@ -53,6 +68,10 @@ class Machine:
             )
         self.transport = transport
         self.cost = cost_model if cost_model is not None else CostModel()
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.failover = failover
+        #: True once :meth:`fail_over` has replaced a dead transport.
+        self.failed_over = False
         self.processors: List[Processor] = [Processor(r) for r in range(self.P)]
         self.ledger = CommunicationLedger(self.P)
         self.instrument = Instrumentation()
@@ -77,6 +96,29 @@ class Machine:
         old = self.ledger
         self.ledger = CommunicationLedger(self.P)
         return old
+
+    def fail_over(self, reason: str) -> Optional[Transport]:
+        """Replace a dead transport with a fresh :class:`SimulatedTransport`.
+
+        Returns the replacement, or ``None`` when failover is disabled
+        or the active transport already is the in-process fallback (in
+        which case the caller should re-raise the original error). The
+        event is recorded as an :meth:`Instrumentation.warn` warning —
+        degradation is graceful but never silent.
+        """
+        if not self.failover or isinstance(self.transport, SimulatedTransport):
+            return None
+        try:
+            self.transport.close()
+        except Exception:
+            pass  # the transport is already broken; keep degrading
+        self.failed_over = True
+        self.instrument.warn(
+            f"transport {self.transport.name!r} failed"
+            f" ({reason}); failing over to 'simulated'"
+        )
+        self.transport = SimulatedTransport(self.P)
+        return self.transport
 
     def close(self) -> None:
         """Release transport resources (worker processes, segments)."""

@@ -1,0 +1,52 @@
+"""Bounded retry-with-backoff policy for round-level recovery.
+
+The ``execute_round`` funnel (:mod:`repro.machine.collectives`)
+verifies every delivered payload against a checksum computed from the
+schedule *before* the bytes moved. On a mismatch it re-executes only
+the failed transfers, sleeping :meth:`RecoveryPolicy.backoff_seconds`
+between attempts, and gives up with
+:class:`~repro.errors.MachineError` once :attr:`RecoveryPolicy.
+max_retries` is exhausted — a faulty network can cost extra rounds
+(visible in the ledger's ``retry_*`` side-channel) but can never change
+an answer or the algorithmic counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How hard the machine tries to redeliver a failed transfer.
+
+    Attributes
+    ----------
+    max_retries:
+        Retry rounds allowed per communication round before the machine
+        raises :class:`~repro.errors.MachineError`. Zero disables
+        recovery (any integrity failure is immediately fatal).
+    backoff_base_seconds, backoff_factor:
+        Exponential backoff: attempt ``k`` (1-based) sleeps
+        ``base * factor ** (k - 1)`` seconds before re-executing. The
+        default base of 0.5 ms keeps deterministic tests fast while
+        still exercising the backoff path.
+    """
+
+    max_retries: int = 8
+    backoff_base_seconds: float = 5e-4
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError("backoff_base_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.backoff_base_seconds * self.backoff_factor ** (attempt - 1)

@@ -11,10 +11,20 @@ registering a constructor here — no algorithm or ledger code changes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
-from repro.machine.transport.base import Transfer, Transport, check_transfers
+from repro.machine.transport.base import (
+    Transfer,
+    Transport,
+    check_transfers,
+    payload_checksum,
+)
+from repro.machine.transport.faults import (
+    FaultInjectingTransport,
+    FaultPolicy,
+    FaultStats,
+)
 from repro.machine.transport.shm import SharedMemoryTransport
 from repro.machine.transport.simulated import SimulatedTransport
 
@@ -25,7 +35,12 @@ TRANSPORTS: Dict[str, Callable[..., Transport]] = {
 }
 
 
-def make_transport(name: str, n_processors: int, **kwargs) -> Transport:
+def make_transport(
+    name: str,
+    n_processors: int,
+    faults: Optional[FaultPolicy] = None,
+    **kwargs,
+) -> Transport:
     """Construct a registered transport by name.
 
     Parameters
@@ -34,6 +49,10 @@ def make_transport(name: str, n_processors: int, **kwargs) -> Transport:
         One of :data:`TRANSPORTS` (``"simulated"``, ``"shm"``).
     n_processors:
         Machine size the transport connects.
+    faults:
+        Optional :class:`FaultPolicy`; when given (and enabled) the
+        backend is wrapped in a :class:`FaultInjectingTransport` so
+        the round-recovery path is exercised end to end.
     kwargs:
         Backend-specific options (e.g. ``n_workers`` for ``"shm"``).
     """
@@ -44,15 +63,22 @@ def make_transport(name: str, n_processors: int, **kwargs) -> Transport:
             f"unknown transport {name!r}; available:"
             f" {', '.join(sorted(TRANSPORTS))}"
         ) from None
-    return factory(n_processors, **kwargs)
+    transport = factory(n_processors, **kwargs)
+    if faults is not None and faults.enabled:
+        transport = FaultInjectingTransport(transport, faults)
+    return transport
 
 
 __all__ = [
     "Transfer",
     "Transport",
     "TRANSPORTS",
+    "FaultInjectingTransport",
+    "FaultPolicy",
+    "FaultStats",
     "SharedMemoryTransport",
     "SimulatedTransport",
     "check_transfers",
     "make_transport",
+    "payload_checksum",
 ]

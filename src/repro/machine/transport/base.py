@@ -24,6 +24,7 @@ after ``exchange`` returns must never be observable at the receiver.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence, runtime_checkable
 
@@ -81,6 +82,21 @@ class Transport(Protocol):
         Must be idempotent; the in-process transport makes it a no-op.
         """
         ...
+
+
+def payload_checksum(array: np.ndarray) -> int:
+    """CRC-32 over a payload's dtype, shape, and bytes.
+
+    This is the integrity fingerprint ``execute_round`` computes from
+    the schedule before any transport moves bytes, and again over each
+    delivered array afterwards: a drop (zeroed buffer), corruption
+    (flipped bits), or duplication (doubled bytes, hence a different
+    shape) all change the digest, so a mismatch is sufficient evidence
+    to re-execute the transfer.
+    """
+    digest = zlib.crc32(array.dtype.str.encode())
+    digest = zlib.crc32(repr(array.shape).encode(), digest)
+    return zlib.crc32(array.tobytes(), digest)
 
 
 def check_transfers(P: int, transfers: Sequence[Transfer]) -> None:

@@ -1,0 +1,224 @@
+"""Deterministic fault injection for any :class:`Transport`.
+
+The ledger's whole claim is that its counts are *exact* — which is only
+credible if the machine layer can prove it never trades correctness for
+delivery problems. :class:`FaultInjectingTransport` wraps a real
+transport and perturbs delivered payloads under a seeded
+:class:`FaultPolicy`:
+
+* **drop** — the delivery is lost; the receiver observes a zero-filled
+  buffer of the right shape (a packet that never arrived).
+* **corrupt** — delivered bytes are bit-flipped in place.
+* **duplicate** — the payload arrives twice, back to back (a stale
+  retransmission stomping the receive buffer).
+* **delay** — delivery is correct but late by ``delay_seconds``.
+
+Faults are drawn from ``numpy.random.default_rng(seed)`` one decision
+per transfer in schedule order, so a fixed (policy, algorithm, inputs)
+triple injects the identical fault sequence on every run — failures are
+replayable, which is what makes the recovery tests deterministic.
+
+Recovery itself lives one layer up: the ``execute_round`` funnel in
+:mod:`repro.machine.collectives` checksums every payload before the
+bytes move, verifies deliveries, and re-executes only the failed
+transfers under the machine's :class:`~repro.machine.recovery.
+RecoveryPolicy`. The wrapper also faults the retries, so an
+"unrecoverable" policy (e.g. ``drop=1.0``) exhausts the retry budget
+and surfaces as :class:`~repro.errors.MachineError` — never as a wrong
+answer.
+
+With every rate at zero the wrapper is a strict pass-through: no RNG
+draws, no copies, no sleeps — delivered arrays and ledgers are
+identical to running the inner transport bare.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.transport.base import Transfer, Transport
+
+#: Fault kinds a policy can rate-control (``seed`` / ``delay_seconds``
+#: are parameters, not kinds).
+FAULT_KINDS = ("drop", "corrupt", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Seeded per-transfer fault rates for a :class:`FaultInjectingTransport`.
+
+    ``drop`` / ``corrupt`` / ``duplicate`` are mutually exclusive per
+    transfer (one uniform draw decides among them, so their rates must
+    sum to at most 1). ``delay`` is drawn independently and composes
+    with the others. All rates default to 0 — the disabled policy.
+    """
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self):
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate {kind}={rate} outside [0, 1]"
+                )
+        if self.drop + self.corrupt + self.duplicate > 1.0 + 1e-12:
+            raise ConfigurationError(
+                "drop + corrupt + duplicate rates exceed 1.0"
+            )
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True iff any fault kind has a nonzero rate."""
+        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPolicy":
+        """Build a policy from a CLI spec like ``"drop=0.1,corrupt=0.05,seed=7"``.
+
+        Keys are the four fault kinds plus ``seed`` and
+        ``delay_seconds``; unknown keys raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"fault spec entry {part!r} is not key=value"
+                )
+            key, value = (s.strip() for s in part.split("=", 1))
+            try:
+                if key == "seed":
+                    kwargs[key] = int(value)
+                elif key in FAULT_KINDS or key == "delay_seconds":
+                    kwargs[key] = float(value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault key {key!r}; expected one of"
+                        f" {', '.join(FAULT_KINDS)}, delay_seconds, seed"
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    f"fault spec value {value!r} for {key!r} is not numeric"
+                ) from None
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults, by kind, over a transport's lifetime."""
+
+    exchanges: int = 0
+    transfers: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total payload-visible faults (delays excluded — they are
+        correct deliveries)."""
+        return self.dropped + self.corrupted + self.duplicated
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view for reports and the CLI."""
+        return {
+            "exchanges": self.exchanges,
+            "transfers": self.transfers,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+
+class FaultInjectingTransport:
+    """Wrap ``inner`` and perturb its deliveries under ``policy``.
+
+    Exposes the wrapped transport as :attr:`inner` and the injection
+    counters as :attr:`stats`. Satisfies the :class:`Transport`
+    protocol, so it slots anywhere a bare transport does (``Machine``,
+    apps, the CLI ``--faults`` flag).
+    """
+
+    def __init__(self, inner: Transport, policy: FaultPolicy):
+        self.inner = inner
+        self.policy = policy
+        self.P = inner.P
+        self.name = f"fault+{inner.name}"
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(policy.seed)
+
+    # -- fault application -----------------------------------------------------
+
+    def _apply(self, delivered: List[np.ndarray]) -> List[np.ndarray]:
+        policy = self.policy
+        for index, array in enumerate(delivered):
+            draw = self._rng.random()
+            if draw < policy.drop:
+                delivered[index] = np.zeros_like(array)
+                self.stats.dropped += 1
+            elif draw < policy.drop + policy.corrupt:
+                if array.nbytes:
+                    flat = array.reshape(-1).view(np.uint8)
+                    flat[0] ^= 0xFF
+                    flat[-1] ^= 0xFF
+                    self.stats.corrupted += 1
+            elif draw < policy.drop + policy.corrupt + policy.duplicate:
+                if array.size:
+                    doubled = np.concatenate([array.ravel(), array.ravel()])
+                    delivered[index] = doubled
+                    self.stats.duplicated += 1
+            if policy.delay and self._rng.random() < policy.delay:
+                time.sleep(policy.delay_seconds)
+                self.stats.delayed += 1
+        return delivered
+
+    # -- Transport protocol ----------------------------------------------------
+
+    def exchange(self, transfers: Sequence[Transfer]) -> List[np.ndarray]:
+        """Deliver through the inner transport, then inject faults."""
+        delivered = self.inner.exchange(transfers)
+        if not self.policy.enabled:
+            return delivered
+        self.stats.exchanges += 1
+        self.stats.transfers += len(delivered)
+        return self._apply(list(delivered))
+
+    def close(self) -> None:
+        """Close the wrapped transport (idempotent)."""
+        self.inner.close()
+
+    def __enter__(self) -> "FaultInjectingTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getattr__(self, attr: str):
+        # Forward backend-specific surface (rounds_executed, n_workers,
+        # reset_stats, ...) so callers can treat the wrapper as the
+        # transport it wraps.
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjectingTransport({self.inner!r},"
+            f" injected={self.stats.injected})"
+        )

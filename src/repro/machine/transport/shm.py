@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import uuid
 from multiprocessing import shared_memory
+from queue import Empty
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +43,10 @@ from repro.util.validation import check_positive_int
 CopyOp = Tuple[int, int, int]
 
 _WORKER_TIMEOUT_SECONDS = 60.0
+#: How often the coordinator re-checks worker liveness while waiting
+#: for round acknowledgements — a dead worker is diagnosed in well
+#: under a second instead of stalling until the full timeout.
+_HEALTH_POLL_SECONDS = 0.05
 
 
 def _attach(cache: Dict[str, shared_memory.SharedMemory], name: str):
@@ -51,12 +57,32 @@ def _attach(cache: Dict[str, shared_memory.SharedMemory], name: str):
     return segment
 
 
+def _evict_stale(
+    cache: Dict[str, shared_memory.SharedMemory], current: Tuple[str, str]
+) -> None:
+    """Close and forget cached segments that are no longer in use.
+
+    ``_ensure_capacity`` regrows by unlinking both segments and
+    creating fresh ones under new uuid names, so any cached name other
+    than the current (outbox, inbox) pair refers to an unlinked
+    segment. Without eviction every worker would hold those mappings
+    and file descriptors open for the life of the pool — a memory + fd
+    leak proportional to the number of regrowths.
+    """
+    for name in list(cache):
+        if name not in current:
+            cache.pop(name).close()
+
+
 def _worker_main(task_queue, done_queue) -> None:
     """Worker loop: copy byte ranges from the outbox into the inbox.
 
     Runs in a child process. Tasks are ``(out_name, in_name, ops)``;
     ``None`` shuts the worker down. Each completed task is acknowledged
     on ``done_queue`` with ``("ok", n_ops)`` or ``("error", message)``.
+    The segment cache holds exactly the current outbox/inbox pair:
+    anything older is evicted before the copies run, so capacity
+    regrowth on the coordinator side cannot leak segments here.
     """
     segments: Dict[str, shared_memory.SharedMemory] = {}
     try:
@@ -66,6 +92,7 @@ def _worker_main(task_queue, done_queue) -> None:
                 break
             out_name, in_name, ops = task
             try:
+                _evict_stale(segments, (out_name, in_name))
                 outbox = _attach(segments, out_name)
                 inbox = _attach(segments, in_name)
                 for out_offset, in_offset, nbytes in ops:
@@ -91,15 +118,29 @@ class SharedMemoryTransport:
         Worker processes performing the copies; defaults to
         ``min(4, os.cpu_count())``. More workers only help when rounds
         carry many independent payloads.
+    respawn_workers:
+        When ``True`` (default), a worker found dead *between* rounds
+        is quietly replaced before the next dispatch (counted in
+        :attr:`workers_respawned`). When ``False`` — or when a worker
+        dies *mid-round*, where its batch is already lost — the
+        transport closes and raises :class:`~repro.errors.MachineError`
+        naming the dead worker immediately, instead of stalling until
+        the acknowledgement timeout.
     """
 
     name = "shm"
 
-    def __init__(self, n_processors: int, n_workers: Optional[int] = None):
+    def __init__(
+        self,
+        n_processors: int,
+        n_workers: Optional[int] = None,
+        respawn_workers: bool = True,
+    ):
         self.P = check_positive_int(n_processors, "n_processors")
         if n_workers is None:
             n_workers = min(4, os.cpu_count() or 1)
         self.n_workers = check_positive_int(n_workers, "n_workers")
+        self.respawn_workers = respawn_workers
         self._context = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else None
         )
@@ -113,22 +154,91 @@ class SharedMemoryTransport:
         #: Rounds executed and bytes moved (for benchmark reports).
         self.rounds_executed = 0
         self.bytes_moved = 0
+        #: Dead workers replaced across the pool's lifetime.
+        self.workers_respawned = 0
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _spawn_worker(self) -> mp.process.BaseProcess:
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self._task_queue, self._done_queue),
+            daemon=True,
+        )
+        process.start()
+        return process
 
     def _ensure_workers(self) -> None:
         if self._workers:
             return
+        # Start the resource tracker before forking so every worker
+        # shares the coordinator's tracker: worker-side attaches then
+        # register in the same cache the coordinator's unlink clears
+        # (a worker-private tracker would warn about "leaked" segments
+        # at shutdown).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         self._task_queue = self._context.Queue()
         self._done_queue = self._context.Queue()
         for _ in range(self.n_workers):
-            process = self._context.Process(
-                target=_worker_main,
-                args=(self._task_queue, self._done_queue),
-                daemon=True,
-            )
-            process.start()
-            self._workers.append(process)
+            self._workers.append(self._spawn_worker())
+
+    def _dead_workers(self) -> List[int]:
+        return [
+            index
+            for index, process in enumerate(self._workers)
+            if not process.is_alive()
+        ]
+
+    def _rebuild_pool(self) -> None:
+        """Replace the whole pool, queues included.
+
+        A worker killed while blocked in ``task_queue.get()`` dies
+        holding the queue's shared reader lock, which deadlocks every
+        other consumer of that queue — survivors and respawns alike. The
+        only safe recovery is fresh queues and a fresh pool; this runs
+        pre-dispatch, so no in-flight task is lost.
+        """
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+        if self._task_queue is not None:
+            self._task_queue.close()
+            self._done_queue.close()
+        self._workers = []
+        self._task_queue = None
+        self._done_queue = None
+        self._ensure_workers()
+
+    def _check_worker_health(self) -> None:
+        """Pre-dispatch liveness gate: respawn or fail fast, never hang.
+
+        Runs before any batch is queued, so rebuilding the pool cannot
+        lose an in-flight task.
+        """
+        dead = self._dead_workers()
+        if not dead:
+            return
+        if self.respawn_workers:
+            self.workers_respawned += len(dead)
+            self._rebuild_pool()
+            return
+        detail = ", ".join(
+            f"worker {index} (pid {self._workers[index].pid},"
+            f" exitcode {self._workers[index].exitcode})"
+            for index in dead
+        )
+        self.close()
+        raise MachineError(
+            f"shared-memory {detail} died before dispatch; pool is"
+            " unusable (construct with respawn_workers=True to replace"
+            " dead workers automatically)"
+        )
 
     def _ensure_capacity(self, nbytes: int) -> None:
         if nbytes <= self._capacity:
@@ -187,6 +297,50 @@ class SharedMemoryTransport:
 
     # -- the round -----------------------------------------------------------
 
+    def _await_acknowledgement(self) -> Tuple[str, object]:
+        """Wait for one batch acknowledgement, polling worker liveness.
+
+        A worker that dies mid-round can never acknowledge its batch;
+        polling every :data:`_HEALTH_POLL_SECONDS` turns what used to
+        be a silent 60-second stall into an immediate
+        :class:`~repro.errors.MachineError` naming the dead worker.
+        """
+        deadline = time.monotonic() + _WORKER_TIMEOUT_SECONDS
+        while True:
+            try:
+                return self._done_queue.get(timeout=_HEALTH_POLL_SECONDS)
+            except Empty:
+                dead = self._dead_workers()
+                if dead:
+                    detail = ", ".join(
+                        f"worker {index}"
+                        f" (pid {self._workers[index].pid},"
+                        f" exitcode {self._workers[index].exitcode})"
+                        for index in dead
+                    )
+                    self.close()
+                    raise MachineError(
+                        f"shared-memory {detail} died mid-round; its"
+                        " batch is lost"
+                    ) from None
+                if time.monotonic() > deadline:
+                    self.close()
+                    raise MachineError(
+                        "shared-memory worker did not acknowledge a"
+                        f" round within {_WORKER_TIMEOUT_SECONDS:.0f}s"
+                    ) from None
+
+    def reset_stats(self) -> None:
+        """Zero the benchmark counters (rounds, bytes, respawns).
+
+        Lets callers that run several configurations through one pool
+        attribute ``rounds_executed`` / ``bytes_moved`` to exactly one
+        configuration instead of an accumulated total.
+        """
+        self.rounds_executed = 0
+        self.bytes_moved = 0
+        self.workers_respawned = 0
+
     def exchange(self, transfers: Sequence[Transfer]) -> List[np.ndarray]:
         """Move one round of payloads through shared memory."""
         if self._closed:
@@ -203,14 +357,24 @@ class SharedMemoryTransport:
             # Nothing on the wire; deliver empty/0-d copies directly.
             return [array.copy() for array in arrays]
 
-        self._ensure_capacity(total)
+        # Workers fork *before* the first segments exist: a fresh pool
+        # inherits no segment mappings from the coordinator, so the only
+        # segments a worker ever maps come from _attach — and those are
+        # evicted on regrowth (see _evict_stale).
         self._ensure_workers()
+        self._check_worker_health()
+        self._ensure_capacity(total)
         out_view = np.frombuffer(self._outbox.buf, dtype=np.uint8)
         for array, offset in zip(arrays, offsets):
             if array.nbytes:
                 out_view[offset : offset + array.nbytes] = array.reshape(
                     -1
                 ).view(np.uint8)
+        # Release the exported buffer pointer before anything below can
+        # close() the transport (dead-worker paths) — an outstanding
+        # numpy view over the segment would turn close() into a
+        # BufferError and mask the real diagnosis.
+        del out_view
 
         ops: List[CopyOp] = [
             (offset, offset, array.nbytes)
@@ -224,16 +388,7 @@ class SharedMemoryTransport:
                 (self._outbox.name, self._inbox.name, batch)
             )
         for _ in batches:
-            try:
-                status, detail = self._done_queue.get(
-                    timeout=_WORKER_TIMEOUT_SECONDS
-                )
-            except Exception:
-                self.close()
-                raise MachineError(
-                    "shared-memory worker did not acknowledge a round"
-                    f" within {_WORKER_TIMEOUT_SECONDS:.0f}s"
-                ) from None
+            status, detail = self._await_acknowledgement()
             if status != "ok":
                 self.close()
                 raise MachineError(f"shared-memory worker failed: {detail}")

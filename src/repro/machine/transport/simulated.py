@@ -32,6 +32,9 @@ class SimulatedTransport:
     def close(self) -> None:
         """No resources to release."""
 
+    def reset_stats(self) -> None:
+        """No counters to reset (kept for transport-generic callers)."""
+
     def __enter__(self) -> "SimulatedTransport":
         return self
 

@@ -8,6 +8,7 @@ from repro.reporting.tables import (
 )
 from repro.reporting.trace import (
     activity_strip,
+    fault_summary,
     phase_table,
     round_table,
     utilization,
@@ -20,6 +21,7 @@ __all__ = [
     "render_schedule",
     "format_block",
     "activity_strip",
+    "fault_summary",
     "phase_table",
     "round_table",
     "utilization",

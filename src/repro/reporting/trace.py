@@ -5,7 +5,11 @@ summaries — a per-round table and a per-processor activity strip — used
 for debugging algorithms and for eyeballing that a schedule's rounds
 are balanced (every processor busy every step, uniform message sizes).
 :func:`phase_table` renders the wall-clock side: the per-phase timers
-collected by :class:`~repro.machine.instrument.Instrumentation`.
+collected by :class:`~repro.machine.instrument.Instrumentation`;
+:func:`fault_summary` renders the robustness side: the ledger's
+``retry_*`` recovery counters plus, when a
+:class:`~repro.machine.transport.faults.FaultInjectingTransport` is in
+play, its per-kind injection counts.
 """
 
 from __future__ import annotations
@@ -103,4 +107,31 @@ def phase_table(
             f" {record.total_seconds * 1e3:>10.3f}"
             f" {record.mean_seconds * 1e3:>10.3f}"
         )
+    return "\n".join(lines)
+
+
+def fault_summary(ledger: CommunicationLedger, transport=None) -> str:
+    """Recovery and fault-injection report for one run.
+
+    Always renders the ledger's retry side-channel (rounds, words, and
+    messages spent redelivering payloads that failed end-of-round
+    integrity verification — zero on a healthy network). When
+    ``transport`` exposes fault-injection ``stats`` (a
+    :class:`~repro.machine.transport.faults.FaultInjectingTransport`,
+    possibly reached through wrapper forwarding), the injected counts
+    are appended so injected faults and recovered cost can be compared
+    side by side. The algorithmic counters (``words_sent`` etc.) are
+    untouched by either — that separation is the point.
+    """
+    lines = [
+        f"{'recovery':<20} {'count':>8}",
+        f"{'retry rounds':<20} {ledger.retry_rounds:>8}",
+        f"{'retry words':<20} {ledger.retry_words:>8}",
+        f"{'retry messages':<20} {ledger.retry_messages:>8}",
+    ]
+    stats = getattr(transport, "stats", None)
+    if stats is not None and hasattr(stats, "as_dict"):
+        lines.append(f"{'injected faults':<20} {'count':>8}")
+        for kind, count in stats.as_dict().items():
+            lines.append(f"{kind:<20} {count:>8}")
     return "\n".join(lines)

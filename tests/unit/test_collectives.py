@@ -174,6 +174,52 @@ class TestAllReduceScalar:
         with pytest.raises(MachineError):
             all_reduce_scalar(Machine(2), [1.0])
 
+    @pytest.mark.parametrize(
+        "op",
+        [lambda a, b: a - b, lambda a, b: a / b, lambda a, b: b],
+        ids=["subtract", "divide", "right-projection"],
+    )
+    def test_order_sensitive_op_rejected(self, op):
+        """The op contract: associative + commutative, enforced by a
+        probe — the binomial tree fixes the application order, so an
+        order-sensitive op would silently depend on the tree shape."""
+        with pytest.raises(MachineError, match="associative"):
+            all_reduce_scalar(Machine(4), [1.0, 2.0, 3.0, 4.0], op=op)
+
+    def test_non_callable_op_rejected(self):
+        with pytest.raises(MachineError):
+            all_reduce_scalar(Machine(2), [1.0, 2.0], op=None)
+
+    def test_tree_order_is_deterministic_across_runs_and_transports(self):
+        """Regression: float summation here is only reproducible because
+        every backend walks the identical binomial tree. Magnitude-spread
+        values make any reordering visible at the bit level."""
+        import struct
+
+        from repro.machine.transport import (
+            SharedMemoryTransport,
+            SimulatedTransport,
+        )
+
+        P = 6
+        values = [
+            float(v) * 10.0**exp
+            for v, exp in zip(
+                np.random.default_rng(9).normal(size=P), range(-8, 4, 2)
+            )
+        ]
+
+        def bits(transport):
+            machine = Machine(P, transport=transport)
+            result = all_reduce_scalar(machine, list(values))
+            assert len(set(result)) == 1, "ranks disagree"
+            return struct.pack("<d", result[0])
+
+        reference = bits(SimulatedTransport(P))
+        assert bits(SimulatedTransport(P)) == reference, "run-to-run drift"
+        with SharedMemoryTransport(P, n_workers=2) as shm:
+            assert bits(shm) == reference, "transport changed the order"
+
 
 class TestReduceScatter:
     from repro.machine.collectives import reduce_scatter  # noqa: F401

@@ -1,0 +1,199 @@
+"""Fault-injection layer: policy parsing, deterministic injection,
+zero-overhead pass-through, and the recovery policy's arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.recovery import RecoveryPolicy
+from repro.machine.transport import (
+    FaultInjectingTransport,
+    FaultPolicy,
+    FaultStats,
+    SimulatedTransport,
+    Transfer,
+    make_transport,
+    payload_checksum,
+)
+
+
+def _ring_transfers(P, size=4):
+    return [
+        Transfer(src, (src + 1) % P, np.full(size, float(src)))
+        for src in range(P)
+    ]
+
+
+class TestFaultPolicy:
+    def test_default_is_disabled(self):
+        assert not FaultPolicy().enabled
+
+    @pytest.mark.parametrize("kind", ["drop", "corrupt", "duplicate", "delay"])
+    def test_any_nonzero_rate_enables(self, kind):
+        assert FaultPolicy(**{kind: 0.5}).enabled
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_outside_unit_interval_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(drop=rate)
+
+    def test_exclusive_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(drop=0.5, corrupt=0.4, duplicate=0.2)
+
+    def test_delay_rate_composes_independently(self):
+        # delay is drawn separately, so it does not count toward the sum.
+        FaultPolicy(drop=0.5, corrupt=0.5, delay=1.0)
+
+    def test_negative_delay_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy(delay=0.1, delay_seconds=-1.0)
+
+    def test_parse_round_trip(self):
+        policy = FaultPolicy.parse("drop=0.1, corrupt=0.05,seed=7")
+        assert policy == FaultPolicy(drop=0.1, corrupt=0.05, seed=7)
+
+    def test_parse_empty_spec_is_disabled(self):
+        assert not FaultPolicy.parse("").enabled
+
+    def test_parse_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy.parse("lose=0.1")
+
+    def test_parse_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy.parse("drop=lots")
+
+    def test_parse_bare_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPolicy.parse("drop")
+
+
+class TestFaultStats:
+    def test_injected_excludes_delays(self):
+        stats = FaultStats(dropped=2, corrupted=1, duplicated=1, delayed=9)
+        assert stats.injected == 4
+
+    def test_as_dict_is_json_friendly(self):
+        stats = FaultStats(exchanges=3, transfers=12, dropped=1)
+        as_dict = stats.as_dict()
+        assert as_dict["exchanges"] == 3
+        assert as_dict["dropped"] == 1
+        assert set(as_dict) == {
+            "exchanges",
+            "transfers",
+            "dropped",
+            "corrupted",
+            "duplicated",
+            "delayed",
+        }
+
+
+class TestFaultInjectingTransport:
+    def test_disabled_policy_is_pass_through(self):
+        inner = SimulatedTransport(4)
+        wrapper = FaultInjectingTransport(inner, FaultPolicy())
+        transfers = _ring_transfers(4)
+        delivered = wrapper.exchange(transfers)
+        for transfer, array in zip(transfers, delivered):
+            assert np.array_equal(array, transfer.payload)
+        # Pass-through means no accounting either: stats stay zero.
+        assert wrapper.stats.exchanges == 0
+        assert wrapper.stats.injected == 0
+
+    def test_injection_is_seed_deterministic(self):
+        def run(seed):
+            wrapper = FaultInjectingTransport(
+                SimulatedTransport(4),
+                FaultPolicy(drop=0.3, corrupt=0.2, duplicate=0.2, seed=seed),
+            )
+            out = []
+            for _ in range(5):
+                out.append(
+                    [a.tobytes() for a in wrapper.exchange(_ring_transfers(4))]
+                )
+            return out, wrapper.stats.as_dict()
+
+        assert run(seed=11) == run(seed=11)
+        # A different seed produces a different fault sequence.
+        assert run(seed=11)[1] != run(seed=12)[1]
+
+    def test_drop_delivers_zero_buffer(self):
+        wrapper = FaultInjectingTransport(
+            SimulatedTransport(2), FaultPolicy(drop=1.0)
+        )
+        (delivered,) = wrapper.exchange([Transfer(0, 1, np.ones(5))])
+        assert delivered.shape == (5,)
+        assert np.all(delivered == 0.0)
+        assert wrapper.stats.dropped == 1
+
+    def test_corrupt_fails_the_checksum(self):
+        payload = np.arange(6, dtype=np.float64)
+        wrapper = FaultInjectingTransport(
+            SimulatedTransport(2), FaultPolicy(corrupt=1.0)
+        )
+        (delivered,) = wrapper.exchange([Transfer(0, 1, payload)])
+        assert payload_checksum(delivered) != payload_checksum(payload)
+        assert wrapper.stats.corrupted == 1
+
+    def test_duplicate_changes_the_shape(self):
+        payload = np.ones(3)
+        wrapper = FaultInjectingTransport(
+            SimulatedTransport(2), FaultPolicy(duplicate=1.0)
+        )
+        (delivered,) = wrapper.exchange([Transfer(0, 1, payload)])
+        assert delivered.size == 6
+        assert wrapper.stats.duplicated == 1
+
+    def test_delay_keeps_payload_intact(self):
+        payload = np.arange(4, dtype=np.float64)
+        wrapper = FaultInjectingTransport(
+            SimulatedTransport(2),
+            FaultPolicy(delay=1.0, delay_seconds=0.0),
+        )
+        (delivered,) = wrapper.exchange([Transfer(0, 1, payload)])
+        assert payload_checksum(delivered) == payload_checksum(payload)
+        assert wrapper.stats.delayed == 1
+
+    def test_protocol_surface_forwards_to_inner(self):
+        inner = SimulatedTransport(3)
+        wrapper = FaultInjectingTransport(inner, FaultPolicy(drop=0.5))
+        assert wrapper.P == 3
+        assert wrapper.name == "fault+simulated"
+        assert wrapper.inner is inner
+        wrapper.reset_stats()  # forwarded via __getattr__
+        wrapper.close()
+
+    def test_make_transport_wraps_only_when_enabled(self):
+        bare = make_transport("simulated", 4, faults=FaultPolicy())
+        assert isinstance(bare, SimulatedTransport)
+        wrapped = make_transport(
+            "simulated", 4, faults=FaultPolicy(drop=0.1)
+        )
+        try:
+            assert isinstance(wrapped, FaultInjectingTransport)
+            assert wrapped.name == "fault+simulated"
+        finally:
+            wrapped.close()
+
+
+class TestRecoveryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RecoveryPolicy(
+            backoff_base_seconds=1e-3, backoff_factor=2.0
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(1e-3)
+        assert policy.backoff_seconds(2) == pytest.approx(2e-3)
+        assert policy.backoff_seconds(4) == pytest.approx(8e-3)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_retries=-1)
+
+    def test_shrinking_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(backoff_factor=0.5)
+
+    def test_zero_retries_allowed(self):
+        # max_retries=0 is "no recovery": valid, any failure is fatal.
+        assert RecoveryPolicy(max_retries=0).max_retries == 0

@@ -1,5 +1,10 @@
 """Transport layer: Transfer validation, both backends, byte fidelity."""
 
+import os
+import signal
+import sys
+import time
+
 import numpy as np
 import pytest
 
@@ -149,6 +154,160 @@ class TestSharedMemoryTransport:
         with SharedMemoryTransport(2, n_workers=1) as transport:
             (out,) = transport.exchange([Transfer(1, 0, np.arange(3.0))])
             assert np.array_equal(out, [0.0, 1.0, 2.0])
+
+
+def _worker_mapped_segments(transport):
+    """Names of repro shm segments currently mapped by the pool's workers.
+
+    Reads ``/proc/<pid>/maps`` directly — the ground truth for the
+    regrowth-leak regression: an unlinked segment whose name still shows
+    up in a worker's maps is leaked memory for the life of the pool.
+    """
+    names = set()
+    for process in transport._workers:
+        with open(f"/proc/{process.pid}/maps") as handle:
+            for line in handle:
+                if "/dev/shm/repro-" in line:
+                    name = line.split("/dev/shm/", 1)[1].strip()
+                    names.add(name.replace(" (deleted)", ""))
+    return names
+
+
+@pytest.mark.skipif(
+    sys.platform != "linux", reason="reads /proc/<pid>/maps"
+)
+class TestSegmentEvictionOnRegrowth:
+    """Regression: workers must unmap segments retired by regrowth.
+
+    Before the fix, every ``_ensure_capacity`` regrowth left the old
+    outbox/inbox pair mapped in every worker (the attach cache never
+    evicted, and workers forked after segment creation inherited the
+    coordinator's mappings) — memory and fd leaks proportional to the
+    number of regrowths.
+    """
+
+    def test_workers_map_only_the_current_pair(self):
+        with SharedMemoryTransport(2, n_workers=1) as transport:
+            generations = []
+            # ~1 KiB, then past the 64 KiB initial capacity, then past
+            # the doubled capacity: two regrowths, three segment pairs.
+            for nbytes in (1 << 10, 100_000, 300_000):
+                payload = np.zeros(nbytes, dtype=np.uint8)
+                (delivered,) = transport.exchange([Transfer(0, 1, payload)])
+                assert delivered.nbytes == nbytes
+                generations.append(
+                    {transport._outbox.name, transport._inbox.name}
+                )
+            assert len(set().union(*generations)) == 6, "expected 2 regrowths"
+            # Scope to this transport's own segments: workers of *other*
+            # concurrently-open pools in the test process legitimately
+            # inherit unrelated mappings at fork.
+            mapped = _worker_mapped_segments(transport) & set().union(
+                *generations
+            )
+            assert mapped == generations[-1], (
+                f"worker still maps retired segments:"
+                f" {mapped - generations[-1]}"
+            )
+
+    def test_retired_and_closed_segments_are_unlinked(self):
+        """Every generation — retired by regrowth or alive at close() —
+        must be unlinked from /dev/shm."""
+        names = []
+        with SharedMemoryTransport(2, n_workers=1) as transport:
+            for nbytes in (1 << 10, 100_000):
+                transport.exchange(
+                    [Transfer(0, 1, np.zeros(nbytes, dtype=np.uint8))]
+                )
+                names += [transport._outbox.name, transport._inbox.name]
+        assert len(set(names)) == 4
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}"), name
+
+
+class TestWorkerLiveness:
+    """Regression: a SIGKILLed worker used to stall exchange() for the
+    full 60 s acknowledgement timeout; now it is diagnosed promptly."""
+
+    def _kill_worker(self, transport, index=0):
+        process = transport._workers[index]
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=5.0)
+        assert not process.is_alive()
+
+    def test_dead_worker_raises_promptly_when_respawn_disabled(self):
+        transport = SharedMemoryTransport(
+            2, n_workers=1, respawn_workers=False
+        )
+        try:
+            transport.exchange([Transfer(0, 1, np.ones(2))])
+            self._kill_worker(transport)
+            start = time.monotonic()
+            with pytest.raises(MachineError, match="died before dispatch"):
+                transport.exchange([Transfer(0, 1, np.ones(2))])
+            assert time.monotonic() - start < 5.0, "should not hit timeout"
+        finally:
+            transport.close()
+
+    def test_error_names_the_dead_worker(self):
+        transport = SharedMemoryTransport(
+            2, n_workers=1, respawn_workers=False
+        )
+        try:
+            transport.exchange([Transfer(0, 1, np.ones(2))])
+            pid = transport._workers[0].pid
+            self._kill_worker(transport)
+            with pytest.raises(MachineError, match=f"pid {pid}"):
+                transport.exchange([Transfer(0, 1, np.ones(2))])
+        finally:
+            transport.close()
+
+    def test_dead_worker_respawned_by_default(self):
+        with SharedMemoryTransport(2, n_workers=1) as transport:
+            transport.exchange([Transfer(0, 1, np.ones(2))])
+            self._kill_worker(transport)
+            payload = np.arange(8.0)
+            (delivered,) = transport.exchange([Transfer(0, 1, payload)])
+            assert np.array_equal(delivered, payload)
+            assert transport.workers_respawned == 1
+
+    def test_reset_stats_clears_counters(self):
+        with SharedMemoryTransport(2, n_workers=1) as transport:
+            transport.exchange([Transfer(0, 1, np.ones(2))])
+            transport.reset_stats()
+            assert transport.rounds_executed == 0
+            assert transport.bytes_moved == 0
+            assert transport.workers_respawned == 0
+
+
+class TestShmStress:
+    def test_many_rounds_across_regrowths_stay_bit_exact(self):
+        """CI smoke: a long sequence of rounds with oscillating sizes —
+        forcing repeated regrowth mid-stream — delivers every payload
+        bit-for-bit."""
+        rng = np.random.default_rng(42)
+        with SharedMemoryTransport(4, n_workers=2) as transport:
+            sizes = [64, 9_000, 64, 20_000, 128, 45_000, 64] * 3
+            regrowths = 0
+            seen_capacity = 0
+            for index, size in enumerate(sizes):
+                payloads = [
+                    rng.normal(size=size) for _ in range(transport.P)
+                ]
+                transfers = [
+                    Transfer(src, (src + 1) % transport.P, arr)
+                    for src, arr in enumerate(payloads)
+                ]
+                delivered = transport.exchange(transfers)
+                for arr, out in zip(payloads, delivered):
+                    assert np.array_equal(
+                        out.view(np.uint64), arr.view(np.uint64)
+                    ), f"round {index} corrupted a payload"
+                if transport._capacity > seen_capacity:
+                    regrowths += seen_capacity > 0
+                    seen_capacity = transport._capacity
+            assert regrowths >= 2, "stress run never exercised regrowth"
+            assert transport.rounds_executed == len(sizes)
 
 
 class TestMachineTransportWiring:
