@@ -9,10 +9,15 @@ Commands
 ``analyze``     run Algorithm 5 on the simulator and compare measured
                 communication with the closed forms
 ``admissible``  list constructible processor counts
+``serve``       start the STTSV serving layer (warm sessions + dynamic
+                batching) on a TCP port
+``load``        register a random tensor on a running server and drive
+                it with concurrent closed-loop clients
 
 Every command prints plain text and returns a process exit code, so the
 CLI is scriptable and the test suite drives it directly through
-:func:`main`.
+:func:`main` — including failure paths: unknown subcommands return 2
+(usage on stderr) instead of escaping as ``SystemExit``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._version import __version__
 from repro.core import bounds
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
@@ -202,10 +208,93 @@ def _command_admissible(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from repro.service.server import STTSVServer
+
+    fault_policy = (
+        FaultPolicy.parse(args.faults) if args.faults is not None else None
+    )
+    server = STTSVServer(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        admission_capacity=args.admission_capacity,
+        faults=fault_policy,
+    )
+    host, port = server.start()
+    print(
+        f"serving STTSV on {host}:{port}"
+        f" (max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms},"
+        f" admission_capacity={args.admission_capacity},"
+        f" max_sessions={args.max_sessions}"
+        + (f", faults {args.faults}" if fault_policy else "")
+        + ")",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupted; stopping", flush=True)
+    finally:
+        server.stop()
+    print("server stopped", flush=True)
+    return 0
+
+
+def _command_load(args) -> int:
+    from repro.reporting.trace import service_table
+    from repro.service.client import ServiceClient, run_load
+    from repro.tensor.dense import random_symmetric
+
+    n = args.n if args.n else 4 * args.q * (args.q * args.q + 1)
+    tensor = random_symmetric(n, seed=args.seed)
+    with ServiceClient(args.host, args.port) as client:
+        info = client.register(
+            args.tensor_id, tensor, q=args.q, backend=args.backend
+        )
+    print(
+        f"registered {args.tensor_id!r}: n={info['n']}, q={info['q']},"
+        f" P={info['P']}, backend={info['backend']},"
+        f" plan={info['plan_strategy']}"
+    )
+    summary = run_load(
+        args.host,
+        args.port,
+        args.tensor_id,
+        n,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        mode=args.mode,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    latency = summary["latency"]
+    print(
+        f"{summary['clients']} clients x {args.requests} requests:"
+        f" {summary['ok']} ok, {summary['overloaded']} overloaded,"
+        f" {summary['deadline_exceeded']} expired,"
+        f" {summary['errors']} errors in {summary['elapsed_s']:.2f}s"
+        f" ({summary['throughput_rps']:.0f} req/s)"
+    )
+    print(
+        f"latency ms: p50 {latency['p50_ms']:.2f}"
+        f"  p95 {latency['p95_ms']:.2f}  p99 {latency['p99_ms']:.2f}"
+        f"  max {latency['max_ms']:.2f}"
+    )
+    print()
+    print(service_table(summary["server_stats"]))
+    return 0 if summary["errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Communication-optimal parallel STTSV (SPAA 2025 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -271,6 +360,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(symv)
     symv.set_defaults(func=_command_symv)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the STTSV serving layer (warm sessions, dynamic batching)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="cap on coalesced batch width (default 16)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=0.0,
+        help="hold the first request up to this long to grow a batch"
+        " (default 0 = pure drain policy, no added serial latency)",
+    )
+    serve.add_argument(
+        "--admission-capacity", type=int, default=64,
+        help="queued requests per lane before OVERLOADED replies (default 64)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="warm engine sessions kept before LRU eviction (default 8)",
+    )
+    serve.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="inject seeded transport faults into every session, e.g."
+        " 'drop=0.05,seed=7' (recovery shows up in the retry counters)",
+    )
+    serve.set_defaults(func=_command_serve)
+
+    load = subparsers.add_parser(
+        "load",
+        help="register a random tensor on a running server and drive load",
+    )
+    load.add_argument("--host", type=str, default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument(
+        "--tensor-id", type=str, default="load-test",
+        help="registration id (default 'load-test')",
+    )
+    load.add_argument(
+        "--q", type=int, default=2,
+        help="prime power for the session's partition (P = q(q²+1); default 2)",
+    )
+    load.add_argument(
+        "--n", type=int, default=None,
+        help="tensor dimension (default 4·P)",
+    )
+    load.add_argument(
+        "--clients", type=int, default=16,
+        help="concurrent closed-loop clients (default 16)",
+    )
+    load.add_argument(
+        "--requests", type=int, default=32,
+        help="requests per client (default 32)",
+    )
+    load.add_argument(
+        "--mode", choices=("plan", "parallel"), default="plan",
+        help="execution mode: compiled plan (fast) or Algorithm 5 on the"
+        " warm machine (default plan)",
+    )
+    load.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; expired requests get typed errors",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(load)
+    load.set_defaults(func=_command_load)
+
     return parser
 
 
@@ -307,9 +468,20 @@ def _command_symv(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Argparse failures (unknown subcommand, bad flags) are converted
+    from ``SystemExit`` into a plain return of their exit code (2, with
+    usage already printed on stderr), so embedding callers — and the
+    test suite — never have to catch ``SystemExit``. ``--help`` and
+    ``--version`` likewise return 0.
+    """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:
+        code = exit_.code
+        return code if isinstance(code, int) else (0 if code is None else 2)
     try:
         return args.func(args)
     except ReproError as error:

@@ -12,8 +12,13 @@ from repro.core.sttsv_sequential import (
     ttv_all_modes,
 )
 from repro.core.plans import (
+    CacheInfo,
     ExchangePlan,
+    LRUByteCache,
     SequentialPlan,
+    cache_clear,
+    cache_info,
+    configure_cache,
     invalidate_plan,
     sequential_plan,
 )
@@ -42,8 +47,13 @@ __all__ = [
     "ttv_all_modes",
     "SequentialPlan",
     "ExchangePlan",
+    "LRUByteCache",
+    "CacheInfo",
     "sequential_plan",
     "invalidate_plan",
+    "cache_clear",
+    "cache_info",
+    "configure_cache",
     "sttsv_packed_bincount",
     "sttsv_blocked",
     "RunVerdict",

@@ -157,7 +157,20 @@ class ParallelSTTSV:
         ``x[R_p]^{(p)}`` — nothing else. Loading is an out-of-model
         setup step (the paper's algorithms start from this state) and
         records no communication.
+
+        Split into :meth:`load_tensor` + :meth:`load_vector` so callers
+        serving many vectors against one resident tensor (iterative
+        drivers, the :mod:`repro.service` layer) pay block extraction
+        once and only redistribute shards per request.
         """
+        self.load_tensor(machine, tensor)
+        self.load_vector(machine, x)
+
+    def load_tensor(
+        self, machine: Machine, tensor: PackedSymmetricTensor
+    ) -> None:
+        """Place the padded tensor blocks in processor memories (the
+        expensive, ``x``-independent half of :meth:`load`)."""
         if machine.P != self.partition.P:
             raise MachineError(
                 f"machine has {machine.P} processors, partition needs"
@@ -168,16 +181,30 @@ class ParallelSTTSV:
                 f"tensor dimension {tensor.n} != configured {self.n}"
             )
         padded = pad_tensor(tensor, self.n_padded)
-        x_padded = dist.pad_vector(np.asarray(x, dtype=np.float64), self.n_padded)
-        shards = dist.initial_shards(self.partition, x_padded, self.b)
         for p in range(machine.P):
-            proc = machine[p]
             blocks = {
                 index: extract_block(padded, index, self.b)
                 for index in self.partition.owned_blocks(p)
             }
-            proc.store("tensor_blocks", blocks)
-            proc.store("x_shards", shards[p])
+            machine[p].store("tensor_blocks", blocks)
+
+    def load_vector(self, machine: Machine, x: np.ndarray) -> None:
+        """Distribute the vector shards ``x[R_p]^{(p)}`` (the cheap,
+        per-request half of :meth:`load`; tensor blocks stay resident)."""
+        if machine.P != self.partition.P:
+            raise MachineError(
+                f"machine has {machine.P} processors, partition needs"
+                f" {self.partition.P}"
+            )
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ConfigurationError(
+                f"vector must have shape ({self.n},), got {x.shape}"
+            )
+        x_padded = dist.pad_vector(x, self.n_padded)
+        shards = dist.initial_shards(self.partition, x_padded, self.b)
+        for p in range(machine.P):
+            machine[p].store("x_shards", shards[p])
 
     # -- payload builders ----------------------------------------------------------
 

@@ -41,7 +41,19 @@ batch columns may differ from single-vector products in the last ulp
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import threading
+import weakref
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -51,7 +63,169 @@ from repro.tensor.packed import PackedSymmetricTensor
 #: Largest gemm-strategy operator ``auto`` will materialize (bytes).
 DEFAULT_GEMM_BUDGET_BYTES = 256 * 1024 * 1024
 
+#: Default entry bound of the module-level compiled-plan cache.
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+#: Default byte budget of the compiled-plan cache (1 GiB of operators).
+DEFAULT_PLAN_CACHE_BYTES = 1024 * 1024 * 1024
+
 _STRATEGIES = ("auto", "gemm", "bincount")
+
+
+class CacheInfo(NamedTuple):
+    """Snapshot of an :class:`LRUByteCache` (``cache_info()`` shape)."""
+
+    hits: int
+    misses: int
+    currsize: int
+    maxsize: Optional[int]
+    nbytes: int
+    byte_budget: Optional[int]
+    evictions: int
+
+
+class LRUByteCache:
+    """Least-recently-used cache bounded by entry count *and* bytes.
+
+    The eviction policy every long-lived cache in the repo shares (the
+    compiled-plan cache here, the warm engine pool in
+    :mod:`repro.service.sessions`): entries carry an explicit byte
+    weight, lookups refresh recency, and inserts evict from the cold
+    end until both ``maxsize`` and ``byte_budget`` hold again. A bound
+    of ``None`` disables that dimension. The newest entry is never
+    evicted on its own insert, so one oversized entry degrades the
+    budget to best-effort rather than thrashing.
+
+    ``on_evict(key, value)`` fires for every *capacity* eviction and
+    for :meth:`clear` — the hook that lets owners release real
+    resources (drop a tensor's plan attribute, close a session's
+    machine). :meth:`discard` removes silently (for entries whose
+    resources are already gone, e.g. a garbage-collected tensor).
+    """
+
+    def __init__(
+        self,
+        maxsize: Optional[int] = None,
+        byte_budget: Optional[int] = None,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
+    ):
+        if maxsize is not None and maxsize < 1:
+            raise ConfigurationError(f"maxsize must be >= 1, got {maxsize}")
+        if byte_budget is not None and byte_budget < 0:
+            raise ConfigurationError(
+                f"byte_budget must be >= 0, got {byte_budget}"
+            )
+        self.maxsize = maxsize
+        self.byte_budget = byte_budget
+        self._on_evict = on_evict
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._nbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def note_miss(self) -> None:
+        """Count a miss observed outside :meth:`get` — a caller that
+        bypassed the lookup and went straight to rebuilding the value."""
+        with self._lock:
+            self._misses += 1
+
+    def put(self, key: Hashable, value: Any, nbytes: int = 0) -> None:
+        """Insert (or replace) ``key`` and evict until bounds hold."""
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._nbytes += nbytes
+            self._shrink()
+
+    def keys(self) -> List[Hashable]:
+        """Keys from coldest to hottest (a snapshot copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def discard(self, key: Hashable) -> Optional[Any]:
+        """Remove ``key`` without firing ``on_evict`` (owner-initiated)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return None
+            self._nbytes -= entry[1]
+            return entry[0]
+
+    def clear(self) -> None:
+        """Evict every entry (``on_evict`` fires for each)."""
+        with self._lock:
+            while self._entries:
+                self._evict_oldest()
+
+    def resize(
+        self,
+        maxsize: Optional[int],
+        byte_budget: Optional[int],
+    ) -> None:
+        """Change the bounds and trim immediately."""
+        with self._lock:
+            if maxsize is not None and maxsize < 1:
+                raise ConfigurationError(
+                    f"maxsize must be >= 1, got {maxsize}"
+                )
+            if byte_budget is not None and byte_budget < 0:
+                raise ConfigurationError(
+                    f"byte_budget must be >= 0, got {byte_budget}"
+                )
+            self.maxsize = maxsize
+            self.byte_budget = byte_budget
+            self._shrink()
+
+    def info(self) -> CacheInfo:
+        """Hit/size/byte counters (the ``functools`` ``cache_info`` idiom)."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                currsize=len(self._entries),
+                maxsize=self.maxsize,
+                nbytes=self._nbytes,
+                byte_budget=self.byte_budget,
+                evictions=self._evictions,
+            )
+
+    def _evict_oldest(self) -> None:
+        key, (value, nbytes) = self._entries.popitem(last=False)
+        self._nbytes -= nbytes
+        self._evictions += 1
+        if self._on_evict is not None:
+            self._on_evict(key, value)
+
+    def _shrink(self) -> None:
+        while len(self._entries) > 1 and (
+            (self.maxsize is not None and len(self._entries) > self.maxsize)
+            or (
+                self.byte_budget is not None
+                and self._nbytes > self.byte_budget
+            )
+        ):
+            self._evict_oldest()
 
 
 class SequentialPlan:
@@ -244,6 +418,33 @@ class SequentialPlan:
         )
 
 
+def _drop_plan_attribute(key: Hashable, ref: "weakref.ref") -> None:
+    """Capacity-eviction hook: detach the plan from its tensor."""
+    tensor = ref()
+    if tensor is not None:
+        tensor._plan = None
+
+
+#: Module-level registry bounding how many compiled plans stay live.
+#: Values are weak references to the owning tensors (the cache never
+#: keeps a tensor alive); the plan itself lives on ``tensor._plan`` so
+#: identity semantics (`sequential_plan(t) is sequential_plan(t)`) are
+#: unchanged — the registry only enforces the bound.
+_PLAN_CACHE = LRUByteCache(
+    maxsize=DEFAULT_PLAN_CACHE_SIZE,
+    byte_budget=DEFAULT_PLAN_CACHE_BYTES,
+    on_evict=_drop_plan_attribute,
+)
+
+_UNSET = object()
+
+
+def _register_plan(tensor: PackedSymmetricTensor, plan: SequentialPlan) -> None:
+    key = id(tensor)
+    ref = weakref.ref(tensor, lambda _ref, key=key: _PLAN_CACHE.discard(key))
+    _PLAN_CACHE.put(key, ref, plan.nbytes())
+
+
 def sequential_plan(
     tensor: PackedSymmetricTensor,
     strategy: str = "auto",
@@ -256,6 +457,13 @@ def sequential_plan(
     ``tensor[i, j, k] = v``. Direct in-place mutation of
     ``tensor.data`` through NumPy bypasses the guard — call
     :func:`invalidate_plan` afterwards in that case.
+
+    Cache occupancy is bounded: a module-level LRU registry (default
+    :data:`DEFAULT_PLAN_CACHE_SIZE` plans / :data:`DEFAULT_PLAN_CACHE_BYTES`
+    of compiled state) detaches the coldest plans when a long-lived
+    process — the serving layer in particular — touches many tensors.
+    Inspect with :func:`cache_info`, drop everything with
+    :func:`cache_clear`, retune with :func:`configure_cache`.
     """
     cached: Optional[SequentialPlan] = getattr(tensor, "_plan", None)
     if (
@@ -263,17 +471,46 @@ def sequential_plan(
         and cached.matches(tensor)
         and cached.requested_strategy == strategy
     ):
+        if _PLAN_CACHE.get(id(tensor)) is None:
+            # Plan attached outside the registry (manual assignment or a
+            # cleared cache racing a live reference) — re-admit it.
+            _register_plan(tensor, cached)
         return cached
+    _PLAN_CACHE.note_miss()
     plan = SequentialPlan(
         tensor, strategy=strategy, gemm_budget_bytes=gemm_budget_bytes
     )
     tensor._plan = plan
+    _register_plan(tensor, plan)
     return plan
 
 
 def invalidate_plan(tensor: PackedSymmetricTensor) -> None:
     """Drop any cached plan (after direct ``tensor.data`` mutation)."""
     tensor._plan = None
+    _PLAN_CACHE.discard(id(tensor))
+
+
+def cache_info() -> CacheInfo:
+    """Counters of the module-level plan cache."""
+    return _PLAN_CACHE.info()
+
+
+def cache_clear() -> None:
+    """Evict every registered plan (tensors lose their ``_plan``)."""
+    _PLAN_CACHE.clear()
+
+
+def configure_cache(
+    maxsize: Any = _UNSET,
+    byte_budget: Any = _UNSET,
+) -> None:
+    """Rebound the plan cache (``None`` disables a dimension); trims
+    immediately so a long-lived server can shrink under pressure."""
+    _PLAN_CACHE.resize(
+        _PLAN_CACHE.maxsize if maxsize is _UNSET else maxsize,
+        _PLAN_CACHE.byte_budget if byte_budget is _UNSET else byte_budget,
+    )
 
 
 class ExchangePlan:

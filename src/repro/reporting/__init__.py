@@ -11,6 +11,7 @@ from repro.reporting.trace import (
     fault_summary,
     phase_table,
     round_table,
+    service_table,
     utilization,
     word_histogram,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "fault_summary",
     "phase_table",
     "round_table",
+    "service_table",
     "utilization",
     "word_histogram",
 ]

@@ -9,7 +9,9 @@ collected by :class:`~repro.machine.instrument.Instrumentation`;
 :func:`fault_summary` renders the robustness side: the ledger's
 ``retry_*`` recovery counters plus, when a
 :class:`~repro.machine.transport.faults.FaultInjectingTransport` is in
-play, its per-kind injection counts.
+play, its per-kind injection counts. :func:`service_table` renders the
+serving side: the ``STATS`` snapshot of a running
+:class:`~repro.service.server.STTSVServer` as per-session tables.
 """
 
 from __future__ import annotations
@@ -134,4 +136,81 @@ def fault_summary(ledger: CommunicationLedger, transport=None) -> str:
         lines.append(f"{'injected faults':<20} {'count':>8}")
         for kind, count in stats.as_dict().items():
             lines.append(f"{kind:<20} {count:>8}")
+    return "\n".join(lines)
+
+
+def service_table(stats: Dict) -> str:
+    """Human-readable rendering of a server ``STATS`` snapshot.
+
+    Takes the JSON payload of the serving layer's ``STATS`` endpoint
+    (:meth:`~repro.service.server.STTSVServer.stats`) and renders the
+    admission counters, the warm-session pool occupancy, and one block
+    per session — request totals, latency percentiles, the batch-size
+    histogram (the coalescing evidence), and the communication/retry
+    counters absorbed from parallel-mode runs. Unknown or missing
+    fields render as zeros, so the table is robust to stats from older
+    servers.
+    """
+    server = stats.get("server", {})
+    pool = stats.get("pool", {})
+    sessions = stats.get("sessions", {})
+    lines = [f"{'server':<22} {'value':>10}"]
+    for name in (
+        "accepted",
+        "rejected_overload",
+        "deadline_exceeded",
+        "bad_requests",
+        "internal_errors",
+        "connections_opened",
+        "registrations",
+    ):
+        lines.append(f"{name:<22} {server.get(name, 0):>10}")
+    queue_depth = server.get("queue_depth") or {}
+    total_queued = sum(queue_depth.values())
+    lines.append(f"{'queued requests':<22} {total_queued:>10}")
+    lines.append(
+        f"{'pool sessions':<22}"
+        f" {pool.get('sessions', 0):>6}/{pool.get('max_sessions', 0)}"
+        f" ({pool.get('evictions', 0)} evicted)"
+    )
+    if not sessions:
+        lines.append("(no sessions registered)")
+        return "\n".join(lines)
+    for label in sorted(sessions):
+        session = sessions[label]
+        latency = session.get("latency", {})
+        histogram = session.get("batch_size_histogram", {})
+        histogram_text = (
+            " ".join(
+                f"{size}x{histogram[size]}"
+                for size in sorted(histogram, key=int)
+            )
+            or "(empty)"
+        )
+        lines.append("")
+        lines.append(f"session {label}")
+        lines.append(
+            f"  requests {session.get('requests', 0)}"
+            f" (batched frames {session.get('batch_requests', 0)},"
+            f" errors {session.get('errors', 0)})"
+        )
+        lines.append(
+            f"  latency ms: p50 {latency.get('p50_ms', 0.0):.2f}"
+            f"  p95 {latency.get('p95_ms', 0.0):.2f}"
+            f"  p99 {latency.get('p99_ms', 0.0):.2f}"
+            f"  max {latency.get('max_ms', 0.0):.2f}"
+        )
+        lines.append(f"  batch sizes: {histogram_text}")
+        lines.append(
+            f"  parallel runs {session.get('parallel_runs', 0)}:"
+            f" {session.get('comm_rounds', 0)} rounds,"
+            f" {session.get('comm_words', 0)} words/proc,"
+            f" retries {session.get('retry_rounds', 0)}r/"
+            f"{session.get('retry_words', 0)}w/"
+            f"{session.get('retry_messages', 0)}m"
+        )
+        if session.get("failed_over"):
+            lines.append("  FAILED OVER to the simulated transport")
+        for warning in session.get("warnings", []):
+            lines.append(f"  warning: {warning}")
     return "\n".join(lines)

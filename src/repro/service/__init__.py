@@ -1,0 +1,52 @@
+"""STTSV serving layer: request broker, warm sessions, live metrics.
+
+The serving stack composes, bottom to top:
+
+* :mod:`repro.service.protocol` — versioned length-prefixed frames
+  with typed error replies;
+* :mod:`repro.service.sessions` — warm :class:`EngineSession` pool
+  (resident tensor blocks + compiled plan per
+  ``(tensor_id, q, P, backend)``), LRU-bounded;
+* :mod:`repro.service.batcher` — :class:`DynamicBatcher`, coalescing
+  concurrent applies into batched executions with explicit
+  backpressure;
+* :mod:`repro.service.metrics` — latency percentiles, batch-size
+  histogram, machine-layer counters;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  threaded TCP endpoints (``repro serve`` / ``repro load``).
+"""
+
+from repro.service.batcher import DynamicBatcher
+from repro.service.client import ServiceClient, run_load
+from repro.service.metrics import (
+    BatchSizeHistogram,
+    LatencyRecorder,
+    ServerMetrics,
+    SessionMetrics,
+)
+from repro.service.protocol import (
+    ErrorCode,
+    MessageType,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service.server import STTSVServer
+from repro.service.sessions import EngineSession, SessionKey, SessionPool
+
+__all__ = [
+    "BatchSizeHistogram",
+    "DynamicBatcher",
+    "EngineSession",
+    "ErrorCode",
+    "LatencyRecorder",
+    "MessageType",
+    "ProtocolError",
+    "STTSVServer",
+    "ServerMetrics",
+    "ServiceClient",
+    "ServiceError",
+    "SessionKey",
+    "SessionMetrics",
+    "SessionPool",
+    "run_load",
+]

@@ -1,0 +1,286 @@
+"""Dynamic micro-batching of concurrent apply requests.
+
+One *lane* per ``(session, mode)`` stream: a bounded FIFO admission
+queue plus a worker thread that executes against the warm engine. The
+batching policy is the continuous-batching scheme production inference
+servers use:
+
+* the worker blocks until at least one request is queued, then
+  **drains** everything waiting (up to ``max_batch``) into a single
+  ``apply_batch`` execution — so under concurrency, requests that
+  arrive while the previous batch executes coalesce automatically;
+* a lone request on an idle lane executes immediately — a serial
+  client never pays an artificial wait;
+* ``max_wait_ms > 0`` opts into holding the first request up to that
+  deadline to grow the batch (higher throughput, bounded added
+  latency; the default 0 is the pure drain policy).
+
+Coalescing never changes results: a batch executes through
+``EngineSession.apply_batch``, whose ``parallel`` mode and ``plan``
+mode with the ``bincount`` strategy are column loops — each column is
+bitwise identical to an unbatched request (tested). The ``gemm``
+strategy trades that for one multi-column GEMM (last-ulp agreement,
+same trade documented for :meth:`SequentialPlan.apply_batch`).
+
+Backpressure is explicit: a full admission queue makes :meth:`submit`
+raise :class:`ServiceError` with code ``OVERLOADED`` immediately —
+the server turns that into a typed reply instead of stalling the
+connection. Per-request deadlines are honored at dequeue: an expired
+request fails with ``DEADLINE_EXCEEDED`` without being executed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.protocol import ErrorCode, ServiceError
+from repro.service.sessions import EngineSession, SessionKey
+
+#: Default bound on queued-but-unserved requests per lane.
+DEFAULT_ADMISSION_CAPACITY = 64
+
+#: Default cap on coalesced batch width.
+DEFAULT_MAX_BATCH = 16
+
+
+@dataclass
+class _Pending:
+    x: np.ndarray
+    future: Future
+    enqueued_at: float
+    deadline_at: Optional[float]
+
+
+@dataclass
+class _Lane:
+    key: SessionKey
+    mode: str
+    session: EngineSession
+    queue: List[_Pending] = field(default_factory=list)
+    thread: Optional[threading.Thread] = None
+    open: bool = True
+
+
+class DynamicBatcher:
+    """Coalesces concurrent applies into batched engine executions."""
+
+    def __init__(
+        self,
+        max_wait_ms: float = 0.0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
+        on_batch: Optional[Callable[[SessionKey, str, int], None]] = None,
+    ):
+        if max_batch < 1:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"max_batch must be >= 1, got {max_batch}"
+            )
+        if admission_capacity < 1:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"admission_capacity must be >= 1, got {admission_capacity}",
+            )
+        self.max_wait_ms = max_wait_ms
+        self.max_batch = max_batch
+        self.admission_capacity = admission_capacity
+        self._on_batch = on_batch
+        self._lanes: Dict[Tuple[SessionKey, str], _Lane] = {}
+        self._cond = threading.Condition()
+        #: Test/operations gate: while cleared, workers collect but do
+        #: not execute — used to provoke deterministic coalescing and
+        #: overload in tests. Open by default.
+        self._gate = threading.Event()
+        self._gate.set()
+        self._closed = False
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(
+        self,
+        key: SessionKey,
+        mode: str,
+        session: EngineSession,
+        x: np.ndarray,
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request; returns a future resolving to ``y``.
+
+        Raises :class:`ServiceError` ``OVERLOADED`` when the lane's
+        admission queue is full and ``SHUTTING_DOWN`` after
+        :meth:`close`.
+        """
+        now = time.monotonic()
+        item = _Pending(
+            x=x,
+            future=Future(),
+            enqueued_at=now,
+            deadline_at=(
+                now + deadline_ms / 1e3 if deadline_ms is not None else None
+            ),
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceError(
+                    ErrorCode.SHUTTING_DOWN, "batcher is shutting down"
+                )
+            lane = self._lanes.get((key, mode))
+            if lane is None or not lane.open:
+                lane = _Lane(key=key, mode=mode, session=session)
+                lane.thread = threading.Thread(
+                    target=self._worker,
+                    args=(lane,),
+                    name=f"sttsv-batch:{key.tensor_id}:{mode}",
+                    daemon=True,
+                )
+                self._lanes[(key, mode)] = lane
+                lane.thread.start()
+            if len(lane.queue) >= self.admission_capacity:
+                raise ServiceError(
+                    ErrorCode.OVERLOADED,
+                    f"admission queue full ({self.admission_capacity}"
+                    f" requests waiting on {key.label()}:{mode})",
+                )
+            lane.queue.append(item)
+            self._cond.notify_all()
+        return item.future
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Waiting requests per lane (the stats ``queue_depth`` field)."""
+        with self._cond:
+            return {
+                f"{key.label()}:{mode}": len(lane.queue)
+                for (key, mode), lane in self._lanes.items()
+            }
+
+    def pending(self) -> int:
+        """Total queued-but-unserved requests across lanes."""
+        with self._cond:
+            return sum(len(lane.queue) for lane in self._lanes.values())
+
+    # -- test/operations gate ---------------------------------------------------
+
+    def hold(self) -> None:
+        """Pause batch execution (queued requests accumulate)."""
+        self._gate.clear()
+
+    def release(self) -> None:
+        """Resume batch execution."""
+        self._gate.set()
+
+    # -- lane lifecycle ---------------------------------------------------------
+
+    def close_lanes(self, key: SessionKey) -> None:
+        """Tear down every lane of ``key`` (session eviction): pending
+        requests fail with ``UNKNOWN_TENSOR`` and workers exit."""
+        with self._cond:
+            drained: List[_Pending] = []
+            for (lane_key, _mode), lane in self._lanes.items():
+                if lane_key == key:
+                    lane.open = False
+                    drained.extend(lane.queue)
+                    lane.queue.clear()
+            self._lanes = {
+                lane_id: lane
+                for lane_id, lane in self._lanes.items()
+                if lane_id[0] != key
+            }
+            self._cond.notify_all()
+        self._fail(
+            drained,
+            ServiceError(
+                ErrorCode.UNKNOWN_TENSOR,
+                f"session {key.label()} was evicted",
+            ),
+        )
+
+    def close(self) -> None:
+        """Stop all lanes; pending requests fail ``SHUTTING_DOWN``."""
+        with self._cond:
+            self._closed = True
+            drained = []
+            for lane in self._lanes.values():
+                lane.open = False
+                drained.extend(lane.queue)
+                lane.queue.clear()
+            self._lanes.clear()
+            self._cond.notify_all()
+        self._gate.set()
+        self._fail(
+            drained,
+            ServiceError(ErrorCode.SHUTTING_DOWN, "server shutting down"),
+        )
+
+    # -- worker ----------------------------------------------------------------
+
+    def _worker(self, lane: _Lane) -> None:
+        while True:
+            with self._cond:
+                while lane.open and not lane.queue:
+                    self._cond.wait()
+                if not lane.open:
+                    return
+            # The gate sits outside the lock so held workers never
+            # block admission.
+            self._gate.wait()
+            batch = self._collect(lane)
+            if batch:
+                self._execute(lane, batch)
+
+    def _collect(self, lane: _Lane) -> List[_Pending]:
+        """Drain up to ``max_batch`` requests, optionally waiting
+        ``max_wait_ms`` to grow the batch; expire overdue items."""
+        deadline = (
+            time.monotonic() + self.max_wait_ms / 1e3
+            if self.max_wait_ms > 0
+            else None
+        )
+        batch: List[_Pending] = []
+        expired: List[_Pending] = []
+        with self._cond:
+            while lane.open and len(batch) < self.max_batch:
+                while lane.queue and len(batch) < self.max_batch:
+                    item = lane.queue.pop(0)
+                    now = time.monotonic()
+                    if item.deadline_at is not None and now > item.deadline_at:
+                        expired.append(item)
+                    else:
+                        batch.append(item)
+                if deadline is None or not batch:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or len(batch) >= self.max_batch:
+                    break
+                self._cond.wait(timeout=remaining)
+        self._fail(
+            expired,
+            ServiceError(
+                ErrorCode.DEADLINE_EXCEEDED,
+                "request expired in the admission queue",
+            ),
+        )
+        return batch
+
+    def _execute(self, lane: _Lane, batch: List[_Pending]) -> None:
+        X = np.column_stack([item.x for item in batch])
+        try:
+            with lane.session.exec_lock:
+                Y = lane.session.apply_batch(X, mode=lane.mode)
+        except Exception as error:  # noqa: BLE001 — forwarded to callers
+            for item in batch:
+                item.future.set_exception(error)
+            return
+        if self._on_batch is not None:
+            self._on_batch(lane.key, lane.mode, len(batch))
+        for col, item in enumerate(batch):
+            item.future.set_result(np.ascontiguousarray(Y[:, col]))
+
+    @staticmethod
+    def _fail(items: List[_Pending], error: ServiceError) -> None:
+        for item in items:
+            item.future.set_exception(error)

@@ -1,0 +1,256 @@
+"""Blocking client and closed-loop load generator for the STTSV server.
+
+:class:`ServiceClient` is one TCP connection speaking the frame
+protocol — register a tensor, apply vectors (optionally pre-batched),
+pull stats, request shutdown. Typed ``ERROR`` replies re-raise as
+:class:`~repro.service.protocol.ServiceError`, so callers branch on
+``error.code`` (``OVERLOADED``, ``DEADLINE_EXCEEDED``, ...) exactly as
+the server classified the failure.
+
+:func:`run_load` is the closed-loop generator behind ``repro load``
+and the service benchmark: ``clients`` threads, each with its own
+connection, each issuing ``requests_per_client`` applies back to back.
+Concurrent in-flight requests are what give the server's micro-batcher
+something to coalesce — the returned summary carries client-side
+throughput and latency percentiles next to the server's own stats
+snapshot (batch-size histogram included) for cross-checking.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.protocol import (
+    ErrorCode,
+    MessageType,
+    ProtocolError,
+    ServiceError,
+    decode_array,
+    encode_array,
+    parse_error,
+    read_frame,
+    write_frame,
+)
+from repro.tensor.packed import PackedSymmetricTensor
+
+
+class ServiceClient:
+    """One blocking connection to an :class:`STTSVServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _roundtrip(
+        self, msg_type: MessageType, header: Dict, body: bytes = b""
+    ) -> Tuple[MessageType, Dict, bytes]:
+        """One request/reply exchange; raises on typed ``ERROR``."""
+        with self._lock:
+            write_frame(self._sock, msg_type, header, body)
+            reply_type, reply_header, reply_body = read_frame(self._sock)
+        if reply_type == MessageType.ERROR:
+            raise parse_error(reply_header)
+        return reply_type, reply_header, reply_body
+
+    @staticmethod
+    def _expect(reply_type: MessageType, expected: MessageType) -> None:
+        if reply_type != expected:
+            raise ProtocolError(
+                f"expected {expected.name} reply, got {reply_type.name}"
+            )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------------
+
+    def register(
+        self,
+        tensor_id: str,
+        tensor: PackedSymmetricTensor,
+        q: int,
+        backend: str = "simulated",
+        strategy: str = "auto",
+    ) -> Dict:
+        """Upload a tensor and warm an engine session for it."""
+        header, body = encode_array(tensor.data)
+        header.update(
+            {
+                "tensor_id": tensor_id,
+                "n": tensor.n,
+                "q": q,
+                "backend": backend,
+                "strategy": strategy,
+            }
+        )
+        reply_type, reply_header, _ = self._roundtrip(
+            MessageType.REGISTER, header, body
+        )
+        self._expect(reply_type, MessageType.OK)
+        return reply_header
+
+    def apply(
+        self,
+        tensor_id: str,
+        x: np.ndarray,
+        mode: str = "plan",
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """Serve ``y = A ×₂ x ×₃ x`` for one vector."""
+        header, body = encode_array(x)
+        header["tensor_id"] = tensor_id
+        header["mode"] = mode
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        reply_type, reply_header, reply_body = self._roundtrip(
+            MessageType.APPLY, header, body
+        )
+        self._expect(reply_type, MessageType.RESULT)
+        return decode_array(reply_header, reply_body, expected_ndim=1)
+
+    def apply_batch(
+        self, tensor_id: str, X: np.ndarray, mode: str = "plan"
+    ) -> np.ndarray:
+        """Serve a pre-batched ``n × s`` matrix in one request."""
+        header, body = encode_array(X)
+        header["tensor_id"] = tensor_id
+        header["mode"] = mode
+        reply_type, reply_header, reply_body = self._roundtrip(
+            MessageType.APPLY_BATCH, header, body
+        )
+        self._expect(reply_type, MessageType.RESULT)
+        return decode_array(reply_header, reply_body, expected_ndim=2)
+
+    def stats(self) -> Dict:
+        """Live metrics snapshot (server, sessions, pool, config)."""
+        reply_type, reply_header, _ = self._roundtrip(
+            MessageType.STATS, {}
+        )
+        self._expect(reply_type, MessageType.OK)
+        return reply_header
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (replies OK before stopping)."""
+        reply_type, _, _ = self._roundtrip(MessageType.SHUTDOWN, {})
+        self._expect(reply_type, MessageType.OK)
+
+
+# -- load generation ------------------------------------------------------------
+
+
+def run_load(
+    host: str,
+    port: int,
+    tensor_id: str,
+    n: int,
+    clients: int = 16,
+    requests_per_client: int = 32,
+    mode: str = "plan",
+    deadline_ms: Optional[float] = None,
+    seed: int = 0,
+) -> Dict:
+    """Drive the server with ``clients`` concurrent closed-loop workers.
+
+    Every worker owns a connection and a seeded vector stream, issues
+    its requests back to back, and records per-request latency
+    client-side. Returns a JSON-compatible summary::
+
+        {clients, requests, ok, overloaded, deadline_exceeded, errors,
+         elapsed_s, throughput_rps, latency: {p50_ms, p95_ms, p99_ms,
+         mean_ms, max_ms}, server_stats: <final STATS snapshot>}
+    """
+    latencies: List[float] = []
+    counts = {"ok": 0, "overloaded": 0, "deadline_exceeded": 0, "errors": 0}
+    lock = threading.Lock()
+    start_gate = threading.Event()
+
+    def worker(worker_id: int) -> None:
+        rng = np.random.default_rng(seed + worker_id)
+        local_lat: List[float] = []
+        local = {"ok": 0, "overloaded": 0, "deadline_exceeded": 0, "errors": 0}
+        with ServiceClient(host, port) as client:
+            start_gate.wait()
+            for _ in range(requests_per_client):
+                x = rng.standard_normal(n)
+                t0 = time.monotonic()
+                try:
+                    client.apply(
+                        tensor_id, x, mode=mode, deadline_ms=deadline_ms
+                    )
+                except ServiceError as error:
+                    if error.code == ErrorCode.OVERLOADED:
+                        local["overloaded"] += 1
+                    elif error.code == ErrorCode.DEADLINE_EXCEEDED:
+                        local["deadline_exceeded"] += 1
+                    else:
+                        local["errors"] += 1
+                else:
+                    local["ok"] += 1
+                    local_lat.append(time.monotonic() - t0)
+        with lock:
+            latencies.extend(local_lat)
+            for name, value in local.items():
+                counts[name] += value
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    wall_start = time.monotonic()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - wall_start
+
+    if latencies:
+        arr = np.asarray(latencies)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        latency = {
+            "mean_ms": float(arr.mean()) * 1e3,
+            "p50_ms": float(p50) * 1e3,
+            "p95_ms": float(p95) * 1e3,
+            "p99_ms": float(p99) * 1e3,
+            "max_ms": float(arr.max()) * 1e3,
+        }
+    else:
+        latency = {
+            "mean_ms": 0.0,
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "max_ms": 0.0,
+        }
+
+    with ServiceClient(host, port) as client:
+        server_stats = client.stats()
+
+    return {
+        "clients": clients,
+        "requests": clients * requests_per_client,
+        **counts,
+        "elapsed_s": elapsed,
+        "throughput_rps": (counts["ok"] / elapsed) if elapsed > 0 else 0.0,
+        "latency": latency,
+        "server_stats": server_stats,
+    }

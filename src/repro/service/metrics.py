@@ -1,0 +1,177 @@
+"""Live serving metrics: latency percentiles, batch sizes, admission.
+
+Three layers of observability meet here:
+
+* per-request **service latencies** (arrival to reply-ready) kept in a
+  bounded reservoir, summarized as p50/p95/p99;
+* the micro-batcher's **batch-size histogram** — the direct evidence
+  that concurrent requests actually coalesce (the integration tests
+  assert on it);
+* the machine layer's existing counters surfaced per session: PR 2's
+  :class:`~repro.machine.instrument.Instrumentation` phase spans and
+  PR 3's ledger ``retry_*`` recovery side-channel, fault-injection
+  stats, and transport failover flag.
+
+Everything is thread-safe (the server records from handler and batcher
+threads concurrently) and snapshots to plain JSON-compatible dicts —
+the payload of the ``STATS`` endpoint, rendered human-readable by
+:func:`repro.reporting.trace.service_table`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+#: Latency reservoir size: enough for stable tail percentiles without
+#: unbounded growth in a long-lived server.
+DEFAULT_RESERVOIR = 8192
+
+
+class LatencyRecorder:
+    """Bounded reservoir of request latencies with percentile summary."""
+
+    def __init__(self, maxlen: int = DEFAULT_RESERVOIR):
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` (zeros
+        when nothing was recorded)."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._total
+        if not samples:
+            return {
+                "count": 0,
+                "mean_ms": 0.0,
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+                "max_ms": 0.0,
+            }
+        arr = np.asarray(samples)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return {
+            "count": count,
+            "mean_ms": total / count * 1e3,
+            "p50_ms": float(p50) * 1e3,
+            "p95_ms": float(p95) * 1e3,
+            "p99_ms": float(p99) * 1e3,
+            "max_ms": float(arr.max()) * 1e3,
+        }
+
+
+class BatchSizeHistogram:
+    """Counts of executed batch widths: ``{size: batches}``."""
+
+    def __init__(self):
+        self._counts: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def record(self, size: int) -> None:
+        with self._lock:
+            self._counts[size] = self._counts.get(size, 0) + 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-friendly (string keys), sorted by batch size."""
+        with self._lock:
+            return {str(k): self._counts[k] for k in sorted(self._counts)}
+
+    def max_size(self) -> int:
+        with self._lock:
+            return max(self._counts, default=0)
+
+    def total_requests(self) -> int:
+        """Requests served through batches (Σ size · count)."""
+        with self._lock:
+            return sum(k * v for k, v in self._counts.items())
+
+
+class SessionMetrics:
+    """Per-session serving counters (one per warm engine session)."""
+
+    def __init__(self):
+        self.latency = LatencyRecorder()
+        self.batch_sizes = BatchSizeHistogram()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "batch_requests": 0,
+            "errors": 0,
+            "parallel_runs": 0,
+            "comm_rounds": 0,
+            "comm_words": 0,
+            "retry_rounds": 0,
+            "retry_words": 0,
+            "retry_messages": 0,
+        }
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def absorb_ledger(self, ledger) -> None:
+        """Fold one parallel run's ledger into the running totals
+        (the caller resets the ledger afterwards, so a long-lived
+        session never accumulates per-round records)."""
+        with self._lock:
+            self._counters["parallel_runs"] += 1
+            self._counters["comm_rounds"] += ledger.round_count()
+            self._counters["comm_words"] += ledger.max_words_sent()
+            self._counters["retry_rounds"] += ledger.retry_rounds
+            self._counters["retry_words"] += ledger.retry_words
+            self._counters["retry_messages"] += ledger.retry_messages
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            **counters,
+            "latency": self.latency.snapshot(),
+            "batch_size_histogram": self.batch_sizes.as_dict(),
+        }
+
+
+class ServerMetrics:
+    """Server-wide admission and lifecycle counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "accepted": 0,
+            "rejected_overload": 0,
+            "deadline_exceeded": 0,
+            "bad_requests": 0,
+            "internal_errors": 0,
+            "connections_opened": 0,
+            "registrations": 0,
+        }
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def snapshot(
+        self, queue_depth: Optional[Dict[str, int]] = None
+    ) -> Dict:
+        with self._lock:
+            counters = dict(self._counters)
+        if queue_depth is not None:
+            counters["queue_depth"] = queue_depth
+        return counters

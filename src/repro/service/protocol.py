@@ -1,0 +1,257 @@
+"""Wire protocol of the STTSV serving layer.
+
+Every message — request or reply — is one *frame*:
+
+::
+
+    offset  size  field
+    0       2     magic  b"SV"
+    2       1     protocol version (1)
+    3       1     message type (MessageType)
+    4       4     header length  (unsigned big-endian)
+    8       8     body length    (unsigned big-endian)
+    16      ...   header: UTF-8 JSON object (parameters, metadata)
+    ...     ...   body:   raw little-endian float64 array bytes
+
+The JSON header carries everything small and structured (tensor ids,
+modes, deadlines, error codes, stats snapshots); the body carries
+vector/matrix payloads verbatim (shape and dtype are pinned in the
+header by :func:`encode_array`), so numerical round-trips are bitwise:
+the bytes a client sends are the bytes the engine sees.
+
+Request types: ``REGISTER`` (resident-tensor upload), ``APPLY`` (one
+vector), ``APPLY_BATCH`` (a pre-batched ``n × s`` matrix), ``STATS``
+(metrics snapshot), ``SHUTDOWN``. Reply types: ``RESULT`` (array
+payload), ``OK`` (JSON payload), and ``ERROR`` with a typed
+:class:`ErrorCode` — backpressure (``OVERLOADED``), per-request
+deadline misses (``DEADLINE_EXCEEDED``), and client mistakes
+(``BAD_REQUEST``, ``UNKNOWN_TENSOR``) are distinct, machine-readable
+outcomes rather than stringly-typed failures.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+MAGIC = b"SV"
+PROTOCOL_VERSION = 1
+
+#: Frame prefix: magic, version, type, header length, body length.
+_PREFIX = struct.Struct("!2sBBIQ")
+
+#: Caps guarding a malformed or hostile peer (1 MiB JSON, 1 GiB body).
+MAX_HEADER_BYTES = 1 << 20
+MAX_BODY_BYTES = 1 << 30
+
+
+class ProtocolError(ReproError):
+    """Malformed frame: bad magic, version, length, or encoding."""
+
+
+class ServiceError(ReproError):
+    """A typed ``ERROR`` reply, surfaced client-side.
+
+    ``code`` is an :class:`ErrorCode` value, so callers can branch on
+    overload vs. deadline vs. client error without parsing messages.
+    """
+
+    def __init__(self, code: "ErrorCode", message: str):
+        super().__init__(f"[{code.value}] {message}")
+        self.code = code
+        self.detail = message
+
+
+class MessageType(enum.IntEnum):
+    """Frame discriminator (requests < 16 <= replies)."""
+
+    REGISTER = 1
+    APPLY = 2
+    APPLY_BATCH = 3
+    STATS = 4
+    SHUTDOWN = 5
+    RESULT = 16
+    OK = 17
+    ERROR = 18
+
+
+class ErrorCode(enum.Enum):
+    """Typed failure classes of ``ERROR`` replies."""
+
+    BAD_REQUEST = "bad-request"
+    UNSUPPORTED_VERSION = "unsupported-version"
+    UNKNOWN_TENSOR = "unknown-tensor"
+    OVERLOADED = "overloaded"
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    SHUTTING_DOWN = "shutting-down"
+    INTERNAL = "internal"
+
+
+def pack_frame(
+    msg_type: MessageType, header: Dict, body: bytes = b""
+) -> bytes:
+    """Serialize one frame (the inverse of :func:`unpack_frame`)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(header_bytes)} bytes)")
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(f"body too large ({len(body)} bytes)")
+    return (
+        _PREFIX.pack(
+            MAGIC,
+            PROTOCOL_VERSION,
+            int(msg_type),
+            len(header_bytes),
+            len(body),
+        )
+        + header_bytes
+        + body
+    )
+
+
+def unpack_frame(data: bytes) -> Tuple[MessageType, Dict, bytes]:
+    """Parse one complete frame from ``data`` (exact length required)."""
+    if len(data) < _PREFIX.size:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} < {_PREFIX.size} prefix bytes"
+        )
+    magic, version, msg_type, header_len, body_len = _PREFIX.unpack_from(data)
+    _check_prefix(magic, version, msg_type, header_len, body_len)
+    expected = _PREFIX.size + header_len + body_len
+    if len(data) != expected:
+        raise ProtocolError(
+            f"frame length mismatch: got {len(data)}, prefix says {expected}"
+        )
+    header = _decode_header(data[_PREFIX.size : _PREFIX.size + header_len])
+    body = data[_PREFIX.size + header_len :]
+    return MessageType(msg_type), header, body
+
+
+def write_frame(
+    sock: socket.socket,
+    msg_type: MessageType,
+    header: Dict,
+    body: bytes = b"",
+) -> None:
+    """Send one frame over a connected socket."""
+    sock.sendall(pack_frame(msg_type, header, body))
+
+
+def read_frame(sock: socket.socket) -> Tuple[MessageType, Dict, bytes]:
+    """Read exactly one frame; raises ``ConnectionError`` on clean EOF
+    before any prefix byte, :class:`ProtocolError` on malformed input."""
+    prefix = _recv_exact(sock, _PREFIX.size)
+    magic, version, msg_type, header_len, body_len = _PREFIX.unpack(prefix)
+    _check_prefix(magic, version, msg_type, header_len, body_len)
+    header = _decode_header(_recv_exact(sock, header_len))
+    body = _recv_exact(sock, body_len) if body_len else b""
+    return MessageType(msg_type), header, body
+
+
+def _check_prefix(
+    magic: bytes, version: int, msg_type: int, header_len: int, body_len: int
+) -> None:
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version}"
+            f" (this build speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        MessageType(msg_type)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {msg_type}") from None
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({header_len} bytes)")
+    if body_len > MAX_BODY_BYTES:
+        raise ProtocolError(f"body too large ({body_len} bytes)")
+
+
+def _decode_header(raw: bytes) -> Dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable header: {error}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                raise ConnectionError("connection closed")
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of"
+                f" {count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- array payloads ------------------------------------------------------------
+
+
+def encode_array(array: np.ndarray) -> Tuple[Dict, bytes]:
+    """Header fields + raw bytes for a float64 payload (C order)."""
+    array = np.ascontiguousarray(np.asarray(array, dtype="<f8"))
+    return {"shape": list(array.shape), "dtype": "<f8"}, array.tobytes()
+
+
+def decode_array(
+    header: Dict,
+    body: bytes,
+    expected_ndim: Optional[int] = None,
+) -> np.ndarray:
+    """Reconstruct the payload array; validates shape/length/dtype."""
+    shape = header.get("shape")
+    if (
+        not isinstance(shape, list)
+        or not shape
+        or not all(isinstance(d, int) and d >= 0 for d in shape)
+    ):
+        raise ProtocolError(f"bad array shape {shape!r}")
+    if header.get("dtype", "<f8") != "<f8":
+        raise ProtocolError(
+            f"unsupported dtype {header.get('dtype')!r} (float64 only)"
+        )
+    if expected_ndim is not None and len(shape) != expected_ndim:
+        raise ProtocolError(
+            f"expected a {expected_ndim}-d payload, got shape {shape}"
+        )
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 0
+    if len(body) != 8 * count:
+        raise ProtocolError(
+            f"body carries {len(body)} bytes, shape {shape} needs"
+            f" {8 * count}"
+        )
+    return np.frombuffer(body, dtype="<f8").reshape(shape).copy()
+
+
+def error_header(code: ErrorCode, message: str) -> Dict:
+    """Header of a typed ``ERROR`` reply."""
+    return {"code": code.value, "message": message}
+
+
+def parse_error(header: Dict) -> ServiceError:
+    """Turn an ``ERROR`` reply header back into a :class:`ServiceError`."""
+    try:
+        code = ErrorCode(header.get("code"))
+    except ValueError:
+        code = ErrorCode.INTERNAL
+    return ServiceError(code, str(header.get("message", "")))

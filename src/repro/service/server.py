@@ -1,0 +1,455 @@
+"""Threaded TCP server fronting warm STTSV engine sessions.
+
+Request path for ``APPLY``::
+
+    client ──frame──▶ handler thread ──submit──▶ DynamicBatcher lane
+                                                      │ (coalesce)
+    client ◀─frame── handler thread ◀─future── EngineSession.apply_batch
+
+Each accepted connection gets a handler thread that reads frames in a
+loop and dispatches on :class:`~repro.service.protocol.MessageType`.
+Handlers never execute engine work directly for ``APPLY`` — they
+enqueue into the :class:`~repro.service.batcher.DynamicBatcher` and
+block on the returned future, which is what lets concurrent requests
+from independent connections coalesce into one batched execution.
+
+Failure discipline: every error a request can cause becomes a typed
+``ERROR`` reply (:class:`~repro.service.protocol.ErrorCode`) on that
+request's connection; the server never prints a traceback and never
+dies because of one request. Backpressure is immediate — a full
+admission queue is an ``OVERLOADED`` reply, not a stalled socket — so
+a saturated server stays observable (``STATS`` still answers) and
+recoverable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.machine.transport import TRANSPORTS, FaultPolicy
+from repro.service.batcher import (
+    DEFAULT_ADMISSION_CAPACITY,
+    DEFAULT_MAX_BATCH,
+    DynamicBatcher,
+)
+from repro.service.metrics import ServerMetrics
+from repro.service.protocol import (
+    ErrorCode,
+    MessageType,
+    ProtocolError,
+    ServiceError,
+    decode_array,
+    encode_array,
+    error_header,
+    read_frame,
+    write_frame,
+)
+from repro.service.sessions import (
+    DEFAULT_MAX_SESSIONS,
+    EngineSession,
+    SessionKey,
+    SessionPool,
+)
+from repro.tensor.packed import PackedSymmetricTensor, packed_size
+
+#: Accept-loop poll interval — bounds shutdown latency.
+_ACCEPT_TIMEOUT_S = 0.2
+
+#: Grace added to a request deadline when waiting on its future: the
+#: batcher enforces expiry at dequeue; this only guards against a
+#: wedged execution.
+_DEADLINE_GRACE_S = 5.0
+
+
+class STTSVServer:
+    """Serve STTSV applies over TCP with dynamic batching.
+
+    ``port=0`` (the default) binds an ephemeral port; read
+    :attr:`address` after :meth:`start`. The server object doubles as a
+    context manager::
+
+        with STTSVServer() as server:
+            host, port = server.address
+            ...
+
+    Tests drive deterministic coalescing/overload through
+    :attr:`batcher` (``hold()`` / ``release()``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        session_byte_budget: Optional[int] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = 0.0,
+        admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
+        faults: Optional[FaultPolicy] = None,
+    ):
+        self._host = host
+        self._port = port
+        self.faults = faults
+        self.metrics = ServerMetrics()
+        self.pool = SessionPool(
+            max_sessions=max_sessions,
+            byte_budget=session_byte_budget,
+            on_evict=self._on_session_evicted,
+        )
+        self.batcher = DynamicBatcher(
+            max_wait_ms=max_wait_ms,
+            max_batch=max_batch,
+            admission_capacity=admission_capacity,
+            on_batch=self._on_batch_executed,
+        )
+        #: ``tensor_id -> SessionKey`` routing table.
+        self._routes: Dict[str, SessionKey] = {}
+        self._routes_lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self._stop_event = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and spawn the accept loop; returns the address."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(128)
+        sock.settimeout(_ACCEPT_TIMEOUT_S)
+        self._sock = sock
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sttsv-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._sock is None:
+            raise ServiceError(ErrorCode.INTERNAL, "server not started")
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    def stop(self) -> None:
+        """Drain and shut down (idempotent): no new connections, pending
+        requests failed ``SHUTTING_DOWN``, all sessions closed."""
+        if not self._running:
+            return
+        self._running = False
+        self._stop_event.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self.batcher.close()
+        with self._routes_lock:
+            self._routes.clear()
+        self.pool.clear()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server stops (``SHUTDOWN`` request or
+        :meth:`stop`); returns False on timeout."""
+        return self._stop_event.wait(timeout)
+
+    def __enter__(self) -> "STTSVServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- callbacks -------------------------------------------------------------
+
+    def _on_session_evicted(self, key: SessionKey, session: EngineSession):
+        """Pool eviction: fail that session's queued work and drop its
+        route before the pool closes the machine."""
+        self.batcher.close_lanes(key)
+        with self._routes_lock:
+            if self._routes.get(key.tensor_id) == key:
+                del self._routes[key.tensor_id]
+
+    def _on_batch_executed(self, key: SessionKey, mode: str, size: int):
+        session = self.pool.get(key)
+        if session is not None:
+            session.metrics.batch_sizes.record(size)
+
+    # -- accept / handle -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.metrics.incr("connections_opened")
+            threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name="sttsv-conn",
+                daemon=True,
+            ).start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while self._running:
+                try:
+                    msg_type, header, body = read_frame(conn)
+                except ConnectionError:
+                    return  # client went away cleanly
+                except ProtocolError as error:
+                    # Framing is broken: reply once (best effort) and
+                    # drop the connection — we can no longer find the
+                    # next frame boundary.
+                    self.metrics.incr("bad_requests")
+                    self._try_reply_error(
+                        conn, ErrorCode.BAD_REQUEST, str(error)
+                    )
+                    return
+                except OSError:
+                    return
+                if not self._dispatch(conn, msg_type, header, body):
+                    return
+
+    def _dispatch(self, conn, msg_type, header, body) -> bool:
+        """Handle one request; returns False to close the connection."""
+        try:
+            if msg_type == MessageType.REGISTER:
+                self._handle_register(conn, header, body)
+            elif msg_type == MessageType.APPLY:
+                self._handle_apply(conn, header, body)
+            elif msg_type == MessageType.APPLY_BATCH:
+                self._handle_apply_batch(conn, header, body)
+            elif msg_type == MessageType.STATS:
+                self._handle_stats(conn)
+            elif msg_type == MessageType.SHUTDOWN:
+                write_frame(conn, MessageType.OK, {"stopping": True})
+                threading.Thread(target=self.stop, daemon=True).start()
+                return False
+            else:
+                self.metrics.incr("bad_requests")
+                self._try_reply_error(
+                    conn,
+                    ErrorCode.BAD_REQUEST,
+                    f"{MessageType(msg_type).name} is not a request type",
+                )
+        except ServiceError as error:
+            self._count_error(error.code)
+            self._try_reply_error(conn, error.code, error.detail)
+        except ReproError as error:
+            self.metrics.incr("bad_requests")
+            self._try_reply_error(conn, ErrorCode.BAD_REQUEST, str(error))
+        except (OSError, ConnectionError):
+            return False
+        except Exception as error:  # noqa: BLE001 — one request never
+            # kills the server, and tracebacks never hit the log
+            self.metrics.incr("internal_errors")
+            self._try_reply_error(
+                conn,
+                ErrorCode.INTERNAL,
+                f"{type(error).__name__}: {error}",
+            )
+        return True
+
+    def _count_error(self, code: ErrorCode) -> None:
+        if code == ErrorCode.OVERLOADED:
+            self.metrics.incr("rejected_overload")
+        elif code == ErrorCode.DEADLINE_EXCEEDED:
+            self.metrics.incr("deadline_exceeded")
+        else:
+            self.metrics.incr("bad_requests")
+
+    @staticmethod
+    def _try_reply_error(conn, code: ErrorCode, message: str) -> None:
+        try:
+            write_frame(
+                conn, MessageType.ERROR, error_header(code, message)
+            )
+        except OSError:
+            pass  # client is gone; nothing to tell
+
+    # -- request handlers ------------------------------------------------------
+
+    def _handle_register(self, conn, header: Dict, body: bytes) -> None:
+        tensor_id = header.get("tensor_id")
+        if not isinstance(tensor_id, str) or not tensor_id:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "register needs a tensor_id string"
+            )
+        try:
+            n = int(header["n"])
+            q = int(header["q"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "register needs integer n and q"
+            ) from None
+        backend = header.get("backend", "simulated")
+        if backend not in TRANSPORTS:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown backend {backend!r}; available:"
+                f" {', '.join(sorted(TRANSPORTS))}",
+            )
+        strategy = header.get("strategy", "auto")
+        data = decode_array(header, body, expected_ndim=1)
+        if data.shape[0] != packed_size(n):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"packed body has {data.shape[0]} entries, n={n} needs"
+                f" {packed_size(n)}",
+            )
+        tensor = PackedSymmetricTensor(n, data)
+        key = SessionKey(
+            tensor_id=tensor_id, q=q, P=q * (q * q + 1), backend=backend
+        )
+        # Build outside all locks: block extraction + plan compilation
+        # is the expensive part registration exists to amortize.
+        session = EngineSession(
+            key, tensor, strategy=strategy, faults=self.faults
+        )
+        with self._routes_lock:
+            self._routes[tensor_id] = key
+        self.pool.put(key, session)
+        self.metrics.incr("registrations")
+        write_frame(
+            conn,
+            MessageType.OK,
+            {
+                "tensor_id": tensor_id,
+                "n": n,
+                "q": q,
+                "P": key.P,
+                "backend": backend,
+                "plan_strategy": session.plan.strategy,
+                "session_bytes": session.nbytes(),
+            },
+        )
+
+    def _resolve(self, header: Dict) -> Tuple[SessionKey, EngineSession]:
+        tensor_id = header.get("tensor_id")
+        if not isinstance(tensor_id, str) or not tensor_id:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "request needs a tensor_id string"
+            )
+        with self._routes_lock:
+            key = self._routes.get(tensor_id)
+        session = self.pool.get(key) if key is not None else None
+        if session is None or session.closed:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_TENSOR,
+                f"tensor {tensor_id!r} is not registered (or was"
+                " evicted); REGISTER it first",
+            )
+        return key, session
+
+    @staticmethod
+    def _mode(header: Dict) -> str:
+        mode = header.get("mode", "plan")
+        if mode not in ("plan", "parallel"):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"mode must be 'plan' or 'parallel', got {mode!r}",
+            )
+        return mode
+
+    def _handle_apply(self, conn, header: Dict, body: bytes) -> None:
+        start = time.monotonic()
+        key, session = self._resolve(header)
+        mode = self._mode(header)
+        deadline_ms = header.get("deadline_ms")
+        x = decode_array(header, body, expected_ndim=1)
+        if x.shape[0] != session.n:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"vector has {x.shape[0]} entries, tensor has n={session.n}",
+            )
+        future = self.batcher.submit(
+            key, mode, session, x, deadline_ms=deadline_ms
+        )
+        timeout = (
+            deadline_ms / 1e3 + _DEADLINE_GRACE_S
+            if deadline_ms is not None
+            else None
+        )
+        try:
+            y = future.result(timeout=timeout)
+        except FutureTimeout:
+            raise ServiceError(
+                ErrorCode.DEADLINE_EXCEEDED,
+                f"no result within deadline_ms={deadline_ms}",
+            ) from None
+        session.metrics.incr("requests")
+        session.metrics.latency.record(time.monotonic() - start)
+        self.metrics.incr("accepted")
+        result_header, result_body = encode_array(y)
+        write_frame(conn, MessageType.RESULT, result_header, result_body)
+
+    def _handle_apply_batch(self, conn, header: Dict, body: bytes) -> None:
+        start = time.monotonic()
+        key, session = self._resolve(header)
+        mode = self._mode(header)
+        X = decode_array(header, body, expected_ndim=2)
+        if X.shape[0] != session.n:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"batch rows ({X.shape[0]}) != tensor n ({session.n})",
+            )
+        with session.exec_lock:
+            Y = session.apply_batch(X, mode=mode)
+        session.metrics.incr("batch_requests")
+        session.metrics.incr("requests", X.shape[1])
+        session.metrics.batch_sizes.record(X.shape[1])
+        session.metrics.latency.record(time.monotonic() - start)
+        self.metrics.incr("accepted", X.shape[1])
+        result_header, result_body = encode_array(Y)
+        write_frame(conn, MessageType.RESULT, result_header, result_body)
+
+    def _handle_stats(self, conn) -> None:
+        write_frame(conn, MessageType.OK, self.stats())
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """The ``STATS`` payload (also usable in-process)."""
+        sessions = {}
+        # Snapshot without touching LRU recency: iterate a key copy and
+        # read through the pool's cache get (which does refresh) — the
+        # refresh order matches iteration order, so recency is restored.
+        for key in self.pool.keys():
+            session = self.pool.get(key)
+            if session is not None and not session.closed:
+                sessions[key.label()] = session.snapshot()
+        info = self.pool.info()
+        return {
+            "server": self.metrics.snapshot(
+                queue_depth=self.batcher.queue_depths()
+            ),
+            "sessions": sessions,
+            "pool": {
+                "sessions": info.currsize,
+                "max_sessions": info.maxsize,
+                "bytes": info.nbytes,
+                "byte_budget": info.byte_budget,
+                "evictions": info.evictions,
+            },
+            "config": {
+                "max_batch": self.batcher.max_batch,
+                "max_wait_ms": self.batcher.max_wait_ms,
+                "admission_capacity": self.batcher.admission_capacity,
+                "faults": self.faults is not None and self.faults.enabled,
+            },
+        }

@@ -1,0 +1,264 @@
+"""Serving layer end to end: bitwise fidelity, coalescing, overload.
+
+The acceptance contract of the serving PR:
+
+* a served ``mode="parallel"`` apply is **bitwise identical** to a
+  direct :class:`ParallelSTTSV` run on the same tensor for q=2/P=10
+  and q=3/P=30, on both transports;
+* the micro-batcher coalesces >= 4 concurrent requests into one
+  ``apply_batch`` execution, proven by the server's own batch-size
+  histogram;
+* a full admission queue answers ``OVERLOADED`` within the client's
+  deadline and the server keeps serving afterwards;
+* a fault-injected server recovers via the retry path and still
+  returns correct results.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.core.partition import TetrahedralPartition
+from repro.machine.machine import Machine
+from repro.machine.transport import FaultPolicy, make_transport
+from repro.service.client import ServiceClient, run_load
+from repro.service.protocol import ErrorCode, ServiceError
+from repro.service.server import STTSVServer
+from repro.steiner import spherical_steiner_system
+from repro.tensor.dense import random_symmetric
+
+
+def _direct_parallel(q, backend, tensor, x):
+    """Reference result: Algorithm 5 straight on a fresh machine."""
+    partition = TetrahedralPartition(spherical_steiner_system(q))
+    partition.validate()
+    transport = make_transport(backend, partition.P)
+    try:
+        machine = Machine(partition.P, transport=transport)
+        algo = ParallelSTTSV(partition, tensor.n)
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        return algo.gather_result(machine)
+    finally:
+        transport.close()
+
+
+class TestServedBitwiseIdentity:
+    @pytest.mark.parametrize("backend", ["simulated", "shm"])
+    @pytest.mark.parametrize("q,n", [(2, 30), (3, 60)])
+    def test_served_equals_direct_parallel(self, q, n, backend):
+        tensor = random_symmetric(n, seed=q)
+        rng = np.random.default_rng(q + 10)
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                info = client.register(
+                    "fidelity", tensor, q=q, backend=backend
+                )
+                assert info["P"] == q * (q * q + 1)
+                for _ in range(3):
+                    x = rng.standard_normal(n)
+                    served = client.apply("fidelity", x, mode="parallel")
+                    direct = _direct_parallel(q, backend, tensor, x)
+                    assert np.array_equal(served, direct)
+
+    def test_plan_mode_round_trips_exact_plan_result(self):
+        """The wire moves raw float64 bytes: a served plan-mode apply
+        is bitwise the local plan result."""
+        from repro.core.plans import sequential_plan
+
+        n = 24
+        tensor = random_symmetric(n, seed=5)
+        x = np.random.default_rng(6).standard_normal(n)
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register("planned", tensor, q=2)
+                served = client.apply("planned", x, mode="plan")
+        assert np.array_equal(served, sequential_plan(tensor).apply(x))
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        """>= 4 concurrent applies execute as ONE apply_batch, asserted
+        via the server's batch-size histogram."""
+        n = 24
+        tensor = random_symmetric(n, seed=7)
+        rng = np.random.default_rng(8)
+        xs = [rng.standard_normal(n) for _ in range(6)]
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as register_client:
+                register_client.register("hot", tensor, q=2)
+            server.batcher.hold()  # accumulate concurrent requests
+            results = {}
+
+            def one_request(index):
+                with ServiceClient(host, port) as client:
+                    results[index] = client.apply("hot", xs[index])
+
+            threads = [
+                threading.Thread(target=one_request, args=(i,))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while (
+                server.batcher.pending() < 6
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert server.batcher.pending() == 6
+            server.batcher.release()
+            for thread in threads:
+                thread.join(timeout=10)
+            with ServiceClient(host, port) as client:
+                stats = client.stats()
+            histogram = stats["sessions"]["hot@q=2,P=10,simulated"][
+                "batch_size_histogram"
+            ]
+            assert max(int(size) for size in histogram) >= 4
+            assert sum(
+                int(size) * count for size, count in histogram.items()
+            ) == 6
+            # Every client got the right answer despite batching.
+            from repro.core.plans import sequential_plan
+
+            plan = sequential_plan(tensor)
+            for index, x in enumerate(xs):
+                batch = plan.apply_batch(np.column_stack([x]))
+                assert np.allclose(
+                    results[index], batch[:, 0], rtol=1e-12, atol=1e-12
+                )
+
+
+class TestOverload:
+    def test_full_queue_answers_overloaded_within_deadline(self):
+        n = 24
+        tensor = random_symmetric(n, seed=9)
+        rng = np.random.default_rng(10)
+        with STTSVServer(admission_capacity=2) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register("jam", tensor, q=2)
+            server.batcher.hold()  # wedge the lane: queue fills
+            parked = []
+
+            def park():
+                with ServiceClient(host, port) as c:
+                    parked.append(c.apply("jam", rng.standard_normal(n)))
+
+            threads = [threading.Thread(target=park) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while (
+                server.batcher.pending() < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert server.batcher.pending() == 2
+            # Queue is full: the next request must be rejected with a
+            # typed OVERLOADED reply well inside its deadline.
+            started = time.monotonic()
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.apply(
+                        "jam", rng.standard_normal(n), deadline_ms=5000.0
+                    )
+            elapsed = time.monotonic() - started
+            assert excinfo.value.code == ErrorCode.OVERLOADED
+            assert elapsed < 5.0
+            # The server survives overload: drain and serve again.
+            server.batcher.release()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(parked) == 2
+            with ServiceClient(host, port) as client:
+                y = client.apply("jam", rng.standard_normal(n))
+                stats = client.stats()
+            assert y.shape == (n,)
+            assert stats["server"]["rejected_overload"] >= 1
+
+
+class TestFaultsAndErrors:
+    def test_fault_injected_server_recovers_and_serves_correctly(self):
+        """With seeded transport faults the retry path redelivers:
+        answers stay correct and the server reports the injections."""
+        from repro.core.sttsv_sequential import sttsv_packed
+
+        n = 30
+        tensor = random_symmetric(n, seed=11)
+        rng = np.random.default_rng(12)
+        faults = FaultPolicy(drop=0.2, seed=7)
+        with STTSVServer(faults=faults) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register("shaky", tensor, q=2)
+                for _ in range(3):
+                    x = rng.standard_normal(n)
+                    y = client.apply("shaky", x, mode="parallel")
+                    assert np.allclose(
+                        y, sttsv_packed(tensor, x), rtol=1e-10, atol=1e-10
+                    )
+                stats = client.stats()
+        session = stats["sessions"]["shaky@q=2,P=10,simulated"]
+        assert stats["config"]["faults"] is True
+        injected = session["faults_injected"]
+        assert injected is not None
+        assert sum(injected.values()) > 0
+        assert session["retry_rounds"] > 0
+
+    def test_unknown_tensor_is_typed_and_connection_survives(self):
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.apply("ghost", np.ones(5))
+                assert excinfo.value.code == ErrorCode.UNKNOWN_TENSOR
+                # Same connection keeps working after the typed error.
+                assert client.stats()["server"]["bad_requests"] >= 0
+
+    def test_wrong_vector_length_is_bad_request(self):
+        tensor = random_symmetric(20, seed=13)
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register("sized", tensor, q=2)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.apply("sized", np.ones(7))
+                assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+    def test_shutdown_request_stops_server(self):
+        server = STTSVServer()
+        host, port = server.start()
+        with ServiceClient(host, port) as client:
+            client.shutdown()
+        assert server.wait(timeout=10)
+
+
+class TestLoadGenerator:
+    def test_run_load_summary_shape(self):
+        n = 24
+        tensor = random_symmetric(n, seed=14)
+        with STTSVServer() as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register("bench", tensor, q=2)
+            summary = run_load(
+                host, port, "bench", n, clients=4, requests_per_client=5
+            )
+        assert summary["ok"] == 20
+        assert summary["errors"] == 0
+        assert summary["throughput_rps"] > 0
+        assert summary["latency"]["p50_ms"] > 0
+        histogram = summary["server_stats"]["sessions"][
+            "bench@q=2,P=10,simulated"
+        ]["batch_size_histogram"]
+        assert sum(
+            int(size) * count for size, count in histogram.items()
+        ) == 20

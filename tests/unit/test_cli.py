@@ -1,7 +1,6 @@
 """CLI commands exercised in process."""
 
-import pytest
-
+from repro._version import __version__
 from repro.cli import main
 
 
@@ -68,9 +67,33 @@ class TestErrors:
         assert main(["tables", "--q", "6"]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_unknown_command_exits(self):
-        with pytest.raises(SystemExit):
-            main(["frobnicate"])
+    def test_unknown_command_returns_2_with_usage(self, capsys):
+        # Unknown subcommands must not escape as SystemExit: main()
+        # returns the argparse exit code with usage on stderr.
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("usage:")
+        assert "frobnicate" in err
+
+    def test_bad_flag_returns_2(self, capsys):
+        assert main(["tables", "--no-such-flag"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_no_command_returns_2(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_help_returns_0(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "load" in out
 
 
 class TestSymv:

@@ -8,7 +8,13 @@ from repro.core import bounds
 from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.plans import (
     DEFAULT_GEMM_BUDGET_BYTES,
+    DEFAULT_PLAN_CACHE_BYTES,
+    DEFAULT_PLAN_CACHE_SIZE,
+    LRUByteCache,
     SequentialPlan,
+    cache_clear,
+    cache_info,
+    configure_cache,
     invalidate_plan,
     sequential_plan,
 )
@@ -344,3 +350,246 @@ class TestRepeatedRuns:
         algo.load(machine, tensor, x1)
         algo.run(machine)
         assert np.array_equal(algo.gather_result(machine), first)
+
+
+class TestLRUByteCache:
+    """The bounded container behind the plan cache and session pool."""
+
+    def test_lru_eviction_order(self):
+        cache = LRUByteCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now coldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_byte_budget_eviction(self):
+        cache = LRUByteCache(maxsize=10, byte_budget=100)
+        cache.put("a", "A", nbytes=60)
+        cache.put("b", "B", nbytes=60)  # 120 > 100: "a" must go
+        assert cache.get("a") is None
+        assert cache.get("b") == "B"
+
+    def test_oversized_sole_entry_is_kept(self):
+        """An entry larger than the whole budget still serves (the
+        cache never evicts its only entry)."""
+        cache = LRUByteCache(maxsize=4, byte_budget=10)
+        cache.put("big", "x", nbytes=1000)
+        assert cache.get("big") == "x"
+        assert cache.info().currsize == 1
+
+    def test_on_evict_fires_with_key_and_value(self):
+        evicted = []
+        cache = LRUByteCache(
+            maxsize=1, on_evict=lambda k, v: evicted.append((k, v))
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert evicted == [("a", 1)]
+        cache.clear()
+        assert evicted == [("a", 1), ("b", 2)]
+
+    def test_discard_is_silent(self):
+        evicted = []
+        cache = LRUByteCache(
+            maxsize=4, on_evict=lambda k, v: evicted.append(k)
+        )
+        cache.put("a", 1)
+        assert cache.discard("a") == 1
+        assert cache.discard("missing") is None
+        assert evicted == []
+
+    def test_info_counters(self):
+        cache = LRUByteCache(maxsize=2, byte_budget=1000)
+        cache.put("a", 1, nbytes=10)
+        cache.get("a")
+        cache.get("nope")
+        cache.put("b", 2, nbytes=20)
+        cache.put("c", 3, nbytes=30)
+        info = cache.info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.currsize == 2
+        assert info.maxsize == 2
+        assert info.nbytes == 50
+        assert info.byte_budget == 1000
+        assert info.evictions == 1
+
+    def test_resize_shrinks_immediately(self):
+        cache = LRUByteCache(maxsize=4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.resize(2, None)
+        assert cache.keys() == ["c", "d"]
+
+    def test_keys_cold_to_hot(self):
+        cache = LRUByteCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUByteCache(maxsize=0)
+        with pytest.raises(ConfigurationError):
+            LRUByteCache(maxsize=2, byte_budget=-1)
+
+
+class TestPlanCacheLRU:
+    """The module-level plan cache is bounded and introspectable."""
+
+    def setup_method(self):
+        cache_clear()
+
+    def teardown_method(self):
+        configure_cache(
+            maxsize=DEFAULT_PLAN_CACHE_SIZE,
+            byte_budget=DEFAULT_PLAN_CACHE_BYTES,
+        )
+        cache_clear()
+
+    def test_hits_and_misses_counted(self):
+        tensor = random_symmetric(8, seed=30)
+        before = cache_info()
+        sequential_plan(tensor)
+        sequential_plan(tensor)
+        after = cache_info()
+        assert after.misses == before.misses + 1
+        assert after.currsize == before.currsize + 1
+        assert after.hits >= before.hits
+
+    def test_eviction_drops_plan_attribute(self):
+        """Past the bound, the coldest tensor loses its compiled plan
+        and recompiles on next use (correctness is never affected)."""
+        configure_cache(maxsize=2)
+        tensors = [random_symmetric(8, seed=31 + i) for i in range(3)]
+        plans = [sequential_plan(t) for t in tensors]
+        assert cache_info().currsize == 2
+        assert tensors[0]._plan is None  # evicted coldest
+        assert tensors[1]._plan is plans[1]
+        assert tensors[2]._plan is plans[2]
+        recompiled = sequential_plan(tensors[0])
+        assert recompiled is not plans[0]
+        x = np.random.default_rng(0).normal(size=8)
+        assert np.array_equal(recompiled.apply(x), plans[0].apply(x))
+
+    def test_byte_budget_evicts_large_plans(self):
+        small = random_symmetric(6, seed=34)
+        small_bytes = sequential_plan(small).nbytes()
+        configure_cache(byte_budget=small_bytes + 1)
+        cache_clear()
+        first = random_symmetric(6, seed=35)
+        second = random_symmetric(6, seed=36)
+        sequential_plan(first)
+        sequential_plan(second)
+        assert cache_info().currsize == 1
+        assert first._plan is None
+
+    def test_cache_clear_drops_all_attributes(self):
+        tensors = [random_symmetric(7, seed=37 + i) for i in range(2)]
+        for tensor in tensors:
+            sequential_plan(tensor)
+        cache_clear()
+        assert cache_info().currsize == 0
+        assert all(t._plan is None for t in tensors)
+
+    def test_garbage_collected_tensor_leaves_no_entry(self):
+        import gc
+
+        tensor = random_symmetric(8, seed=39)
+        sequential_plan(tensor)
+        before = cache_info().currsize
+        del tensor
+        gc.collect()
+        assert cache_info().currsize == before - 1
+
+    def test_invalidate_plan_removes_cache_entry(self):
+        tensor = random_symmetric(8, seed=40)
+        sequential_plan(tensor)
+        before = cache_info().currsize
+        invalidate_plan(tensor)
+        assert cache_info().currsize == before - 1
+
+    def test_cache_never_keeps_tensor_alive(self):
+        """The registry holds weak references: a cached plan must not
+        pin its tensor in memory."""
+        import gc
+        import weakref
+
+        tensor = random_symmetric(8, seed=41)
+        sequential_plan(tensor)
+        ref = weakref.ref(tensor)
+        del tensor
+        gc.collect()
+        assert ref() is None
+
+
+class TestApplyBatchEdgeCases:
+    """Layout and dtype normalization never changes result bits."""
+
+    def _tensor(self, n=15, seed=50):
+        return random_symmetric(n, seed=seed)
+
+    def test_single_column_matrix_bincount_bitwise(self, rng):
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy="bincount")
+        x = rng.normal(size=15)
+        batched = plan.apply_batch(x[:, None])
+        assert batched.shape == (15, 1)
+        assert np.array_equal(batched[:, 0], plan.apply(x))
+
+    def test_single_column_matrix_gemm_matches(self, rng):
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy="gemm")
+        x = rng.normal(size=15)
+        batched = plan.apply_batch(x[:, None])
+        assert batched.shape == (15, 1)
+        assert np.allclose(batched[:, 0], plan.apply(x), rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("strategy", ["gemm", "bincount"])
+    def test_fortran_ordered_input_bitwise(self, strategy, rng):
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy=strategy)
+        X = rng.normal(size=(15, 6))
+        XF = np.asfortranarray(X)
+        assert XF.flags.f_contiguous and not XF.flags.c_contiguous
+        assert np.array_equal(plan.apply_batch(XF), plan.apply_batch(X))
+
+    @pytest.mark.parametrize("strategy", ["gemm", "bincount"])
+    def test_non_contiguous_view_bitwise(self, strategy, rng):
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy=strategy)
+        wide = rng.normal(size=(15, 12))
+        strided = wide[:, ::2]
+        assert not strided.flags.c_contiguous
+        assert np.array_equal(
+            plan.apply_batch(strided), plan.apply_batch(strided.copy())
+        )
+
+    @pytest.mark.parametrize("strategy", ["gemm", "bincount"])
+    def test_dtype_promotion_bitwise(self, strategy, rng):
+        """float32 / integer batches promote to float64 before any
+        arithmetic — identical bits to pre-promoted input."""
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy=strategy)
+        X32 = rng.normal(size=(15, 4)).astype(np.float32)
+        assert np.array_equal(
+            plan.apply_batch(X32), plan.apply_batch(X32.astype(np.float64))
+        )
+        Xint = rng.integers(-3, 4, size=(15, 4))
+        assert np.array_equal(
+            plan.apply_batch(Xint), plan.apply_batch(Xint.astype(np.float64))
+        )
+
+    def test_bincount_batch_bitwise_equals_looped_apply_all_layouts(self, rng):
+        """The headline satellite guarantee: for the batch-stable
+        strategy, every layout variant equals a looped apply bitwise."""
+        tensor = self._tensor()
+        plan = SequentialPlan(tensor, strategy="bincount")
+        X = rng.normal(size=(15, 5))
+        looped = np.column_stack([plan.apply(X[:, c]) for c in range(5)])
+        for variant in (X, np.asfortranarray(X), X.astype(np.float64)[:, ::1]):
+            assert np.array_equal(plan.apply_batch(variant), looped)

@@ -1,0 +1,270 @@
+"""Dynamic micro-batcher: coalescing, bitwise identity, backpressure."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.batcher import DynamicBatcher
+from repro.service.protocol import ErrorCode, ServiceError
+from repro.service.sessions import EngineSession, SessionKey
+from repro.tensor.dense import random_symmetric
+
+N = 20
+
+
+@pytest.fixture
+def session():
+    key = SessionKey("T", 2, 10, "simulated")
+    session = EngineSession(key, random_symmetric(N, seed=0))
+    yield session
+    session.close()
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestCoalescing:
+    def test_held_requests_coalesce_into_one_batch(self, session):
+        """hold() accumulates concurrent submits; release() executes
+        them as ONE apply_batch — visible in the on_batch callback."""
+        batches = []
+        batcher = DynamicBatcher(
+            max_batch=16, on_batch=lambda key, mode, size: batches.append(size)
+        )
+        try:
+            batcher.hold()
+            rng = np.random.default_rng(1)
+            xs = [rng.standard_normal(N) for _ in range(6)]
+            futures = [
+                batcher.submit(session.key, "plan", session, x) for x in xs
+            ]
+            assert _wait_until(lambda: batcher.pending() == 6)
+            batcher.release()
+            results = [future.result(timeout=10) for future in futures]
+            assert sum(batches) == 6
+            assert max(batches) >= 4  # the acceptance-criteria bar
+            for x, y in zip(xs, results):
+                expected = session.plan.apply_batch(
+                    np.column_stack([x])
+                )[:, 0]
+                assert np.allclose(y, expected, rtol=1e-12, atol=1e-12)
+        finally:
+            batcher.close()
+
+    def test_batched_results_bitwise_equal_unbatched_parallel(self, session):
+        """Coalescing must not change bits: parallel-mode batch output
+        equals a direct single-request apply on the same session."""
+        batcher = DynamicBatcher(max_batch=16)
+        try:
+            rng = np.random.default_rng(2)
+            xs = [rng.standard_normal(N) for _ in range(5)]
+            direct = [session.apply(x, mode="parallel") for x in xs]
+            batcher.hold()
+            futures = [
+                batcher.submit(session.key, "parallel", session, x)
+                for x in xs
+            ]
+            assert _wait_until(lambda: batcher.pending() == 5)
+            batcher.release()
+            for future, expected in zip(futures, direct):
+                assert np.array_equal(future.result(timeout=10), expected)
+        finally:
+            batcher.close()
+
+    def test_max_batch_splits_large_backlog(self, session):
+        sizes = []
+        batcher = DynamicBatcher(
+            max_batch=4, on_batch=lambda key, mode, size: sizes.append(size)
+        )
+        try:
+            batcher.hold()
+            rng = np.random.default_rng(3)
+            futures = [
+                batcher.submit(session.key, "plan", session,
+                               rng.standard_normal(N))
+                for _ in range(10)
+            ]
+            assert _wait_until(lambda: batcher.pending() == 10)
+            batcher.release()
+            for future in futures:
+                future.result(timeout=10)
+            assert sum(sizes) == 10
+            assert max(sizes) <= 4
+        finally:
+            batcher.close()
+
+    def test_serial_requests_execute_individually(self, session):
+        """The drain policy adds no artificial wait: a lone request on
+        an idle lane runs as a batch of one."""
+        sizes = []
+        batcher = DynamicBatcher(
+            on_batch=lambda key, mode, size: sizes.append(size)
+        )
+        try:
+            rng = np.random.default_rng(4)
+            for _ in range(3):
+                batcher.submit(
+                    session.key, "plan", session, rng.standard_normal(N)
+                ).result(timeout=10)
+            assert sizes == [1, 1, 1]
+        finally:
+            batcher.close()
+
+    def test_wait_window_grows_batches(self, session):
+        sizes = []
+        batcher = DynamicBatcher(
+            max_wait_ms=200.0,
+            max_batch=8,
+            on_batch=lambda key, mode, size: sizes.append(size),
+        )
+        try:
+            rng = np.random.default_rng(5)
+            futures = []
+
+            def submit():
+                futures.append(
+                    batcher.submit(
+                        session.key, "plan", session, rng.standard_normal(N)
+                    )
+                )
+
+            threads = [threading.Thread(target=submit) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.01)  # arrivals inside the wait window
+            for thread in threads:
+                thread.join()
+            for future in futures:
+                future.result(timeout=10)
+            assert sum(sizes) == 4
+            assert max(sizes) >= 2
+        finally:
+            batcher.close()
+
+
+class TestBackpressure:
+    def test_full_queue_raises_overloaded(self, session):
+        batcher = DynamicBatcher(admission_capacity=3)
+        try:
+            batcher.hold()
+            rng = np.random.default_rng(6)
+            futures = [
+                batcher.submit(session.key, "plan", session,
+                               rng.standard_normal(N))
+                for _ in range(3)
+            ]
+            assert _wait_until(lambda: batcher.pending() == 3)
+            with pytest.raises(ServiceError) as excinfo:
+                batcher.submit(
+                    session.key, "plan", session, rng.standard_normal(N)
+                )
+            assert excinfo.value.code == ErrorCode.OVERLOADED
+            # The lane recovers once drained: no sticky overload state.
+            batcher.release()
+            for future in futures:
+                future.result(timeout=10)
+            batcher.submit(
+                session.key, "plan", session, rng.standard_normal(N)
+            ).result(timeout=10)
+        finally:
+            batcher.close()
+
+    def test_expired_deadline_fails_typed_without_execution(self, session):
+        executed = []
+        batcher = DynamicBatcher(
+            on_batch=lambda key, mode, size: executed.append(size)
+        )
+        try:
+            batcher.hold()
+            future = batcher.submit(
+                session.key, "plan", session,
+                np.ones(N), deadline_ms=10.0,
+            )
+            assert _wait_until(lambda: batcher.pending() == 1)
+            time.sleep(0.05)  # let the deadline lapse while held
+            batcher.release()
+            with pytest.raises(ServiceError) as excinfo:
+                future.result(timeout=10)
+            assert excinfo.value.code == ErrorCode.DEADLINE_EXCEEDED
+            assert executed == []
+        finally:
+            batcher.close()
+
+    def test_queue_depths_reported_per_lane(self, session):
+        batcher = DynamicBatcher()
+        try:
+            batcher.hold()
+            batcher.submit(session.key, "plan", session, np.ones(N))
+            assert _wait_until(lambda: batcher.pending() == 1)
+            depths = batcher.queue_depths()
+            assert depths == {f"{session.key.label()}:plan": 1}
+            batcher.release()
+        finally:
+            batcher.close()
+
+
+class TestLifecycle:
+    def test_close_fails_pending_with_shutting_down(self, session):
+        batcher = DynamicBatcher()
+        batcher.hold()
+        future = batcher.submit(session.key, "plan", session, np.ones(N))
+        assert _wait_until(lambda: batcher.pending() == 1)
+        batcher.close()
+        with pytest.raises(ServiceError) as excinfo:
+            future.result(timeout=10)
+        assert excinfo.value.code == ErrorCode.SHUTTING_DOWN
+
+    def test_submit_after_close_rejected(self, session):
+        batcher = DynamicBatcher()
+        batcher.close()
+        with pytest.raises(ServiceError) as excinfo:
+            batcher.submit(session.key, "plan", session, np.ones(N))
+        assert excinfo.value.code == ErrorCode.SHUTTING_DOWN
+
+    def test_close_lanes_fails_pending_with_unknown_tensor(self, session):
+        batcher = DynamicBatcher()
+        try:
+            batcher.hold()
+            future = batcher.submit(session.key, "plan", session, np.ones(N))
+            assert _wait_until(lambda: batcher.pending() == 1)
+            batcher.close_lanes(session.key)
+            with pytest.raises(ServiceError) as excinfo:
+                future.result(timeout=10)
+            assert excinfo.value.code == ErrorCode.UNKNOWN_TENSOR
+            batcher.release()
+            # A fresh lane serves the key again after re-registration.
+            batcher.submit(
+                session.key, "plan", session, np.ones(N)
+            ).result(timeout=10)
+        finally:
+            batcher.close()
+
+    def test_engine_error_fans_out_to_all_requests(self, session):
+        batcher = DynamicBatcher()
+        try:
+            batcher.hold()
+            futures = [
+                batcher.submit(session.key, "plan", session, np.ones(N + 1))
+                for _ in range(2)
+            ]
+            assert _wait_until(lambda: batcher.pending() == 2)
+            batcher.release()
+            for future in futures:
+                with pytest.raises(Exception):
+                    future.result(timeout=10)
+        finally:
+            batcher.close()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServiceError):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ServiceError):
+            DynamicBatcher(admission_capacity=0)

@@ -1,0 +1,190 @@
+"""Wire protocol: framing round-trips, validation, typed errors."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (
+    MAGIC,
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    MessageType,
+    ProtocolError,
+    ServiceError,
+    decode_array,
+    encode_array,
+    error_header,
+    pack_frame,
+    parse_error,
+    read_frame,
+    unpack_frame,
+    write_frame,
+)
+
+
+class TestFrameRoundTrip:
+    def test_header_and_body_survive(self):
+        header = {"tensor_id": "T", "mode": "plan", "deadline_ms": 50.5}
+        body = np.arange(5.0).tobytes()
+        frame = pack_frame(MessageType.APPLY, header, body)
+        msg_type, got_header, got_body = unpack_frame(frame)
+        assert msg_type == MessageType.APPLY
+        assert got_header == header
+        assert got_body == body
+
+    def test_empty_body(self):
+        msg_type, header, body = unpack_frame(
+            pack_frame(MessageType.STATS, {})
+        )
+        assert msg_type == MessageType.STATS
+        assert header == {}
+        assert body == b""
+
+    def test_over_socket(self):
+        """write_frame/read_frame across a real socket pair, including
+        a frame split over many small recv chunks."""
+        server, client = socket.socketpair()
+        try:
+            header, body = encode_array(np.linspace(0, 1, 1000))
+            header["tensor_id"] = "big"
+
+            def send():
+                write_frame(client, MessageType.APPLY, header, body)
+
+            thread = threading.Thread(target=send)
+            thread.start()
+            msg_type, got_header, got_body = read_frame(server)
+            thread.join()
+            assert msg_type == MessageType.APPLY
+            assert got_header["tensor_id"] == "big"
+            assert got_body == body
+        finally:
+            server.close()
+            client.close()
+
+    def test_clean_eof_is_connection_error(self):
+        server, client = socket.socketpair()
+        client.close()
+        try:
+            with pytest.raises(ConnectionError):
+                read_frame(server)
+        finally:
+            server.close()
+
+    def test_mid_frame_eof_is_protocol_error(self):
+        server, client = socket.socketpair()
+        try:
+            frame = pack_frame(MessageType.APPLY, {"tensor_id": "T"})
+            client.sendall(frame[: len(frame) - 3])
+            client.close()
+            with pytest.raises(ProtocolError):
+                read_frame(server)
+        finally:
+            server.close()
+
+
+class TestFrameValidation:
+    def _prefix(self, magic=MAGIC, version=PROTOCOL_VERSION, msg_type=2,
+                header_len=2, body_len=0):
+        return struct.pack("!2sBBIQ", magic, version, msg_type, header_len,
+                           body_len)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            unpack_frame(self._prefix(magic=b"XX") + b"{}")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            unpack_frame(self._prefix(version=9) + b"{}")
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(ProtocolError, match="message type"):
+            unpack_frame(self._prefix(msg_type=99) + b"{}")
+
+    def test_oversized_header_rejected(self):
+        with pytest.raises(ProtocolError, match="header too large"):
+            unpack_frame(self._prefix(header_len=MAX_HEADER_BYTES + 1))
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(ProtocolError, match="body too large"):
+            unpack_frame(self._prefix(body_len=MAX_BODY_BYTES + 1))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            unpack_frame(b"SV")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="mismatch"):
+            unpack_frame(self._prefix(header_len=2) + b"{}extra")
+
+    def test_non_json_header_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            unpack_frame(self._prefix(header_len=3) + b"xyz")
+
+    def test_non_object_header_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            unpack_frame(self._prefix(header_len=2) + b"[]")
+
+
+class TestArrayPayloads:
+    def test_vector_roundtrip_bitwise(self):
+        x = np.random.default_rng(0).standard_normal(37)
+        header, body = encode_array(x)
+        assert np.array_equal(decode_array(header, body, expected_ndim=1), x)
+
+    def test_matrix_roundtrip_bitwise(self):
+        X = np.random.default_rng(1).standard_normal((12, 5))
+        header, body = encode_array(X)
+        assert np.array_equal(decode_array(header, body, expected_ndim=2), X)
+
+    def test_fortran_order_normalized(self):
+        X = np.asfortranarray(np.random.default_rng(2).standard_normal((6, 4)))
+        header, body = encode_array(X)
+        assert np.array_equal(decode_array(header, body), X)
+
+    def test_decoded_array_is_writable(self):
+        header, body = encode_array(np.ones(3))
+        decoded = decode_array(header, body)
+        decoded[0] = 2.0  # frombuffer alone would be read-only
+
+    def test_ndim_mismatch_rejected(self):
+        header, body = encode_array(np.ones(3))
+        with pytest.raises(ProtocolError, match="1-d"):
+            decode_array({**header, "shape": [3, 1]}, body, expected_ndim=1)
+
+    def test_shape_length_mismatch_rejected(self):
+        header, body = encode_array(np.ones(3))
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_array({**header, "shape": [4]}, body)
+
+    def test_bad_dtype_rejected(self):
+        header, body = encode_array(np.ones(3))
+        with pytest.raises(ProtocolError, match="dtype"):
+            decode_array({**header, "dtype": "<f4"}, body)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ProtocolError, match="shape"):
+            decode_array({"shape": "nope"}, b"")
+
+
+class TestTypedErrors:
+    def test_error_header_roundtrip(self):
+        header = error_header(ErrorCode.OVERLOADED, "queue full")
+        error = parse_error(header)
+        assert isinstance(error, ServiceError)
+        assert error.code == ErrorCode.OVERLOADED
+        assert error.detail == "queue full"
+        assert "overloaded" in str(error)
+
+    def test_unknown_code_maps_to_internal(self):
+        error = parse_error({"code": "martian", "message": "?"})
+        assert error.code == ErrorCode.INTERNAL
+
+    def test_every_code_distinct_on_wire(self):
+        values = [code.value for code in ErrorCode]
+        assert len(values) == len(set(values))

@@ -9,6 +9,7 @@ from repro.reporting.trace import (
     activity_strip,
     phase_table,
     round_table,
+    service_table,
     utilization,
     word_histogram,
 )
@@ -119,3 +120,78 @@ class TestPhaseTable:
                 pass
         table = phase_table(instrument, limit=2)
         assert len(table.splitlines()) == 1 + 2
+
+
+class TestServiceTable:
+    def _stats(self):
+        return {
+            "server": {
+                "accepted": 64,
+                "rejected_overload": 3,
+                "deadline_exceeded": 1,
+                "bad_requests": 2,
+                "internal_errors": 0,
+                "connections_opened": 9,
+                "registrations": 1,
+                "queue_depth": {"T@q=2,P=10,simulated:plan": 5},
+            },
+            "pool": {
+                "sessions": 1,
+                "max_sessions": 8,
+                "bytes": 11648,
+                "byte_budget": None,
+                "evictions": 2,
+            },
+            "sessions": {
+                "T@q=2,P=10,simulated": {
+                    "requests": 64,
+                    "batch_requests": 2,
+                    "errors": 0,
+                    "parallel_runs": 4,
+                    "comm_rounds": 40,
+                    "comm_words": 120,
+                    "retry_rounds": 1,
+                    "retry_words": 6,
+                    "retry_messages": 2,
+                    "latency": {
+                        "count": 64,
+                        "mean_ms": 1.0,
+                        "p50_ms": 0.8,
+                        "p95_ms": 2.5,
+                        "p99_ms": 3.0,
+                        "max_ms": 4.25,
+                    },
+                    "batch_size_histogram": {"1": 10, "4": 3, "16": 2},
+                    "failed_over": True,
+                    "warnings": ["transport 'shm' failed (worker died)"],
+                },
+            },
+        }
+
+    def test_renders_counters_sessions_and_histogram(self):
+        table = service_table(self._stats())
+        assert "accepted" in table and "64" in table
+        assert "rejected_overload" in table
+        assert "queued requests" in table and "5" in table
+        assert "pool sessions" in table and "1/8 (2 evicted)" in table
+        assert "session T@q=2,P=10,simulated" in table
+        assert "p50 0.80" in table and "p99 3.00" in table
+        # Histogram sorted numerically, not lexically (16 after 4).
+        assert "1x10 4x3 16x2" in table
+        assert "retries 1r/6w/2m" in table
+        assert "FAILED OVER" in table
+        assert "worker died" in table
+
+    def test_empty_snapshot_is_explicit(self):
+        table = service_table({"server": {}, "pool": {}, "sessions": {}})
+        assert "(no sessions registered)" in table
+        for zeroed in ("accepted", "internal_errors", "registrations"):
+            assert zeroed in table
+
+    def test_session_with_no_traffic_renders_zeros(self):
+        stats = self._stats()
+        stats["sessions"] = {"idle@q=2,P=10,shm": {}}
+        table = service_table(stats)
+        assert "session idle@q=2,P=10,shm" in table
+        assert "batch sizes: (empty)" in table
+        assert "requests 0" in table
