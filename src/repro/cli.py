@@ -13,6 +13,10 @@ Commands
                 batching) on a TCP port
 ``load``        register a random tensor on a running server and drive
                 it with concurrent closed-loop clients
+``stats``       scrape a running server: human table, raw JSON, or
+                Prometheus text format
+``trace``       render the span tree of one trace id (from a running
+                server or a JSON-lines dump)
 
 Every command prints plain text and returns a process exit code, so the
 CLI is scriptable and the test suite drives it directly through
@@ -130,7 +134,24 @@ class _RetryView:
 
 
 def _command_analyze(args) -> int:
+    from repro.obs.tracing import get_tracer, new_trace_id, trace_context
+
+    tracer = get_tracer()
+    trace_id = new_trace_id()
+    tracer_was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        with trace_context(trace_id):
+            return _run_analyze(args, trace_id)
+    finally:
+        if not tracer_was_enabled:
+            tracer.disable()
+
+
+def _run_analyze(args, trace_id: str) -> int:
     from repro.core.verification import verify_sttsv_run
+    from repro.obs.export import spans_to_jsonl
+    from repro.obs.tracing import get_tracer
     from repro.reporting.trace import fault_summary
 
     partition = _partition_from_args(args)
@@ -148,6 +169,7 @@ def _command_analyze(args) -> int:
         + (f", faults {args.faults}" if fault_policy else "")
         + ")"
     )
+    print(f"trace id: {trace_id}")
     all_ok = True
     for backend in CommBackend:
         # One transport per comm backend: exchange() may close a broken
@@ -195,6 +217,14 @@ def _command_analyze(args) -> int:
         f"  {'lower bound':>16}: {bounds.sttsv_lower_bound(n, partition.P):>8.1f}"
         f" words/proc (Theorem 5.2)"
     )
+    if args.trace_out is not None:
+        spans = get_tracer().spans(trace_id=trace_id)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(spans_to_jsonl(spans))
+        print(
+            f"wrote {len(spans)} spans to {args.trace_out}"
+            f" (render with: repro trace {trace_id} --file {args.trace_out})"
+        )
     if args.audit:
         print("audit:", "all runs PASS" if all_ok else "FAILURES detected")
         return 0 if all_ok else 1
@@ -222,6 +252,7 @@ def _command_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         admission_capacity=args.admission_capacity,
         faults=fault_policy,
+        tracing=not args.no_tracing,
     )
     host, port = server.start()
     print(
@@ -230,6 +261,7 @@ def _command_serve(args) -> int:
         f" admission_capacity={args.admission_capacity},"
         f" max_sessions={args.max_sessions}"
         + (f", faults {args.faults}" if fault_policy else "")
+        + (", tracing off" if args.no_tracing else "")
         + ")",
         flush=True,
     )
@@ -288,6 +320,46 @@ def _command_load(args) -> int:
     return 0 if summary["errors"] == 0 else 1
 
 
+def _command_stats(args) -> int:
+    import json
+
+    from repro.reporting.trace import service_table
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.format == "prometheus":
+            print(client.metrics_text(), end="")
+        elif args.format == "json":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        else:
+            stats = client.stats()
+            print(service_table(stats))
+    return 0
+
+
+def _command_trace(args) -> int:
+    from repro.obs.export import spans_from_jsonl
+    from repro.reporting.trace import trace_table
+
+    if (args.port is None) == (args.file is None):
+        print(
+            "error: give exactly one span source: --port (running"
+            " server) or --file (JSON-lines dump)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.file is not None:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            spans = spans_from_jsonl(handle.read())
+    else:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.host, args.port) as client:
+            spans = spans_from_jsonl(client.spans_jsonl(args.trace_id))
+    print(trace_table(spans, trace_id=args.trace_id))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -327,6 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print per-phase wall-clock timings (instrumentation spans)",
+    )
+    analyze.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the run's trace spans as JSON lines to PATH"
+        " (render later with 'repro trace <id> --file PATH')",
     )
     analyze.add_argument(
         "--faults",
@@ -391,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject seeded transport faults into every session, e.g."
         " 'drop=0.05,seed=7' (recovery shows up in the retry counters)",
     )
+    serve.add_argument(
+        "--no-tracing", action="store_true",
+        help="do not record request-to-round trace spans (tracing is on"
+        " by default; spans live in a bounded in-memory ring buffer)",
+    )
     serve.set_defaults(func=_command_serve)
 
     load = subparsers.add_parser(
@@ -431,6 +516,42 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--seed", type=int, default=0)
     _add_backend_argument(load)
     load.set_defaults(func=_command_load)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="scrape a running server (table, JSON, or Prometheus text)",
+    )
+    stats.add_argument("--host", type=str, default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+    stats.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="output format: human table (default), the raw STATS JSON,"
+        " or the metrics registry in Prometheus exposition format",
+    )
+    stats.set_defaults(func=_command_stats)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render the span tree of one trace id",
+    )
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id to render (omit for every buffered span)",
+    )
+    trace.add_argument("--host", type=str, default="127.0.0.1")
+    trace.add_argument(
+        "--port", type=int, default=None,
+        help="fetch spans from the server listening on this port",
+    )
+    trace.add_argument(
+        "--file", type=str, default=None, metavar="PATH",
+        help="read spans from a JSON-lines dump (e.g. analyze --trace-out)",
+    )
+    trace.set_defaults(func=_command_trace)
 
     return parser
 

@@ -317,16 +317,21 @@ class ParallelSTTSV:
         """Execute all three phases; results stay distributed as
         ``y_shards`` in each processor's memory.
 
-        Each phase is wrapped in an instrumentation span, so traces and
-        the backend benchmarks can attribute wall-clock time to gather /
-        compute / reduce regardless of which transport moves the bytes.
+        Each phase is wrapped in an instrumentation span (nested under
+        one ``sttsv:run`` parent), so traces and the backend benchmarks
+        can attribute wall-clock time to gather / compute / reduce
+        regardless of which transport moves the bytes — and, when the
+        process-wide tracer is enabled, each phase and every
+        communication round it executes is stamped with the trace ids
+        of the request (or CLI run) that caused it.
         """
-        with machine.instrument.span("sttsv:exchange-x"):
-            self._exchange_x(machine)
-        with machine.instrument.span("sttsv:local-compute"):
-            self._local_compute(machine)
-        with machine.instrument.span("sttsv:exchange-y"):
-            self._exchange_y(machine)
+        with machine.instrument.span("sttsv:run"):
+            with machine.instrument.span("sttsv:exchange-x"):
+                self._exchange_x(machine)
+            with machine.instrument.span("sttsv:local-compute"):
+                self._local_compute(machine)
+            with machine.instrument.span("sttsv:exchange-y"):
+                self._exchange_y(machine)
 
     def gather_result(self, machine: Machine) -> np.ndarray:
         """Reassemble the distributed ``y`` (verification step, outside

@@ -101,6 +101,16 @@ class LRUByteCache:
     resources (drop a tensor's plan attribute, close a session's
     machine). :meth:`discard` removes silently (for entries whose
     resources are already gone, e.g. a garbage-collected tensor).
+
+    ``on_evict`` is always invoked **after** the cache lock has been
+    released. Hooks routinely take their own locks (a session's
+    ``exec_lock``, a server's lane registry), so firing them under the
+    cache lock invites a classic ABBA deadlock: thread 1 holds the
+    cache lock inside ``put`` and waits for the resource lock in the
+    hook, while thread 2 holds that resource lock and waits for the
+    cache lock in ``get``. Evicted entries are collected under the
+    lock and the hooks run once it is dropped (regression-tested in
+    ``tests/unit/test_plans_concurrency.py``).
     """
 
     def __init__(
@@ -156,7 +166,8 @@ class LRUByteCache:
                 self._nbytes -= old[1]
             self._entries[key] = (value, nbytes)
             self._nbytes += nbytes
-            self._shrink()
+            evicted = self._shrink()
+        self._fire_evictions(evicted)
 
     def keys(self) -> List[Hashable]:
         """Keys from coldest to hottest (a snapshot copy)."""
@@ -173,10 +184,12 @@ class LRUByteCache:
             return entry[0]
 
     def clear(self) -> None:
-        """Evict every entry (``on_evict`` fires for each)."""
+        """Evict every entry (``on_evict`` fires for each, lock-free)."""
         with self._lock:
+            evicted = []
             while self._entries:
-                self._evict_oldest()
+                evicted.append(self._evict_oldest())
+        self._fire_evictions(evicted)
 
     def resize(
         self,
@@ -195,7 +208,8 @@ class LRUByteCache:
                 )
             self.maxsize = maxsize
             self.byte_budget = byte_budget
-            self._shrink()
+            evicted = self._shrink()
+        self._fire_evictions(evicted)
 
     def info(self) -> CacheInfo:
         """Hit/size/byte counters (the ``functools`` ``cache_info`` idiom)."""
@@ -210,14 +224,16 @@ class LRUByteCache:
                 evictions=self._evictions,
             )
 
-    def _evict_oldest(self) -> None:
+    def _evict_oldest(self) -> Tuple[Hashable, Any]:
+        """Pop the coldest entry under the lock; the caller fires the
+        ``on_evict`` hook after releasing it (see class docstring)."""
         key, (value, nbytes) = self._entries.popitem(last=False)
         self._nbytes -= nbytes
         self._evictions += 1
-        if self._on_evict is not None:
-            self._on_evict(key, value)
+        return key, value
 
-    def _shrink(self) -> None:
+    def _shrink(self) -> List[Tuple[Hashable, Any]]:
+        evicted: List[Tuple[Hashable, Any]] = []
         while len(self._entries) > 1 and (
             (self.maxsize is not None and len(self._entries) > self.maxsize)
             or (
@@ -225,7 +241,16 @@ class LRUByteCache:
                 and self._nbytes > self.byte_budget
             )
         ):
-            self._evict_oldest()
+            evicted.append(self._evict_oldest())
+        return evicted
+
+    def _fire_evictions(
+        self, evicted: List[Tuple[Hashable, Any]]
+    ) -> None:
+        if self._on_evict is None:
+            return
+        for key, value in evicted:
+            self._on_evict(key, value)
 
 
 class SequentialPlan:

@@ -39,6 +39,7 @@ re-executed on a fresh in-process transport (DESIGN.md §8).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -47,9 +48,13 @@ from repro.errors import MachineError
 from repro.machine.machine import Machine
 from repro.machine.message import word_count
 from repro.machine.transport import Transfer, payload_checksum
+from repro.obs.tracing import get_tracer
 
 
 SendBuffers = Sequence[Dict[int, np.ndarray]]
+
+#: Reusable no-op context for untraced rounds (yields ``None``).
+_NULL_SPAN = nullcontext(None)
 
 
 def _exchange_with_failover(
@@ -88,47 +93,77 @@ def execute_round(
     retry rounds but can never corrupt a result.
     """
     transfers = list(transfers)
-    machine.cost.price_round(
-        machine.ledger, label, transfers, tag, record_empty=record_empty
-    )
-    expected = [
-        payload_checksum(t.payload)
-        if isinstance(t.payload, np.ndarray)
-        else None
-        for t in transfers
-    ]
-    delivered = _exchange_with_failover(machine, transfers)
-    failed = [
-        index
-        for index, (array, digest) in enumerate(zip(delivered, expected))
-        if digest is not None and payload_checksum(array) != digest
-    ]
-    attempt = 0
-    recovery = machine.recovery
-    while failed:
-        attempt += 1
-        if attempt > recovery.max_retries:
-            raise MachineError(
-                f"round {label!r}: {len(failed)} transfer(s) failed"
-                f" integrity verification after {recovery.max_retries}"
-                " retries — unrecoverable transport faults"
-            )
-        backoff = recovery.backoff_seconds(attempt)
-        if backoff > 0:
-            time.sleep(backoff)
-        subset = [transfers[index] for index in failed]
-        machine.ledger.record_retry(
-            words=sum(word_count(t.payload) for t in subset),
-            messages=len(subset),
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Trace spans *read* the schedule the ledger is priced from;
+        # they never touch the ledger itself, so the algorithmic counts
+        # the paper's closed forms are asserted against cannot move.
+        span_cm = tracer.span(
+            f"round:{label}",
+            kind="round",
+            attrs={
+                "tag": tag,
+                "messages": len(transfers),
+                "words": sum(word_count(t.payload) for t in transfers),
+            },
         )
-        redelivered = _exchange_with_failover(machine, subset)
-        still_failed: List[int] = []
-        for index, array in zip(failed, redelivered):
-            if payload_checksum(array) == expected[index]:
-                delivered[index] = array
-            else:
-                still_failed.append(index)
-        failed = still_failed
+    else:
+        span_cm = None
+    with span_cm if span_cm is not None else _NULL_SPAN as round_span:
+        machine.cost.price_round(
+            machine.ledger, label, transfers, tag, record_empty=record_empty
+        )
+        expected = [
+            payload_checksum(t.payload)
+            if isinstance(t.payload, np.ndarray)
+            else None
+            for t in transfers
+        ]
+        delivered = _exchange_with_failover(machine, transfers)
+        failed = [
+            index
+            for index, (array, digest) in enumerate(zip(delivered, expected))
+            if digest is not None and payload_checksum(array) != digest
+        ]
+        attempt = 0
+        recovery = machine.recovery
+        while failed:
+            attempt += 1
+            if attempt > recovery.max_retries:
+                raise MachineError(
+                    f"round {label!r}: {len(failed)} transfer(s) failed"
+                    f" integrity verification after {recovery.max_retries}"
+                    " retries — unrecoverable transport faults"
+                )
+            backoff = recovery.backoff_seconds(attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+            subset = [transfers[index] for index in failed]
+            retry_words = sum(word_count(t.payload) for t in subset)
+            machine.ledger.record_retry(
+                words=retry_words, messages=len(subset)
+            )
+            if tracer.enabled:
+                tracer.event(
+                    f"retry:{label}",
+                    kind="retry",
+                    attrs={
+                        "tag": tag,
+                        "attempt": attempt,
+                        "messages": len(subset),
+                        "words": retry_words,
+                    },
+                )
+            redelivered = _exchange_with_failover(machine, subset)
+            still_failed: List[int] = []
+            for index, array in zip(failed, redelivered):
+                if payload_checksum(array) == expected[index]:
+                    delivered[index] = array
+                else:
+                    still_failed.append(index)
+            failed = still_failed
+        if round_span is not None and attempt:
+            round_span.attrs["retries"] = attempt
     return delivered
 
 

@@ -1,127 +1,19 @@
-"""Wall-clock instrumentation: per-phase timers and span hooks.
+"""Compatibility shim: instrumentation moved to :mod:`repro.obs`.
 
-Every :class:`~repro.machine.machine.Machine` owns an
-:class:`Instrumentation`; algorithm drivers wrap their phases in
-``machine.instrument.span("sttsv:exchange-x")`` so benchmarks
-(``benchmarks/run_backends_bench.py``) and traces
-(:func:`repro.reporting.trace.phase_table`) can attribute time to
-gather / compute / reduce without touching the ledger — the model
-costs stay schedule-derived, the spans measure reality.
-
-Hooks registered with :meth:`Instrumentation.add_hook` fire on every
-span close with ``(name, seconds)``, which is how external profilers or
-streaming dashboards subscribe without polling.
-
-The same registry carries out-of-band *warnings*: degradation events
-that are not errors — most importantly a transport failover, when the
-machine abandons a dead shared-memory worker pool for the in-process
-transport. :meth:`Instrumentation.warn` records the message and fires
-every hook added with :meth:`Instrumentation.add_warning_hook`, so
-operators see the degradation without the run aborting.
+The per-phase :class:`Instrumentation` timers grew trace-span emission
+and now live in :mod:`repro.obs.instrument`, next to the tracer and
+metrics registry they feed. Every import path that worked before the
+move keeps working through this module; new code should import from
+:mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List
+from repro.obs.instrument import (
+    Instrumentation,
+    PhaseTiming,
+    SpanHook,
+    WarningHook,
+)
 
-SpanHook = Callable[[str, float], None]
-WarningHook = Callable[[str], None]
-
-
-@dataclass
-class PhaseTiming:
-    """Aggregated wall-clock time of one named phase."""
-
-    name: str
-    count: int = 0
-    total_seconds: float = 0.0
-
-    @property
-    def mean_seconds(self) -> float:
-        """Average duration per span (0 when never entered)."""
-        return self.total_seconds / self.count if self.count else 0.0
-
-
-class Instrumentation:
-    """Per-phase timer registry with span hooks.
-
-    Examples
-    --------
-    >>> instrument = Instrumentation()
-    >>> with instrument.span("demo"):
-    ...     pass
-    >>> instrument.timings()["demo"].count
-    1
-    """
-
-    def __init__(self):
-        self._timings: Dict[str, PhaseTiming] = {}
-        self._hooks: List[SpanHook] = []
-        self._warning_hooks: List[WarningHook] = []
-        #: Degradation messages recorded by :meth:`warn`, in order.
-        self.warnings: List[str] = []
-
-    @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        """Time a phase; nesting is allowed (each level records itself)."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            record = self._timings.get(name)
-            if record is None:
-                record = self._timings[name] = PhaseTiming(name)
-            record.count += 1
-            record.total_seconds += elapsed
-            for hook in self._hooks:
-                hook(name, elapsed)
-
-    def add_hook(self, hook: SpanHook) -> None:
-        """Subscribe ``hook(name, seconds)`` to every span close."""
-        self._hooks.append(hook)
-
-    def add_warning_hook(self, hook: WarningHook) -> None:
-        """Subscribe ``hook(message)`` to every :meth:`warn` call."""
-        self._warning_hooks.append(hook)
-
-    def warn(self, message: str) -> None:
-        """Record a degradation event and notify warning hooks.
-
-        Used by the machine's transport failover: the run continues on
-        the fallback transport, but the event is never silent.
-        """
-        self.warnings.append(message)
-        for hook in self._warning_hooks:
-            hook(message)
-
-    def timings(self) -> Dict[str, PhaseTiming]:
-        """Aggregated timings keyed by span name (insertion-ordered)."""
-        return dict(self._timings)
-
-    def total_seconds(self, name: str) -> float:
-        """Total time spent in ``name`` (0.0 if never entered)."""
-        record = self._timings.get(name)
-        return record.total_seconds if record else 0.0
-
-    def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """JSON-friendly summary used by the benchmark reports."""
-        return {
-            name: {
-                "count": record.count,
-                "total_seconds": record.total_seconds,
-                "mean_seconds": record.mean_seconds,
-            }
-            for name, record in self._timings.items()
-        }
-
-    def reset(self) -> None:
-        """Drop all recorded timings and warnings (hooks stay registered)."""
-        self._timings.clear()
-        self.warnings.clear()
-
-    def __repr__(self) -> str:
-        return f"Instrumentation(phases={sorted(self._timings)})"
+__all__ = ["Instrumentation", "PhaseTiming", "SpanHook", "WarningHook"]

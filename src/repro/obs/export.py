@@ -1,0 +1,82 @@
+"""Exporters: Prometheus text format and JSON-lines span dumps.
+
+Two wire formats, both plain text, both round-trip tested:
+
+* :func:`prometheus_text` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus
+  exposition format (``# HELP`` / ``# TYPE`` comments, one
+  ``name{labels} value`` line per sample) — the payload of
+  ``STATS {"format": "prometheus"}`` and ``repro stats --format
+  prometheus``, scrapeable by any Prometheus-compatible agent;
+* :func:`spans_to_jsonl` / :func:`spans_from_jsonl` serialize
+  :class:`~repro.obs.tracing.Span` records one JSON object per line.
+  Reloading is exact: the reloaded spans render the identical tree
+  through :func:`repro.reporting.trace.trace_table` (tested), so a
+  dumped trace can be inspected offline with ``repro trace --file``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family of ``registry`` in exposition format.
+
+    Ends with a trailing newline (the format requires the last line to
+    be terminated).
+    """
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for sample in family.samples:
+            if sample.labels:
+                label_text = ",".join(
+                    f'{name}="{_escape_label_value(value)}"'
+                    for name, value in sample.labels
+                )
+                rendered = f"{family.name}{sample.suffix}{{{label_text}}}"
+            else:
+                rendered = f"{family.name}{sample.suffix}"
+            value = sample.value
+            if value == int(value) and abs(value) < 1e15:
+                lines.append(f"{rendered} {int(value)}")
+            else:
+                lines.append(f"{rendered} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in the given order."""
+    return "".join(
+        json.dumps(span.as_dict(), separators=(",", ":")) + "\n"
+        for span in spans
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Inverse of :func:`spans_to_jsonl` (blank lines ignored)."""
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans

@@ -1,0 +1,366 @@
+"""Unified process-wide metrics: counters, gauges, histograms, collectors.
+
+Before this module, the repo's counters spoke three dialects: the
+serving layer's ad-hoc dicts (:mod:`repro.service.metrics`), the plan
+cache's ``cache_info()`` tuple, and the
+:class:`~repro.machine.ledger.CommunicationLedger`'s exact word
+accounting. :class:`MetricsRegistry` consolidates them behind one API
+with two complementary mechanisms:
+
+* **instruments** — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` created through the registry and written at the
+  point of the event (thread-safe, labeled);
+* **collectors** — callables registered with
+  :meth:`MetricsRegistry.register_collector` that *read existing
+  sources at scrape time* (the plan cache, a server's session
+  snapshots). Collectors add zero cost to hot paths: nothing happens
+  until someone collects.
+
+:func:`MetricsRegistry.collect` yields :class:`MetricFamily` records —
+the structure both exporters consume
+(:func:`repro.obs.export.prometheus_text`, the stats JSON). The
+default registry ships with a collector for the compiled-plan cache,
+so ``repro stats`` shows plan-cache hit rates with no wiring.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Prometheus metric-name grammar (also enforced by the exporter tests).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Prometheus label-name grammar.
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds-flavored, but any
+#: unit works — buckets are cumulative ``le`` thresholds).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    for name in labels:
+        if not LABEL_NAME_RE.match(name):
+            raise ConfigurationError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Sample:
+    """One exported time-series point: ``name{labels} value``.
+
+    ``suffix`` distinguishes histogram sub-series (``_bucket``,
+    ``_sum``, ``_count``) from the family's base name.
+    """
+
+    labels: LabelSet
+    value: float
+    suffix: str = ""
+
+
+@dataclass
+class MetricFamily:
+    """All samples of one named metric, with its type and help text."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram"
+    help: str
+    samples: List[Sample] = field(default_factory=list)
+
+
+class _Instrument:
+    """Shared labeled-value plumbing of Counter and Gauge."""
+
+    def __init__(self, name: str, help: str):
+        if not METRIC_NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelSet, float] = {}
+        self._lock = threading.Lock()
+
+    def value(self, **labels: str) -> float:
+        """Current value for the given label set (0.0 when unwritten)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _samples(self) -> List[Sample]:
+        with self._lock:
+            return [
+                Sample(labels=key, value=value)
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (per label set)."""
+
+    type = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def collect(self) -> MetricFamily:
+        return MetricFamily(self.name, self.type, self.help, self._samples())
+
+
+class Gauge(_Instrument):
+    """Point-in-time value that can move both ways (per label set)."""
+
+    type = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def collect(self) -> MetricFamily:
+        return MetricFamily(self.name, self.type, self.help, self._samples())
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not METRIC_NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        if not buckets or sorted(buckets) != list(buckets):
+            raise ConfigurationError(
+                f"histogram {name} needs ascending, non-empty buckets"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts: Dict[LabelSet, List[int]] = {}
+        self._sums: Dict[LabelSet, float] = {}
+        self._totals: Dict[LabelSet, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        """Total observations for the given label set."""
+        return self._totals.get(_label_key(labels), 0)
+
+    def collect(self) -> MetricFamily:
+        samples: List[Sample] = []
+        with self._lock:
+            for key in sorted(self._counts):
+                # observe() increments every bucket with bound >= value,
+                # so the stored counts are already cumulative (``le``).
+                for bound, bucket_count in zip(
+                    self.buckets, self._counts[key]
+                ):
+                    samples.append(
+                        Sample(
+                            labels=key + (("le", repr(bound)),),
+                            value=float(bucket_count),
+                            suffix="_bucket",
+                        )
+                    )
+                samples.append(
+                    Sample(
+                        labels=key + (("le", "+Inf"),),
+                        value=float(self._totals[key]),
+                        suffix="_bucket",
+                    )
+                )
+                samples.append(
+                    Sample(labels=key, value=self._sums[key], suffix="_sum")
+                )
+                samples.append(
+                    Sample(
+                        labels=key,
+                        value=float(self._totals[key]),
+                        suffix="_count",
+                    )
+                )
+        return MetricFamily(self.name, self.type, self.help, samples)
+
+
+Collector = Callable[[], Iterable[MetricFamily]]
+
+
+class MetricsRegistry:
+    """Process-wide home for instruments and scrape-time collectors.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    for an existing name returns the same instrument (asking with a
+    different type raises). :meth:`collect` returns every family,
+    instruments first (registration order), then collector output.
+    """
+
+    def __init__(self):
+        self._instruments: "Dict[str, object]" = {}
+        self._collectors: List[Collector] = []
+        self._lock = threading.Lock()
+
+    # -- instruments -----------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory: Callable[[], object]):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        instrument = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(instrument, Counter):
+            raise ConfigurationError(
+                f"{name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        instrument = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(instrument, Gauge):
+            raise ConfigurationError(
+                f"{name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        instrument = self._get_or_create(
+            name, lambda: Histogram(name, help, buckets)
+        )
+        if not isinstance(instrument, Histogram):
+            raise ConfigurationError(
+                f"{name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    # -- collectors ------------------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a scrape-time source (idempotent per callable)."""
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+
+    def unregister_collector(self, collector: Collector) -> None:
+        """Remove a scrape-time source (no-op if absent)."""
+        with self._lock:
+            if collector in self._collectors:
+                self._collectors.remove(collector)
+
+    # -- scraping --------------------------------------------------------------
+
+    def collect(self) -> List[MetricFamily]:
+        """Every family: instruments first, then collector output."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        families = [instrument.collect() for instrument in instruments]
+        for collector in collectors:
+            families.extend(collector())
+        return families
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """JSON-friendly snapshot: ``{name: {type, help, samples}}``
+        with samples keyed by their rendered label string."""
+        result: Dict[str, Dict] = {}
+        for family in self.collect():
+            samples = {}
+            for sample in family.samples:
+                label_text = ",".join(f"{k}={v}" for k, v in sample.labels)
+                samples[f"{family.name}{sample.suffix}{{{label_text}}}"] = (
+                    sample.value
+                )
+            result[family.name] = {
+                "type": family.type,
+                "help": family.help,
+                "samples": samples,
+            }
+        return result
+
+
+def _plan_cache_collector() -> List[MetricFamily]:
+    """Scrape-time view of the compiled-plan cache (core/plans.py)."""
+    from repro.core.plans import cache_info
+
+    info = cache_info()
+    empty: LabelSet = ()
+
+    def family(name, type_, help_, value):
+        return MetricFamily(
+            name, type_, help_, [Sample(labels=empty, value=float(value))]
+        )
+
+    return [
+        family(
+            "repro_plan_cache_hits_total", "counter",
+            "Compiled-plan cache hits", info.hits,
+        ),
+        family(
+            "repro_plan_cache_misses_total", "counter",
+            "Compiled-plan cache misses", info.misses,
+        ),
+        family(
+            "repro_plan_cache_evictions_total", "counter",
+            "Compiled-plan cache capacity evictions", info.evictions,
+        ),
+        family(
+            "repro_plan_cache_entries", "gauge",
+            "Compiled plans currently cached", info.currsize,
+        ),
+        family(
+            "repro_plan_cache_bytes", "gauge",
+            "Bytes of compiled plan state cached", info.nbytes,
+        ),
+    ]
+
+
+#: The process-wide registry (plan-cache collector pre-registered).
+_GLOBAL_REGISTRY = MetricsRegistry()
+_GLOBAL_REGISTRY.register_collector(_plan_cache_collector)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry exporters scrape by default."""
+    return _GLOBAL_REGISTRY

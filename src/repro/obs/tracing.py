@@ -1,0 +1,275 @@
+"""Request-to-round tracing: context-propagated trace ids and spans.
+
+A *trace* follows one unit of externally-visible work — a served
+``APPLY`` request, one ``repro analyze`` run — through every layer it
+touches. The pieces:
+
+* :func:`new_trace_id` mints an id at the entry point (the server's
+  request handler, the CLI driver);
+* :func:`trace_context` installs one or more active trace ids in a
+  :mod:`contextvars` context, so code deep in the machine layer can
+  stamp its spans without any argument threading. A micro-batched
+  execution runs under *all* of its member requests' ids — that is how
+  one ``execute_round`` span links back to every request it served;
+* :class:`Tracer` collects finished :class:`Span` records into a
+  bounded ring buffer. Spans nest: the tracer keeps a per-context
+  stack, so a phase span opened inside a request span records the
+  request as its parent and :func:`repro.reporting.trace.trace_table`
+  can render the tree.
+
+Overhead discipline: tracing is **disabled by default**. Every
+instrumentation site guards on :attr:`Tracer.enabled` — one attribute
+read — before building attributes or touching the clock, so the
+disabled-mode cost of the whole subsystem is a handful of branch
+checks per request (the acceptance bar: < 5% on the service benchmark,
+in practice unmeasurable). The ledger is never written through this
+module; spans *read* schedule-derived counts, so the paper's exact
+communication claims cannot drift.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+#: Ring-buffer bound: enough for thousands of requests' spans without
+#: unbounded growth in a long-lived server.
+DEFAULT_SPAN_BUFFER = 8192
+
+#: Active trace ids of the current execution context (empty = untraced).
+_ACTIVE_TRACES: "contextvars.ContextVar[Tuple[str, ...]]" = (
+    contextvars.ContextVar("repro_trace_ids", default=())
+)
+
+#: Open-span stack of the current execution context (span ids).
+_SPAN_STACK: "contextvars.ContextVar[Tuple[int, ...]]" = (
+    contextvars.ContextVar("repro_span_stack", default=())
+)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_ids() -> Tuple[str, ...]:
+    """Trace ids active in this context (empty tuple when untraced)."""
+    return _ACTIVE_TRACES.get()
+
+
+@contextmanager
+def trace_context(*trace_ids: str) -> Iterator[Tuple[str, ...]]:
+    """Run the body under the given trace ids (replacing any active set).
+
+    Passing no ids clears the context (useful to fence off background
+    work from an enclosing request's trace).
+    """
+    token = _ACTIVE_TRACES.set(tuple(trace_ids))
+    try:
+        yield tuple(trace_ids)
+    finally:
+        _ACTIVE_TRACES.reset(token)
+
+
+@dataclass
+class Span:
+    """One finished, immutable unit of traced work.
+
+    ``start`` is wall-clock epoch seconds (for humans and cross-process
+    merging); ``seq`` is a process-wide monotonic sequence number that
+    gives deterministic ordering even when clock resolution collides.
+    A zero-duration span is an *event* (retry, eviction, warning).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    trace_ids: Tuple[str, ...]
+    start: float
+    duration_s: float
+    seq: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (the JSON-lines exporter's record shape)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "trace_ids": list(self.trace_ids),
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "seq": self.seq,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Span":
+        """Inverse of :meth:`as_dict` (exact round-trip, tested)."""
+        return cls(
+            span_id=int(record["span_id"]),
+            parent_id=(
+                None
+                if record.get("parent_id") is None
+                else int(record["parent_id"])  # type: ignore[arg-type]
+            ),
+            name=str(record["name"]),
+            kind=str(record["kind"]),
+            trace_ids=tuple(record.get("trace_ids", ())),  # type: ignore[arg-type]
+            start=float(record["start"]),  # type: ignore[arg-type]
+            duration_s=float(record["duration_s"]),  # type: ignore[arg-type]
+            seq=int(record["seq"]),  # type: ignore[arg-type]
+            attrs=dict(record.get("attrs", {})),  # type: ignore[arg-type]
+        )
+
+
+class Tracer:
+    """Bounded collector of finished spans with context-stack nesting."""
+
+    def __init__(self, max_spans: int = DEFAULT_SPAN_BUFFER):
+        self.enabled = False
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (already-collected spans stay readable)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every collected span."""
+        with self._lock:
+            self._spans.clear()
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = "phase",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Optional[Span]]:
+        """Record the body as one span (no-op yield of ``None`` when
+        disabled — callers that guard on :attr:`enabled` never enter).
+
+        Yields the in-flight :class:`Span` so the body can attach
+        attributes discovered mid-flight (e.g. retry counts); the
+        duration is stamped at close.
+        """
+        if not self.enabled:
+            yield None
+            return
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=(_SPAN_STACK.get() or (None,))[-1],
+            name=name,
+            kind=kind,
+            trace_ids=current_trace_ids(),
+            start=time.time(),
+            duration_s=0.0,
+            seq=next(self._seq),
+            attrs=dict(attrs) if attrs else {},
+        )
+        token = _SPAN_STACK.set(_SPAN_STACK.get() + (span.span_id,))
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            _SPAN_STACK.reset(token)
+            span.duration_s = time.perf_counter() - started
+            with self._lock:
+                self._spans.append(span)
+
+    def event(
+        self,
+        name: str,
+        kind: str = "event",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Optional[Span]:
+        """Record a zero-duration span (retry, eviction, warning)."""
+        if not self.enabled:
+            return None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=(_SPAN_STACK.get() or (None,))[-1],
+            name=name,
+            kind=kind,
+            trace_ids=current_trace_ids(),
+            start=time.time(),
+            duration_s=0.0,
+            seq=next(self._seq),
+            attrs=dict(attrs) if attrs else {},
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # -- reading ---------------------------------------------------------------
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Collected spans in sequence order, optionally filtered to
+        those carrying ``trace_id``."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is not None:
+            snapshot = [s for s in snapshot if trace_id in s.trace_ids]
+        return sorted(snapshot, key=lambda s: s.seq)
+
+    def recent_trace_ids(self, limit: int = 16) -> List[str]:
+        """Most recent distinct trace ids, newest first."""
+        seen: List[str] = []
+        with self._lock:
+            snapshot = list(self._spans)
+        for span in reversed(snapshot):
+            for trace_id in span.trace_ids:
+                if trace_id not in seen:
+                    seen.append(trace_id)
+                if len(seen) >= limit:
+                    return seen
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, spans={len(self._spans)})"
+
+
+#: The process-wide tracer every layer records into. Machine phases,
+#: round execution, the serving layer, and the CLI all share it, which
+#: is what makes one trace id link a request to its rounds.
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _GLOBAL_TRACER
+
+
+def enable_tracing() -> Tracer:
+    """Enable the process-wide tracer and return it."""
+    _GLOBAL_TRACER.enable()
+    return _GLOBAL_TRACER
+
+
+def disable_tracing() -> None:
+    """Disable the process-wide tracer (buffer stays readable)."""
+    _GLOBAL_TRACER.disable()

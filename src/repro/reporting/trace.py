@@ -16,10 +16,11 @@ serving side: the ``STATS`` snapshot of a running
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.machine.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
+from repro.obs.tracing import Span
 
 
 def round_table(ledger: CommunicationLedger, limit: Optional[int] = None) -> str:
@@ -139,6 +140,48 @@ def fault_summary(ledger: CommunicationLedger, transport=None) -> str:
     return "\n".join(lines)
 
 
+def trace_table(
+    spans: Sequence[Span], trace_id: Optional[str] = None
+) -> str:
+    """Render collected spans as an indented call tree.
+
+    Spans nest by ``parent_id`` (children ordered by ``seq``); a span
+    whose parent is absent from the input — filtered out, or rotated
+    out of the tracer's ring buffer — renders as a root. Pass
+    ``trace_id`` to restrict the tree to spans carrying that id. The
+    same function renders live :meth:`Tracer.spans` output and spans
+    reloaded from a JSON-lines dump — the exporter round-trip test
+    asserts both renderings are identical.
+    """
+    if trace_id is not None:
+        spans = [s for s in spans if trace_id in s.trace_ids]
+    header = f"{'span':<44} {'kind':<10} {'ms':>9}  traces"
+    if not spans:
+        return "\n".join([header, "(no spans recorded)"])
+    spans = sorted(spans, key=lambda s: s.seq)
+    present = {span.span_id for span in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in present else None
+        children.setdefault(parent, []).append(span)
+
+    lines = [header]
+
+    def render(span: Span, depth: int) -> None:
+        name = ("  " * depth + span.name)[:44]
+        traces = ",".join(span.trace_ids) or "-"
+        lines.append(
+            f"{name:<44} {span.kind:<10}"
+            f" {span.duration_s * 1e3:>9.3f}  {traces}"
+        )
+        for child in children.get(span.span_id, []):
+            render(child, depth + 1)
+
+    for root in children.get(None, []):
+        render(root, 0)
+    return "\n".join(lines)
+
+
 def service_table(stats: Dict) -> str:
     """Human-readable rendering of a server ``STATS`` snapshot.
 
@@ -173,6 +216,9 @@ def service_table(stats: Dict) -> str:
         f" {pool.get('sessions', 0):>6}/{pool.get('max_sessions', 0)}"
         f" ({pool.get('evictions', 0)} evicted)"
     )
+    recent = stats.get("recent_traces") or []
+    if recent:
+        lines.append(f"{'recent traces':<22} " + " ".join(recent[:8]))
     if not sessions:
         lines.append("(no sessions registered)")
         return "\n".join(lines)

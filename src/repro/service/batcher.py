@@ -39,6 +39,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from contextlib import nullcontext
+
+from repro.obs.tracing import get_tracer, trace_context
 from repro.service.protocol import ErrorCode, ServiceError
 from repro.service.sessions import EngineSession, SessionKey
 
@@ -48,6 +51,9 @@ DEFAULT_ADMISSION_CAPACITY = 64
 #: Default cap on coalesced batch width.
 DEFAULT_MAX_BATCH = 16
 
+#: Reusable no-op context for the tracing-disabled fast path.
+_NULL_SPAN = nullcontext(None)
+
 
 @dataclass
 class _Pending:
@@ -55,6 +61,9 @@ class _Pending:
     future: Future
     enqueued_at: float
     deadline_at: Optional[float]
+    #: Trace ids of the originating request(s); a coalesced batch span
+    #: carries the union so every request links to its round spans.
+    trace_ids: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -108,8 +117,14 @@ class DynamicBatcher:
         session: EngineSession,
         x: np.ndarray,
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue one request; returns a future resolving to ``y``.
+
+        ``trace_id`` (when given) rides with the request: the batch
+        that eventually executes it opens a span carrying every member
+        request's trace id, so round spans emitted underneath link
+        back to each coalesced request.
 
         Raises :class:`ServiceError` ``OVERLOADED`` when the lane's
         admission queue is full and ``SHUTTING_DOWN`` after
@@ -123,6 +138,7 @@ class DynamicBatcher:
             deadline_at=(
                 now + deadline_ms / 1e3 if deadline_ms is not None else None
             ),
+            trace_ids=(trace_id,) if trace_id is not None else (),
         )
         with self._cond:
             if self._closed:
@@ -268,9 +284,27 @@ class DynamicBatcher:
 
     def _execute(self, lane: _Lane, batch: List[_Pending]) -> None:
         X = np.column_stack([item.x for item in batch])
+        trace_ids = tuple(
+            tid for item in batch for tid in item.trace_ids
+        )
+        tracer = get_tracer()
         try:
-            with lane.session.exec_lock:
-                Y = lane.session.apply_batch(X, mode=lane.mode)
+            with trace_context(*trace_ids):
+                if tracer.enabled:
+                    span_cm = tracer.span(
+                        f"batch:{lane.key.label()}:{lane.mode}",
+                        kind="batch",
+                        attrs={
+                            "lane": f"{lane.key.label()}:{lane.mode}",
+                            "mode": lane.mode,
+                            "size": len(batch),
+                        },
+                    )
+                else:
+                    span_cm = None
+                with span_cm if span_cm is not None else _NULL_SPAN:
+                    with lane.session.exec_lock:
+                        Y = lane.session.apply_batch(X, mode=lane.mode)
         except Exception as error:  # noqa: BLE001 — forwarded to callers
             for item in batch:
                 item.future.set_exception(error)

@@ -48,6 +48,10 @@ class ServiceClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
+        #: Trace id of the most recent ``apply``/``apply_batch`` reply
+        #: (the server mints one per request and echoes it back, so
+        #: ``repro trace <id>`` can find that request's spans).
+        self.last_trace_id: Optional[str] = None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -114,30 +118,46 @@ class ServiceClient:
         x: np.ndarray,
         mode: str = "plan",
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> np.ndarray:
-        """Serve ``y = A ×₂ x ×₃ x`` for one vector."""
+        """Serve ``y = A ×₂ x ×₃ x`` for one vector.
+
+        Pass ``trace_id`` to propagate a caller-minted id; otherwise
+        the server mints one. Either way the id used is readable on
+        :attr:`last_trace_id` after the call returns.
+        """
         header, body = encode_array(x)
         header["tensor_id"] = tensor_id
         header["mode"] = mode
         if deadline_ms is not None:
             header["deadline_ms"] = deadline_ms
+        if trace_id is not None:
+            header["trace_id"] = trace_id
         reply_type, reply_header, reply_body = self._roundtrip(
             MessageType.APPLY, header, body
         )
         self._expect(reply_type, MessageType.RESULT)
+        self.last_trace_id = reply_header.get("trace_id")
         return decode_array(reply_header, reply_body, expected_ndim=1)
 
     def apply_batch(
-        self, tensor_id: str, X: np.ndarray, mode: str = "plan"
+        self,
+        tensor_id: str,
+        X: np.ndarray,
+        mode: str = "plan",
+        trace_id: Optional[str] = None,
     ) -> np.ndarray:
         """Serve a pre-batched ``n × s`` matrix in one request."""
         header, body = encode_array(X)
         header["tensor_id"] = tensor_id
         header["mode"] = mode
+        if trace_id is not None:
+            header["trace_id"] = trace_id
         reply_type, reply_header, reply_body = self._roundtrip(
             MessageType.APPLY_BATCH, header, body
         )
         self._expect(reply_type, MessageType.RESULT)
+        self.last_trace_id = reply_header.get("trace_id")
         return decode_array(reply_header, reply_body, expected_ndim=2)
 
     def stats(self) -> Dict:
@@ -147,6 +167,26 @@ class ServiceClient:
         )
         self._expect(reply_type, MessageType.OK)
         return reply_header
+
+    def metrics_text(self) -> str:
+        """The server's metrics registry in Prometheus text format."""
+        reply_type, _, reply_body = self._roundtrip(
+            MessageType.STATS, {"format": "prometheus"}
+        )
+        self._expect(reply_type, MessageType.OK)
+        return reply_body.decode("utf-8")
+
+    def spans_jsonl(self, trace_id: Optional[str] = None) -> str:
+        """The server's span buffer as JSON-lines text, optionally
+        filtered to one trace id."""
+        header: Dict = {"format": "spans"}
+        if trace_id is not None:
+            header["trace_id"] = trace_id
+        reply_type, _, reply_body = self._roundtrip(
+            MessageType.STATS, header
+        )
+        self._expect(reply_type, MessageType.OK)
+        return reply_body.decode("utf-8")
 
     def shutdown(self) -> None:
         """Ask the server to stop (replies OK before stopping)."""

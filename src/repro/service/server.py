@@ -28,10 +28,19 @@ import socket
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
+from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.machine.transport import TRANSPORTS, FaultPolicy
+from repro.obs.export import prometheus_text, spans_to_jsonl
+from repro.obs.metrics import (
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    default_registry,
+)
+from repro.obs.tracing import get_tracer, new_trace_id, trace_context
 from repro.service.batcher import (
     DEFAULT_ADMISSION_CAPACITY,
     DEFAULT_MAX_BATCH,
@@ -65,6 +74,9 @@ _ACCEPT_TIMEOUT_S = 0.2
 #: wedged execution.
 _DEADLINE_GRACE_S = 5.0
 
+#: Reusable no-op context for the tracing-disabled fast path.
+_NULL_SPAN = nullcontext(None)
+
 
 class STTSVServer:
     """Serve STTSV applies over TCP with dynamic batching.
@@ -91,10 +103,17 @@ class STTSVServer:
         max_wait_ms: float = 0.0,
         admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
         faults: Optional[FaultPolicy] = None,
+        tracing: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self._host = host
         self._port = port
         self.faults = faults
+        #: Whether this server turns on the process tracer while it
+        #: runs (the prior tracer state is restored on :meth:`stop`).
+        self.tracing = tracing
+        self.registry = registry if registry is not None else default_registry()
+        self._tracer_was_enabled = False
         self.metrics = ServerMetrics()
         self.pool = SessionPool(
             max_sessions=max_sessions,
@@ -125,6 +144,11 @@ class STTSVServer:
         sock.listen(128)
         sock.settimeout(_ACCEPT_TIMEOUT_S)
         self._sock = sock
+        tracer = get_tracer()
+        self._tracer_was_enabled = tracer.enabled
+        if self.tracing:
+            tracer.enable()
+        self.registry.register_collector(self._collect_metrics)
         self._running = True
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="sttsv-accept", daemon=True
@@ -157,6 +181,9 @@ class STTSVServer:
         with self._routes_lock:
             self._routes.clear()
         self.pool.clear()
+        self.registry.unregister_collector(self._collect_metrics)
+        if self.tracing and not self._tracer_was_enabled:
+            get_tracer().disable()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the server stops (``SHUTDOWN`` request or
@@ -184,6 +211,94 @@ class STTSVServer:
         session = self.pool.get(key)
         if session is not None:
             session.metrics.batch_sizes.record(size)
+
+    # -- metrics collector ------------------------------------------------------
+
+    def _collect_metrics(self) -> "list[MetricFamily]":
+        """Scrape-time view of this server for the metrics registry:
+        admission counters, queue depths, pool occupancy, and
+        per-session serving/communication totals. Registered on
+        :meth:`start`, removed on :meth:`stop`; costs nothing between
+        scrapes."""
+        server = self.metrics.snapshot()
+        events = MetricFamily(
+            "sttsv_server_events_total", "counter",
+            "Server admission and lifecycle events by kind",
+            [
+                Sample(labels=(("event", name),), value=float(count))
+                for name, count in sorted(server.items())
+            ],
+        )
+        depth = MetricFamily(
+            "sttsv_queue_depth", "gauge",
+            "Requests waiting in each batcher lane",
+            [
+                Sample(labels=(("lane", lane),), value=float(waiting))
+                for lane, waiting in sorted(
+                    self.batcher.queue_depths().items()
+                )
+            ],
+        )
+        info = self.pool.info()
+        pool = [
+            MetricFamily(
+                "sttsv_pool_sessions", "gauge",
+                "Warm sessions currently resident",
+                [Sample(labels=(), value=float(info.currsize))],
+            ),
+            MetricFamily(
+                "sttsv_pool_bytes", "gauge",
+                "Bytes of resident session state",
+                [Sample(labels=(), value=float(info.nbytes))],
+            ),
+            MetricFamily(
+                "sttsv_pool_evictions_total", "counter",
+                "Sessions evicted by the pool's LRU/byte bounds",
+                [Sample(labels=(), value=float(info.evictions))],
+            ),
+        ]
+        session_counters = [
+            "requests", "batch_requests", "parallel_runs",
+            "comm_rounds", "comm_words",
+            "retry_rounds", "retry_words", "retry_messages",
+        ]
+        per_session: Dict[str, list] = {name: [] for name in session_counters}
+        latency: list = []
+        for key in self.pool.keys():
+            session = self.pool.get(key)
+            if session is None or session.closed:
+                continue
+            snap = session.snapshot()
+            label = (("session", key.label()),)
+            for name in session_counters:
+                per_session[name].append(
+                    Sample(labels=label, value=float(snap.get(name, 0)))
+                )
+            for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+                latency.append(
+                    Sample(
+                        labels=label + (("quantile", quantile),),
+                        value=float(snap["latency"][quantile]),
+                    )
+                )
+        sessions = [
+            MetricFamily(
+                f"sttsv_session_{name}_total", "counter",
+                f"Per-session {name.replace('_', ' ')} served",
+                samples,
+            )
+            for name, samples in per_session.items()
+            if samples
+        ]
+        if latency:
+            sessions.append(
+                MetricFamily(
+                    "sttsv_session_latency_ms", "gauge",
+                    "Per-session request latency percentiles",
+                    latency,
+                )
+            )
+        return [events, depth, *pool, *sessions]
 
     # -- accept / handle -------------------------------------------------------
 
@@ -235,7 +350,7 @@ class STTSVServer:
             elif msg_type == MessageType.APPLY_BATCH:
                 self._handle_apply_batch(conn, header, body)
             elif msg_type == MessageType.STATS:
-                self._handle_stats(conn)
+                self._handle_stats(conn, header)
             elif msg_type == MessageType.SHUTDOWN:
                 write_frame(conn, MessageType.OK, {"stopping": True})
                 threading.Thread(target=self.stop, daemon=True).start()
@@ -366,8 +481,18 @@ class STTSVServer:
             )
         return mode
 
+    @staticmethod
+    def _trace_id(header: Dict) -> str:
+        """Accept the client's trace id or mint one (every request is
+        traceable; ids round-trip in the ``RESULT`` header)."""
+        trace_id = header.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            return trace_id
+        return new_trace_id()
+
     def _handle_apply(self, conn, header: Dict, body: bytes) -> None:
         start = time.monotonic()
+        trace_id = self._trace_id(header)
         key, session = self._resolve(header)
         mode = self._mode(header)
         deadline_ms = header.get("deadline_ms")
@@ -377,29 +502,44 @@ class STTSVServer:
                 ErrorCode.BAD_REQUEST,
                 f"vector has {x.shape[0]} entries, tensor has n={session.n}",
             )
-        future = self.batcher.submit(
-            key, mode, session, x, deadline_ms=deadline_ms
-        )
-        timeout = (
-            deadline_ms / 1e3 + _DEADLINE_GRACE_S
-            if deadline_ms is not None
-            else None
-        )
-        try:
-            y = future.result(timeout=timeout)
-        except FutureTimeout:
-            raise ServiceError(
-                ErrorCode.DEADLINE_EXCEEDED,
-                f"no result within deadline_ms={deadline_ms}",
-            ) from None
+        tracer = get_tracer()
+        with trace_context(trace_id):
+            if tracer.enabled:
+                span_cm = tracer.span(
+                    "request:apply",
+                    kind="request",
+                    attrs={"tensor_id": key.tensor_id, "mode": mode},
+                )
+            else:
+                span_cm = None
+            with span_cm if span_cm is not None else _NULL_SPAN:
+                future = self.batcher.submit(
+                    key, mode, session, x,
+                    deadline_ms=deadline_ms,
+                    trace_id=trace_id,
+                )
+                timeout = (
+                    deadline_ms / 1e3 + _DEADLINE_GRACE_S
+                    if deadline_ms is not None
+                    else None
+                )
+                try:
+                    y = future.result(timeout=timeout)
+                except FutureTimeout:
+                    raise ServiceError(
+                        ErrorCode.DEADLINE_EXCEEDED,
+                        f"no result within deadline_ms={deadline_ms}",
+                    ) from None
         session.metrics.incr("requests")
         session.metrics.latency.record(time.monotonic() - start)
         self.metrics.incr("accepted")
         result_header, result_body = encode_array(y)
+        result_header["trace_id"] = trace_id
         write_frame(conn, MessageType.RESULT, result_header, result_body)
 
     def _handle_apply_batch(self, conn, header: Dict, body: bytes) -> None:
         start = time.monotonic()
+        trace_id = self._trace_id(header)
         key, session = self._resolve(header)
         mode = self._mode(header)
         X = decode_array(header, body, expected_ndim=2)
@@ -408,18 +548,62 @@ class STTSVServer:
                 ErrorCode.BAD_REQUEST,
                 f"batch rows ({X.shape[0]}) != tensor n ({session.n})",
             )
-        with session.exec_lock:
-            Y = session.apply_batch(X, mode=mode)
+        tracer = get_tracer()
+        with trace_context(trace_id):
+            if tracer.enabled:
+                span_cm = tracer.span(
+                    "request:apply_batch",
+                    kind="request",
+                    attrs={
+                        "tensor_id": key.tensor_id,
+                        "mode": mode,
+                        "size": X.shape[1],
+                    },
+                )
+            else:
+                span_cm = None
+            with span_cm if span_cm is not None else _NULL_SPAN:
+                with session.exec_lock:
+                    Y = session.apply_batch(X, mode=mode)
         session.metrics.incr("batch_requests")
         session.metrics.incr("requests", X.shape[1])
         session.metrics.batch_sizes.record(X.shape[1])
         session.metrics.latency.record(time.monotonic() - start)
         self.metrics.incr("accepted", X.shape[1])
         result_header, result_body = encode_array(Y)
+        result_header["trace_id"] = trace_id
         write_frame(conn, MessageType.RESULT, result_header, result_body)
 
-    def _handle_stats(self, conn) -> None:
-        write_frame(conn, MessageType.OK, self.stats())
+    def _handle_stats(self, conn, header: Optional[Dict] = None) -> None:
+        """``STATS`` with optional exporter formats: the default reply
+        is the JSON stats payload; ``{"format": "prometheus"}`` returns
+        the registry in Prometheus text format and ``{"format":
+        "spans"}`` the tracer's buffer as JSON-lines (optionally
+        filtered by ``trace_id``) — both as UTF-8 frame bodies."""
+        fmt = (header or {}).get("format", "json")
+        if fmt == "json":
+            write_frame(conn, MessageType.OK, self.stats())
+        elif fmt == "prometheus":
+            text = prometheus_text(self.registry)
+            write_frame(
+                conn, MessageType.OK,
+                {"format": "prometheus"}, text.encode("utf-8"),
+            )
+        elif fmt == "spans":
+            trace_id = (header or {}).get("trace_id")
+            spans = get_tracer().spans(trace_id=trace_id)
+            text = spans_to_jsonl(spans)
+            write_frame(
+                conn, MessageType.OK,
+                {"format": "spans", "count": len(spans)},
+                text.encode("utf-8"),
+            )
+        else:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"stats format must be json, prometheus, or spans;"
+                f" got {fmt!r}",
+            )
 
     # -- introspection ---------------------------------------------------------
 
@@ -451,5 +635,7 @@ class STTSVServer:
                 "max_wait_ms": self.batcher.max_wait_ms,
                 "admission_capacity": self.batcher.admission_capacity,
                 "faults": self.faults is not None and self.faults.enabled,
+                "tracing": get_tracer().enabled,
             },
+            "recent_traces": get_tracer().recent_trace_ids(),
         }

@@ -34,6 +34,7 @@ from repro.core.plans import LRUByteCache, SequentialPlan, sequential_plan
 from repro.errors import ConfigurationError
 from repro.machine.machine import Machine
 from repro.machine.transport import FaultPolicy, make_transport
+from repro.obs.tracing import get_tracer
 from repro.service.metrics import SessionMetrics
 from repro.steiner import spherical_steiner_system
 from repro.tensor.packed import PackedSymmetricTensor
@@ -212,6 +213,16 @@ class SessionPool:
         self._lock = threading.Lock()
 
     def _evict(self, key: SessionKey, session: EngineSession) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                f"evict:{key.label()}",
+                kind="eviction",
+                attrs={
+                    "session": key.label(),
+                    "session_bytes": session.nbytes(),
+                },
+            )
         if self._on_evict_extra is not None:
             self._on_evict_extra(key, session)
         session.close()

@@ -1,0 +1,169 @@
+"""Property tests: the dynamic batcher never loses, duplicates, or
+reorders a lane's requests, and every response matches its request.
+
+A fake session stands in for the engine: each request vector carries
+its request id, ``apply_batch`` is a marked identity, and the fake
+records the ids of every executed batch — so the executed stream can
+be compared against the submitted stream exactly.
+"""
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.batcher import DynamicBatcher
+from repro.service.sessions import SessionKey
+
+
+class FakeSession:
+    """Engine stand-in: y = 2x + mode marker; records batch contents."""
+
+    _MODE_MARK = {"plan": 0.25, "parallel": 0.5}
+
+    def __init__(self):
+        self.exec_lock = threading.Lock()
+        self.executed = []  # list of (mode, [request ids]) per batch
+
+    def apply_batch(self, X, mode="plan"):
+        assert self.exec_lock.locked(), "batcher must hold exec_lock"
+        self.executed.append((mode, [int(X[0, col]) for col in range(X.shape[1])]))
+        return 2.0 * X + self._MODE_MARK[mode]
+
+
+def _key(name):
+    return SessionKey(tensor_id=name, q=2, P=10, backend="simulated")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b"]),       # lane: tensor id
+            st.sampled_from(["plan", "parallel"]),  # lane: mode
+        ),
+        min_size=1,
+        max_size=48,
+    ),
+    max_batch=st.integers(min_value=1, max_value=8),
+    coalesce=st.booleans(),
+)
+def test_no_loss_duplication_or_reordering(requests, max_batch, coalesce):
+    batcher = DynamicBatcher(
+        max_batch=max_batch, admission_capacity=len(requests) + 1
+    )
+    sessions = {}
+    futures = []
+    submitted = {}  # lane -> [request ids in submission order]
+    if coalesce:
+        batcher.hold()  # force everything to queue, then drain in batches
+    try:
+        for request_id, (tensor_id, mode) in enumerate(requests):
+            key = _key(tensor_id)
+            session = sessions.setdefault((key, mode), FakeSession())
+            x = np.full(3, float(request_id))
+            futures.append(
+                (request_id, mode, batcher.submit(key, mode, session, x))
+            )
+            submitted.setdefault((key, mode), []).append(request_id)
+    finally:
+        batcher.release()
+
+    # Every response matches its own request (right id, right mode).
+    for request_id, mode, future in futures:
+        y = future.result(timeout=10.0)
+        expected = 2.0 * request_id + FakeSession._MODE_MARK[mode]
+        assert y.shape == (3,)
+        assert np.all(y == expected)
+
+    for lane, session in sessions.items():
+        executed = [rid for _mode, ids in session.executed for rid in ids]
+        # No loss, no duplication, no reordering within the lane.
+        assert executed == submitted[lane]
+        # Lane isolation: a batch never mixes modes.
+        for mode, ids in session.executed:
+            assert mode == lane[1]
+            assert len(ids) <= max_batch
+
+    batcher.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=24),
+    max_batch=st.integers(min_value=2, max_value=8),
+)
+def test_held_lane_coalesces_up_to_max_batch(count, max_batch):
+    """With the gate held, queued requests drain as batches of width
+    <= max_batch whose concatenation is exactly the submission order."""
+    batcher = DynamicBatcher(
+        max_batch=max_batch, admission_capacity=count + 1
+    )
+    key = _key("held")
+    session = FakeSession()
+    batcher.hold()
+    futures = [
+        batcher.submit(key, "plan", session, np.full(2, float(i)))
+        for i in range(count)
+    ]
+    assert batcher.pending() == count
+    batcher.release()
+    for index, future in enumerate(futures):
+        assert future.result(timeout=10.0)[0] == 2.0 * index + 0.25
+    executed = [rid for _mode, ids in session.executed for rid in ids]
+    assert executed == list(range(count))
+    widths = [len(ids) for _mode, ids in session.executed]
+    assert max(widths) <= max_batch
+    # The first drained batch is as wide as the cap allows.
+    assert widths[0] == min(count, max_batch)
+    batcher.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    clients=st.integers(min_value=2, max_value=6),
+    per_client=st.integers(min_value=1, max_value=8),
+)
+def test_concurrent_submitters_each_see_their_own_results(
+    clients, per_client
+):
+    """Under true concurrency the global interleaving is arbitrary, but
+    every request still gets exactly its own answer and nothing is lost
+    or duplicated lane-wide."""
+    batcher = DynamicBatcher(
+        max_batch=4, admission_capacity=clients * per_client + 1
+    )
+    key = _key("conc")
+    session = FakeSession()
+    results = {}
+    lock = threading.Lock()
+
+    def client(client_id):
+        for index in range(per_client):
+            request_id = client_id * 1000 + index
+            x = np.full(2, float(request_id))
+            y = batcher.submit(key, "plan", session, x).result(timeout=10.0)
+            with lock:
+                results[request_id] = y[0]
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads)
+
+    expected_ids = {
+        c * 1000 + i for c in range(clients) for i in range(per_client)
+    }
+    assert set(results) == expected_ids
+    for request_id, value in results.items():
+        assert value == 2.0 * request_id + 0.25
+    executed = sorted(
+        rid for _mode, ids in session.executed for rid in ids
+    )
+    assert executed == sorted(expected_ids)  # served exactly once each
+    batcher.close()

@@ -1,0 +1,108 @@
+"""Conformance property test: with fault injection ON, the algorithmic
+ledger still matches the paper's closed form exactly.
+
+The closed form for the spherical family's point-to-point schedule is
+
+    words/processor = 2 (n(q+1)/(q^2+1) - n/P)        (n = padded dim)
+
+and it is computed here *independently* of the library's own
+``expected_words_per_processor`` — the test would not notice a bug
+shared by the implementation and its accounting helper otherwise. The
+retry side-channel (``retry_words`` etc.) is the only place recovery
+cost may appear; the algorithmic counters must be identical on a
+faulty and a fault-free network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+from repro.core.partition import TetrahedralPartition
+from repro.core.sttsv_sequential import sttsv_packed
+from repro.machine.machine import Machine
+from repro.machine.transport import (
+    FaultPolicy,
+    SharedMemoryTransport,
+    make_transport,
+)
+from repro.steiner import spherical_steiner_system
+from repro.tensor.dense import random_symmetric
+
+_PARTITIONS = {
+    2: TetrahedralPartition(spherical_steiner_system(2)),
+    3: TetrahedralPartition(spherical_steiner_system(3)),
+}
+
+
+def _closed_form_words(q: int, P: int, n_padded: int) -> int:
+    """2 (n(q+1)/(q^2+1) - n/P), asserted to be an exact integer."""
+    value = 2 * (n_padded * (q + 1) / (q * q + 1) - n_padded / P)
+    assert abs(value - round(value)) < 1e-9, value
+    return round(value)
+
+
+def _run(partition, n, seed, transport):
+    tensor = random_symmetric(n, seed=seed)
+    x = np.random.default_rng(seed + 1).normal(size=n)
+    machine = Machine(partition.P, transport=transport)
+    algo = ParallelSTTSV(partition, n, CommBackend.POINT_TO_POINT)
+    algo.load(machine, tensor, x)
+    algo.run(machine)
+    y = algo.gather_result(machine)
+    assert np.allclose(y, sttsv_packed(tensor, x))
+    return algo, machine.ledger
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    q=st.sampled_from([2, 3]),
+    n=st.integers(min_value=3, max_value=80),
+    seed=st.integers(min_value=0, max_value=10**6),
+    # Rates are capped so a transfer failing all 8 retry attempts
+    # (probability <= 0.15^9 per transfer) cannot realistically occur:
+    # exhausting the retry budget raises MachineError by design and is
+    # covered by the failure-injection suite, not this conformance one.
+    drop=st.floats(min_value=0.0, max_value=0.1),
+    corrupt=st.floats(min_value=0.0, max_value=0.05),
+)
+def test_faulty_simulated_ledger_matches_closed_form(
+    q, n, seed, drop, corrupt
+):
+    partition = _PARTITIONS[q]
+    faults = FaultPolicy(drop=drop, corrupt=corrupt, seed=seed % 1000)
+    transport = make_transport("simulated", partition.P, faults=faults)
+    try:
+        algo, ledger = _run(partition, n, seed, transport)
+    finally:
+        transport.close()
+    expected = _closed_form_words(q, partition.P, algo.n_padded)
+    # Every processor sends exactly the closed-form volume — faults
+    # never leak into the algorithmic counters.
+    assert ledger.words_sent == [expected] * partition.P
+    assert expected == algo.expected_words_per_processor()
+    # Recovery cost is confined to the retry side-channel.
+    assert ledger.retry_words >= 0
+    if drop == 0.0 and corrupt == 0.0:
+        assert ledger.retry_rounds == 0
+
+
+@pytest.mark.parametrize("q", [2, 3])
+def test_faulty_shm_ledger_matches_closed_form(q):
+    """The same conformance claim on the real shared-memory backend
+    (one case per system: worker processes are expensive)."""
+    partition = _PARTITIONS[q]
+    faults = FaultPolicy(drop=0.15, corrupt=0.05, seed=11)
+    from repro.machine.transport import FaultInjectingTransport
+
+    inner = SharedMemoryTransport(partition.P, n_workers=2)
+    transport = FaultInjectingTransport(inner, faults)
+    try:
+        algo, ledger = _run(partition, n=3 * partition.P, seed=q, transport=transport)
+    finally:
+        transport.close()
+    expected = _closed_form_words(q, partition.P, algo.n_padded)
+    assert ledger.words_sent == [expected] * partition.P
+    assert ledger.words_received == [expected] * partition.P
+    assert expected == algo.expected_words_per_processor()

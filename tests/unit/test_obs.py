@@ -1,0 +1,215 @@
+"""Unit tests for the observability core: trace contexts, span
+nesting, the bounded tracer buffer, and the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, MetricFamily, Sample
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    current_trace_ids,
+    new_trace_id,
+    trace_context,
+)
+
+
+# -- trace ids and contexts ------------------------------------------------------
+
+
+def test_new_trace_id_is_16_hex_and_unique():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    for trace_id in ids:
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # parses as hex
+
+
+def test_trace_context_installs_and_restores():
+    assert current_trace_ids() == ()
+    with trace_context("aaa", "bbb") as installed:
+        assert installed == ("aaa", "bbb")
+        assert current_trace_ids() == ("aaa", "bbb")
+        with trace_context("ccc"):
+            assert current_trace_ids() == ("ccc",)
+        assert current_trace_ids() == ("aaa", "bbb")
+    assert current_trace_ids() == ()
+
+
+def test_trace_context_empty_fences_off():
+    with trace_context("outer"):
+        with trace_context():
+            assert current_trace_ids() == ()
+
+
+def test_trace_context_is_thread_local():
+    seen = {}
+
+    def worker():
+        seen["inner"] = current_trace_ids()
+
+    with trace_context("main-only"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["inner"] == ()
+
+
+# -- tracer ----------------------------------------------------------------------
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        assert span is None
+    assert tracer.event("evt") is None
+    assert len(tracer) == 0
+
+
+def test_span_nesting_records_parents():
+    tracer = Tracer()
+    tracer.enable()
+    with trace_context("tid"):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                tracer.event("leaf")
+    spans = tracer.spans()
+    by_name = {s.name: s for s in spans}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == outer.span_id
+    assert by_name["leaf"].parent_id == by_name["inner"].span_id
+    for span in spans:
+        assert span.trace_ids == ("tid",)
+    # seq is strictly increasing in close order; sorted() output stable.
+    seqs = [s.seq for s in spans]
+    assert seqs == sorted(seqs)
+
+
+def test_span_attrs_mutable_in_flight():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("round", attrs={"words": 4}) as span:
+        span.attrs["retries"] = 2
+    (recorded,) = tracer.spans()
+    assert recorded.attrs == {"words": 4, "retries": 2}
+    assert recorded.duration_s >= 0.0
+
+
+def test_tracer_buffer_is_bounded():
+    tracer = Tracer(max_spans=8)
+    tracer.enable()
+    for index in range(20):
+        tracer.event(f"e{index}")
+    spans = tracer.spans()
+    assert len(spans) == 8
+    assert [s.name for s in spans] == [f"e{i}" for i in range(12, 20)]
+
+
+def test_spans_filter_by_trace_id_and_recent_ids():
+    tracer = Tracer()
+    tracer.enable()
+    with trace_context("one"):
+        tracer.event("a")
+    with trace_context("two"):
+        tracer.event("b")
+    with trace_context("one", "two"):
+        tracer.event("c")
+    assert [s.name for s in tracer.spans(trace_id="one")] == ["a", "c"]
+    assert [s.name for s in tracer.spans(trace_id="two")] == ["b", "c"]
+    recent = tracer.recent_trace_ids()
+    assert set(recent) == {"one", "two"}
+    tracer.clear()
+    assert tracer.spans() == []
+
+
+def test_span_dict_round_trip_exact():
+    span = Span(
+        span_id=7,
+        parent_id=3,
+        name="round:x",
+        kind="round",
+        trace_ids=("abc", "def"),
+        start=1754000000.123456,
+        duration_s=0.00123,
+        seq=41,
+        attrs={"words": 10, "tag": "x"},
+    )
+    assert Span.from_dict(span.as_dict()) == span
+
+
+# -- metrics registry ------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "served requests")
+    requests.inc()
+    requests.inc(2, mode="plan")
+    assert requests.value() == 1
+    assert requests.value(mode="plan") == 2
+    with pytest.raises(ConfigurationError):
+        requests.inc(-1)
+
+    depth = registry.gauge("queue_depth")
+    depth.set(5, lane="a")
+    depth.dec(2, lane="a")
+    assert depth.value(lane="a") == 3
+
+    lat = registry.histogram("latency_s", buckets=(0.1, 1.0))
+    lat.observe(0.05)
+    lat.observe(0.5)
+    lat.observe(5.0)
+    assert lat.count() == 3
+    family = lat.collect()
+    by_key = {
+        (s.suffix, s.labels): s.value for s in family.samples
+    }
+    # Cumulative le-buckets: 1 under 0.1, 2 under 1.0, 3 under +Inf.
+    assert by_key[("_bucket", (("le", "0.1"),))] == 1
+    assert by_key[("_bucket", (("le", "1.0"),))] == 2
+    assert by_key[("_bucket", (("le", "+Inf"),))] == 3
+    assert by_key[("_count", ())] == 3
+    assert by_key[("_sum", ())] == pytest.approx(5.55)
+
+
+def test_registry_get_or_create_and_type_mismatch():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total")
+    assert registry.counter("hits_total") is first
+    with pytest.raises(ConfigurationError):
+        registry.gauge("hits_total")
+    with pytest.raises(ConfigurationError):
+        registry.counter("bad name!")
+
+
+def test_registry_collectors_scrape_time_only():
+    registry = MetricsRegistry()
+    calls = []
+
+    def collector():
+        calls.append(1)
+        return [
+            MetricFamily(
+                "external_gauge", "gauge", "",
+                [Sample(labels=(), value=42.0)],
+            )
+        ]
+
+    registry.register_collector(collector)
+    registry.register_collector(collector)  # idempotent
+    assert calls == []  # nothing until scraped
+    families = {f.name: f for f in registry.collect()}
+    assert calls == [1]
+    assert families["external_gauge"].samples[0].value == 42.0
+    registry.unregister_collector(collector)
+    assert "external_gauge" not in {f.name for f in registry.collect()}
+
+
+def test_default_registry_exposes_plan_cache():
+    from repro.obs.metrics import default_registry
+
+    names = {f.name for f in default_registry().collect()}
+    assert "repro_plan_cache_hits_total" in names
+    assert "repro_plan_cache_entries" in names

@@ -1,0 +1,159 @@
+"""Exporter round-trip tests.
+
+Prometheus output is validated line by line against the exposition
+grammar (metric/label name regexes, quoted-escaped label values, float
+or integer sample values, HELP/TYPE comments). JSON-lines span dumps
+must reload into spans that render the *identical* tree through
+:func:`repro.reporting.trace.trace_table`.
+"""
+
+import re
+
+from repro.obs.export import prometheus_text, spans_from_jsonl, spans_to_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, trace_context
+from repro.reporting.trace import trace_table
+
+#: One sample line: name[suffix]{labels} value
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[0-9.+-eEInfa]+)$"
+)
+
+#: One label pair inside the braces: name="escaped value"
+_LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def _fixture_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("sttsv_requests_total", "requests served")
+    requests.inc(3, mode="plan")
+    requests.inc(1, mode="parallel")
+    depth = registry.gauge("sttsv_queue_depth", "queued per lane")
+    depth.set(2, lane='weird"lane\\with\nnasties')
+    latency = registry.histogram(
+        "sttsv_latency_seconds", "request latency", buckets=(0.01, 0.1)
+    )
+    latency.observe(0.005)
+    latency.observe(0.05)
+    latency.observe(0.5)
+    return registry
+
+
+def _parse(text: str):
+    """Parse exposition text into {name: {label_text: value}}; raises
+    AssertionError on any line the grammar rejects."""
+    assert text.endswith("\n"), "format requires a terminated last line"
+    samples = {}
+    typed = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, type_ = line.split(" ")
+            assert type_ in ("counter", "gauge", "histogram")
+            typed[name] = type_
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"grammar rejects sample line: {line!r}"
+        label_text = match.group("labels")
+        if label_text is not None:
+            for pair in re.split(r",(?=[a-zA-Z_])", label_text):
+                assert _LABEL_RE.match(pair), (
+                    f"grammar rejects label pair: {pair!r}"
+                )
+        value = match.group("value")
+        samples[(match.group("name"), label_text)] = float(value)
+    return typed, samples
+
+
+def test_prometheus_text_parses_and_carries_values():
+    text = prometheus_text(_fixture_registry())
+    typed, samples = _parse(text)
+    assert typed["sttsv_requests_total"] == "counter"
+    assert typed["sttsv_queue_depth"] == "gauge"
+    assert typed["sttsv_latency_seconds"] == "histogram"
+    assert samples[("sttsv_requests_total", 'mode="plan"')] == 3
+    assert samples[("sttsv_requests_total", 'mode="parallel"')] == 1
+    # Histogram series: cumulative buckets + sum + count.
+    assert samples[("sttsv_latency_seconds_bucket", 'le="0.01"')] == 1
+    assert samples[("sttsv_latency_seconds_bucket", 'le="0.1"')] == 2
+    assert samples[("sttsv_latency_seconds_bucket", 'le="+Inf"')] == 3
+    assert samples[("sttsv_latency_seconds_count", None)] == 3
+    assert abs(samples[("sttsv_latency_seconds_sum", None)] - 0.555) < 1e-12
+
+
+def test_prometheus_label_escaping_round_trips():
+    text = prometheus_text(_fixture_registry())
+    (line,) = [
+        l for l in text.splitlines() if l.startswith("sttsv_queue_depth{")
+    ]
+    match = _SAMPLE_RE.match(line)
+    (pair,) = [match.group("labels")]
+    inner = _LABEL_RE.match(pair)
+    unescaped = (
+        inner.group("value")
+        .replace(r"\n", "\n")
+        .replace(r"\"", '"')
+        .replace(r"\\", "\\")
+    )
+    assert unescaped == 'weird"lane\\with\nnasties'
+
+
+def test_prometheus_integer_values_render_without_decimal():
+    text = prometheus_text(_fixture_registry())
+    (line,) = [
+        l
+        for l in text.splitlines()
+        if l.startswith("sttsv_requests_total{mode=\"plan\"}")
+    ]
+    assert line.endswith(" 3")
+
+
+def _fixture_spans():
+    tracer = Tracer()
+    tracer.enable()
+    with trace_context("req1"):
+        with tracer.span("request:apply", kind="request"):
+            with trace_context("req1", "req2"):
+                with tracer.span("batch:lane", kind="batch", attrs={"size": 2}):
+                    with tracer.span("round:x", kind="round"):
+                        tracer.event("retry:x", kind="retry")
+    with trace_context("req2"):
+        tracer.event("evict:s", kind="eviction")
+    return tracer.spans()
+
+
+def test_jsonl_round_trip_is_exact():
+    spans = _fixture_spans()
+    reloaded = spans_from_jsonl(spans_to_jsonl(spans))
+    assert reloaded == spans
+
+
+def test_jsonl_round_trip_renders_identical_tree():
+    spans = _fixture_spans()
+    reloaded = spans_from_jsonl(spans_to_jsonl(spans))
+    assert trace_table(reloaded) == trace_table(spans)
+    assert trace_table(reloaded, trace_id="req2") == trace_table(
+        spans, trace_id="req2"
+    )
+    # The tree nests: batch under request, round under batch.
+    rendered = trace_table(reloaded, trace_id="req1")
+    lines = {line.split()[0]: line for line in rendered.splitlines()[1:]}
+    assert rendered.index("request:apply") < rendered.index("batch:lane")
+    assert "  batch:lane" in rendered
+    assert "    round:x" in rendered
+
+
+def test_trace_table_handles_orphans_and_empty():
+    assert "(no spans recorded)" in trace_table([])
+    spans = _fixture_spans()
+    # Drop the roots: children whose parents are missing render as roots
+    # instead of disappearing.
+    orphans = [s for s in spans if s.kind in ("round", "retry")]
+    rendered = trace_table(orphans)
+    assert "round:x" in rendered
+    assert "retry:x" in rendered

@@ -1,0 +1,205 @@
+"""Concurrency regression tests for :class:`LRUByteCache`.
+
+The race these pin down: eviction callbacks used to fire while the
+cache lock was held. A hook that takes a resource lock (a session's
+``exec_lock``, the server's lane registry) then deadlocks ABBA against
+any thread that holds that resource lock and calls into the cache
+(lookup, ``configure_cache``, ``cache_clear``). The fix — collect
+evicted entries under the lock, fire ``on_evict`` after releasing it —
+is what these tests exercise; they hang (and fail via the join
+timeout) on the old behavior.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.plans import LRUByteCache
+
+
+def _join_all(threads, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
+    stuck = [t.name for t in threads if t.is_alive()]
+    assert not stuck, f"deadlocked threads: {stuck}"
+
+
+def test_evict_hook_fires_outside_the_cache_lock():
+    fired = []
+
+    def hook(key, value):
+        # Re-entering the cache from the hook must not deadlock (RLock
+        # would mask same-thread re-entry, but the lock must actually
+        # be free so *other* threads can progress mid-hook too).
+        assert cache.get("probe") is None or True
+        fired.append(key)
+
+    cache = LRUByteCache(maxsize=2, on_evict=hook)
+    for index in range(5):
+        cache.put(index, f"v{index}")
+    assert fired == [0, 1, 2]
+    assert cache.keys() == [3, 4]
+
+
+def test_abba_hook_vs_external_lock_does_not_deadlock():
+    """Thread A evicts (hook takes the resource lock); thread B holds
+    the resource lock and calls into the cache. Pre-fix this pair
+    deadlocks as soon as the schedules interleave."""
+    resource = threading.Lock()
+    in_hook = threading.Event()
+    release_hook = threading.Event()
+
+    def hook(key, value):
+        in_hook.set()
+        release_hook.wait(timeout=10.0)
+        with resource:
+            pass
+
+    cache = LRUByteCache(maxsize=1, on_evict=hook)
+    cache.put("cold", object())
+
+    def evictor():
+        cache.put("hot", object())  # evicts "cold" -> hook
+
+    def resource_holder():
+        in_hook.wait(timeout=10.0)
+        with resource:
+            # With the cache lock already released by the evictor,
+            # these cannot block on it. (No eviction-triggering call
+            # here: the hook takes `resource`, which this thread holds.)
+            cache.get("hot")
+            cache.info()
+            release_hook.set()
+
+    threads = [
+        threading.Thread(target=evictor, name="evictor"),
+        threading.Thread(target=resource_holder, name="holder"),
+    ]
+    for thread in threads:
+        thread.start()
+    _join_all(threads)
+
+
+@pytest.mark.parametrize("byte_budget", [None, 256])
+def test_hammer_mixed_operations(byte_budget):
+    """Many threads mixing put/get/resize/clear with a hook that takes
+    an external lock, against threads that hold that lock and use the
+    cache. Also checks the counters stay self-consistent.
+
+    ``resource`` is an RLock because a thread holding it can itself
+    trigger evictions (``clear``), re-entering the hook on its own
+    stack; cross-thread ABBA — the bug this pins — deadlocks with an
+    RLock all the same."""
+    resource = threading.RLock()
+    stop = threading.Event()
+    errors = []
+
+    def hook(key, value):
+        with resource:
+            pass
+
+    cache = LRUByteCache(
+        maxsize=4, byte_budget=byte_budget, on_evict=hook
+    )
+
+    def guard(fn):
+        def run():
+            try:
+                while not stop.is_set():
+                    fn()
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        return run
+
+    counter = threading.local()
+
+    def writer():
+        value = getattr(counter, "n", 0)
+        counter.n = value + 1
+        cache.put(value % 16, object(), nbytes=32)
+
+    def reader():
+        with resource:
+            cache.get(3)
+            cache.info()
+
+    def resizer():
+        cache.resize(2, byte_budget)
+        cache.resize(4, byte_budget)
+
+    def clearer():
+        with resource:
+            cache.clear()
+
+    threads = [
+        threading.Thread(target=guard(fn), name=fn.__name__)
+        for fn in (writer, writer, reader, reader, resizer, clearer)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.5)
+    stop.set()
+    _join_all(threads)
+    assert not errors, errors
+
+    info = cache.info()
+    assert 0 <= info.currsize <= 4
+    assert info.nbytes == 32 * info.currsize
+    assert info.evictions >= 0
+
+
+def test_module_cache_configure_clear_under_threads():
+    """The plan-cache module API (configure_cache / cache_clear /
+    sequential_plan) stays consistent under concurrent use."""
+    from repro.core.plans import (
+        cache_clear,
+        cache_info,
+        configure_cache,
+        sequential_plan,
+    )
+    from repro.tensor.dense import random_symmetric
+
+    tensors = [random_symmetric(6, seed=seed) for seed in range(8)]
+    stop = threading.Event()
+    errors = []
+
+    def guard(fn):
+        def run():
+            try:
+                while not stop.is_set():
+                    fn()
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        return run
+
+    def compiler():
+        for tensor in tensors:
+            plan = sequential_plan(tensor)
+            assert plan.n == 6
+
+    def reconfigurer():
+        configure_cache(maxsize=2)
+        configure_cache(maxsize=8)
+
+    def clearer():
+        cache_clear()
+        cache_info()
+
+    threads = [
+        threading.Thread(target=guard(fn), name=fn.__name__)
+        for fn in (compiler, compiler, reconfigurer, clearer)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.5)
+    stop.set()
+    _join_all(threads)
+    assert not errors, errors
+
+    configure_cache(maxsize=32)
+    info = cache_info()
+    assert info.currsize <= 32
