@@ -12,7 +12,12 @@ backends — the in-process ``simulated`` transport and the
 * the per-phase breakdown from the machine's instrumentation spans
   (exchange-x / local-compute / exchange-y),
 * transport-side counters for shm (rounds executed, bytes moved),
-* a bitwise-equality check between the two backends' results.
+* a bitwise-equality check between the two backends' results,
+* fused-vs-unfused accounting: logical vs physical message counts,
+  words moved (including fusion headers), the message-reduction
+  factor, and the shm wall-clock saved by fusing + overlapping
+  (each shm comparison runs with the fusing scheduler on and off;
+  fused results must stay bitwise identical to unfused ones).
 
 Writes ``BENCH_backends.json`` at the repository root so later PRs can
 track the transport overhead trajectory. ``--quick`` shrinks sizes and
@@ -66,12 +71,13 @@ def bench_backend(
     backend_name: str,
     comm: CommBackend,
     repeats: int,
+    fusion: bool = True,
 ) -> dict:
     tensor = random_symmetric(n, seed=0)
     x = np.random.default_rng(1).normal(size=n)
     transport = make_transport(backend_name, partition.P)
     try:
-        machine = Machine(partition.P, transport=transport)
+        machine = Machine(partition.P, transport=transport, fusion=fusion)
         algo = ParallelSTTSV(partition, n, comm)
 
         def run():
@@ -93,10 +99,13 @@ def bench_backend(
             "comm_backend": comm.value,
             "P": partition.P,
             "n": n,
+            "fusion": fusion,
             "run_seconds": total,
             "phases": machine.instrument.as_dict(),
             "words_per_processor": machine.ledger.max_words_sent(),
             "rounds": machine.ledger.round_count(),
+            "logical_messages": int(sum(machine.ledger.messages_sent)),
+            "fusion_summary": machine.ledger.fusion_summary(),
         }
         if backend_name == "shm":
             entry["shm_rounds_executed"] = transport.rounds_executed
@@ -111,17 +120,42 @@ def bench_pair(
 ) -> dict:
     simulated, y_sim = bench_backend(partition, n, "simulated", comm, repeats)
     shm, y_shm = bench_backend(partition, n, "shm", comm, repeats)
+    shm_unfused, y_shm_unfused = bench_backend(
+        partition, n, "shm", comm, repeats, fusion=False
+    )
+    summary = shm["fusion_summary"]
+    fused = summary["messages_fused"]
+    logical = summary["messages_logical"]
     return {
         "comm_backend": comm.value,
         "simulated": simulated,
         "shm": shm,
+        "shm_unfused": shm_unfused,
         "shm_overhead_factor": shm["run_seconds"] / simulated["run_seconds"],
+        "shm_overhead_factor_unfused": (
+            shm_unfused["run_seconds"] / simulated["run_seconds"]
+        ),
+        "fusion_wallclock_speedup": (
+            shm_unfused["run_seconds"] / shm["run_seconds"]
+        ),
+        "logical_messages": logical,
+        "fused_messages": fused,
+        "message_reduction_factor": (logical / fused) if fused else None,
+        "fused_header_words": (
+            summary["words_fused"] - summary["words_logical"]
+        ),
         "bitwise_identical": bool(
             np.array_equal(y_sim.view(np.uint64), y_shm.view(np.uint64))
+            and np.array_equal(
+                y_sim.view(np.uint64), y_shm_unfused.view(np.uint64)
+            )
         ),
         "ledger_identical": (
             simulated["words_per_processor"] == shm["words_per_processor"]
             and simulated["rounds"] == shm["rounds"]
+            and shm["logical_messages"] == shm_unfused["logical_messages"]
+            and shm["words_per_processor"]
+            == shm_unfused["words_per_processor"]
         ),
     }
 

@@ -173,6 +173,7 @@ def parallel_hopm(
     seed: SeedLike = 0,
     transport: Optional["Transport"] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    fusion: bool = True,
 ) -> HOPMResult:
     """Parallel Algorithm 1 on the simulated machine.
 
@@ -186,7 +187,9 @@ def parallel_hopm(
     end-of-round integrity verification (DESIGN.md §8).
     """
     n = tensor.n
-    machine = Machine(partition.P, transport=transport, recovery=recovery)
+    machine = Machine(
+        partition.P, transport=transport, recovery=recovery, fusion=fusion
+    )
     algo = ParallelSTTSV(partition, n, backend)
     x = _initial_vector(n, x0, seed)
     algo.load(machine, tensor, x)

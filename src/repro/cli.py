@@ -180,7 +180,8 @@ def _run_analyze(args, trace_id: str) -> int:
         )
         try:
             verdict = verify_sttsv_run(
-                partition, tensor, x, backend, transport=transport
+                partition, tensor, x, backend,
+                transport=transport, fusion=args.fused,
             )
             print(
                 f"  {backend.value:>16}: {verdict.words_per_processor:>8}"
@@ -193,6 +194,14 @@ def _run_analyze(args, trace_id: str) -> int:
                     else ""
                 )
             )
+            fusion = verdict.fusion_summary
+            if fusion.get("fused_rounds"):
+                print(
+                    f"      fusion: {fusion['messages_fused']} physical"
+                    f" messages for {fusion['messages_logical']} scheduled"
+                    f" ({fusion['words_fused']} words incl. headers,"
+                    f" {fusion['fused_rounds']} fused exchanges)"
+                )
             for warning in verdict.warnings:
                 print(f"      warning: {warning}")
             if args.timings:
@@ -252,6 +261,7 @@ def _command_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         admission_capacity=args.admission_capacity,
         faults=fault_policy,
+        fusion=args.fused,
         tracing=not args.no_tracing,
     )
     host, port = server.start()
@@ -418,6 +428,15 @@ def build_parser() -> argparse.ArgumentParser:
         " algorithmic ledger counts are unchanged; recovery cost shows"
         " up in the retry counters",
     )
+    analyze.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pack each exchange phase's transfers into per-destination"
+        " fused buffers (--no-fused moves every scheduled transfer as"
+        " its own message); algorithmic ledger counts are identical"
+        " either way",
+    )
     _add_backend_argument(analyze)
     analyze.set_defaults(func=_command_analyze)
 
@@ -470,6 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", type=str, default=None, metavar="SPEC",
         help="inject seeded transport faults into every session, e.g."
         " 'drop=0.05,seed=7' (recovery shows up in the retry counters)",
+    )
+    serve.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuse each session's exchange rounds into per-destination"
+        " buffers (--no-fused disables; default fused)",
     )
     serve.add_argument(
         "--no-tracing", action="store_true",

@@ -49,6 +49,11 @@ class RunVerdict:
     retry_messages: int = 0
     failed_over: bool = False
     warnings: List[str] = field(default_factory=list)
+    # Fusion side-channel (DESIGN.md §11): what the transport
+    # physically moved when batches of rounds were fused — the
+    # algorithmic counts above always describe the unfused schedule.
+    fusion: bool = True
+    fusion_summary: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -75,6 +80,7 @@ def verify_sttsv_run(
     tolerance: float = 1e-9,
     transport: Optional[Transport] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    fusion: bool = True,
 ) -> RunVerdict:
     """Execute Algorithm 5 and return the full verdict.
 
@@ -84,10 +90,14 @@ def verify_sttsv_run(
     injected-fault transport, because redelivery cost is accounted in
     the verdict's ``retry_*`` fields, never in ``words_sent``.
     ``recovery`` bounds the retry loop (defaults to the machine's
-    default policy). The caller owns the transport's lifecycle
-    (``close()``).
+    default policy). ``fusion`` toggles the fusing scheduler (default
+    on); the algorithmic ledger checks hold identically either way —
+    fusion only changes the ``fusion_summary`` side-channel. The
+    caller owns the transport's lifecycle (``close()``).
     """
-    machine = Machine(partition.P, transport=transport, recovery=recovery)
+    machine = Machine(
+        partition.P, transport=transport, recovery=recovery, fusion=fusion
+    )
     algo = ParallelSTTSV(partition, tensor.n, backend)
     algo.load(machine, tensor, x)
     algo.run(machine)
@@ -134,4 +144,6 @@ def verify_sttsv_run(
         retry_messages=machine.ledger.retry_messages,
         failed_over=machine.failed_over,
         warnings=list(machine.instrument.warnings),
+        fusion=machine.fusion,
+        fusion_summary=machine.ledger.fusion_summary(),
     )

@@ -21,7 +21,7 @@ The machine layer is split into three pluggable services:
   transfer *schedule* into the ledger before any bytes move, so word /
   message / round counts are identical under every transport. It also
   carries the α-β-γ parameters and time estimates.
-* **Instrumentation** (:mod:`repro.machine.instrument`) — per-phase
+* **Instrumentation** (:mod:`repro.obs.instrument`) — per-phase
   wall-clock spans consumed by traces and benchmarks.
 
 SPMD algorithms are expressed as loops over per-processor state with
@@ -40,12 +40,16 @@ from repro.machine.ledger import CommunicationLedger, RoundRecord
 from repro.machine.processor import Processor
 from repro.machine.machine import Machine
 from repro.machine.cost import CostModel
-from repro.machine.instrument import Instrumentation, PhaseTiming
+from repro.obs.instrument import Instrumentation, PhaseTiming
 from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import (
     FaultInjectingTransport,
     FaultPolicy,
     FaultStats,
+    FusedGroup,
+    FusionPlan,
+    FusionStats,
+    fusible_payload,
     SharedMemoryTransport,
     SimulatedTransport,
     Transfer,
@@ -59,9 +63,11 @@ from repro.machine.collectives import (
     all_to_all,
     all_to_all_words,
     execute_round,
+    execute_rounds_fused,
     reduce_scatter,
     all_reduce_vector,
     point_to_point_rounds,
+    schedule_point_to_point,
     all_gather,
     all_reduce_scalar,
     broadcast,
@@ -83,6 +89,10 @@ __all__ = [
     "FaultInjectingTransport",
     "FaultPolicy",
     "FaultStats",
+    "FusedGroup",
+    "FusionPlan",
+    "FusionStats",
+    "fusible_payload",
     "RecoveryPolicy",
     "payload_checksum",
     "SharedMemoryTransport",
@@ -94,7 +104,9 @@ __all__ = [
     "all_to_all",
     "all_to_all_words",
     "execute_round",
+    "execute_rounds_fused",
     "point_to_point_rounds",
+    "schedule_point_to_point",
     "all_gather",
     "all_reduce_scalar",
     "broadcast",

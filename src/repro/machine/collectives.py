@@ -34,13 +34,24 @@ Every round follows the same four-step discipline:
 If the transport itself dies mid-round — e.g. the shared-memory worker
 pool loses a process — and the machine allows failover, the round is
 re-executed on a fresh in-process transport (DESIGN.md §8).
+
+When ``machine.fusion`` is on (the default), batchable schedules —
+the point-to-point permutation rounds and the All-to-All shifts — are
+executed through :func:`execute_rounds_fused`: the whole batch's
+transfers are packed into one buffer per destination
+(:mod:`repro.machine.transport.fusion`) so the transport moves
+O(active destinations) physical messages, while the ledger is still
+priced round-by-round from the unfused schedule (fusion savings land
+in the ``fused_*`` side-channel, DESIGN.md §11). Ring and tree
+collectives have cross-round data dependencies and always run
+unfused.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,10 +59,14 @@ from repro.errors import MachineError
 from repro.machine.machine import Machine
 from repro.machine.message import word_count
 from repro.machine.transport import Transfer, payload_checksum
+from repro.machine.transport.fusion import FusionPlan
 from repro.obs.tracing import get_tracer
 
 
 SendBuffers = Sequence[Dict[int, np.ndarray]]
+
+#: One logical round: its ledger label plus its transfer schedule.
+LabeledRound = Tuple[str, List[Transfer]]
 
 #: Reusable no-op context for untraced rounds (yields ``None``).
 _NULL_SPAN = nullcontext(None)
@@ -69,6 +84,67 @@ def _exchange_with_failover(
         if replacement is None:
             raise
         return replacement.exchange(transfers)
+
+
+def _recover_failed(
+    machine: Machine,
+    label: str,
+    tag: str,
+    transfers: Sequence[Transfer],
+    expected: List[Optional[int]],
+    delivered: List[Optional[np.ndarray]],
+    failed: List[int],
+    tracer,
+) -> int:
+    """Redeliver ``failed`` transfer indices until all verify or the
+    retry budget is exhausted.
+
+    Shared by the unfused and fused execution paths: retries always go
+    through the transport *individually unfused* (a failed fused group
+    degrades to plain per-transfer redelivery). ``expected`` entries of
+    ``None`` are computed lazily from the schedule payload — the
+    checksum fast path skips them up front, but a redelivery must still
+    be verified against the schedule. Returns the number of retry
+    attempts; mutates ``delivered`` and ``expected`` in place.
+    """
+    attempt = 0
+    recovery = machine.recovery
+    while failed:
+        attempt += 1
+        if attempt > recovery.max_retries:
+            raise MachineError(
+                f"round {label!r}: {len(failed)} transfer(s) failed"
+                f" integrity verification after {recovery.max_retries}"
+                " retries — unrecoverable transport faults"
+            )
+        backoff = recovery.backoff_seconds(attempt)
+        if backoff > 0:
+            time.sleep(backoff)
+        subset = [transfers[index] for index in failed]
+        retry_words = sum(word_count(t.payload) for t in subset)
+        machine.ledger.record_retry(words=retry_words, messages=len(subset))
+        if tracer.enabled:
+            tracer.event(
+                f"retry:{label}",
+                kind="retry",
+                attrs={
+                    "tag": tag,
+                    "attempt": attempt,
+                    "messages": len(subset),
+                    "words": retry_words,
+                },
+            )
+        redelivered = _exchange_with_failover(machine, subset)
+        still_failed: List[int] = []
+        for index, array in zip(failed, redelivered):
+            if expected[index] is None:
+                expected[index] = payload_checksum(transfers[index].payload)
+            if payload_checksum(array) == expected[index]:
+                delivered[index] = array
+            else:
+                still_failed.append(index)
+        failed = still_failed
+    return attempt
 
 
 def execute_round(
@@ -91,6 +167,11 @@ def execute_round(
     fails after the retry budget raises
     :class:`~repro.errors.MachineError` — a faulty transport can cost
     retry rounds but can never corrupt a result.
+
+    Fast path: when ``machine.verification_required`` is false (no
+    fault layer in the transport stack and recovery explicitly
+    disabled) the per-transfer checksum computation is skipped —
+    delivered arrays are returned as-is.
     """
     transfers = list(transfers)
     tracer = get_tracer()
@@ -113,9 +194,10 @@ def execute_round(
         machine.cost.price_round(
             machine.ledger, label, transfers, tag, record_empty=record_empty
         )
-        expected = [
+        verify = machine.verification_required
+        expected: List[Optional[int]] = [
             payload_checksum(t.payload)
-            if isinstance(t.payload, np.ndarray)
+            if verify and isinstance(t.payload, np.ndarray)
             else None
             for t in transfers
         ]
@@ -125,46 +207,100 @@ def execute_round(
             for index, (array, digest) in enumerate(zip(delivered, expected))
             if digest is not None and payload_checksum(array) != digest
         ]
-        attempt = 0
-        recovery = machine.recovery
-        while failed:
-            attempt += 1
-            if attempt > recovery.max_retries:
-                raise MachineError(
-                    f"round {label!r}: {len(failed)} transfer(s) failed"
-                    f" integrity verification after {recovery.max_retries}"
-                    " retries — unrecoverable transport faults"
-                )
-            backoff = recovery.backoff_seconds(attempt)
-            if backoff > 0:
-                time.sleep(backoff)
-            subset = [transfers[index] for index in failed]
-            retry_words = sum(word_count(t.payload) for t in subset)
-            machine.ledger.record_retry(
-                words=retry_words, messages=len(subset)
-            )
-            if tracer.enabled:
-                tracer.event(
-                    f"retry:{label}",
-                    kind="retry",
-                    attrs={
-                        "tag": tag,
-                        "attempt": attempt,
-                        "messages": len(subset),
-                        "words": retry_words,
-                    },
-                )
-            redelivered = _exchange_with_failover(machine, subset)
-            still_failed: List[int] = []
-            for index, array in zip(failed, redelivered):
-                if payload_checksum(array) == expected[index]:
-                    delivered[index] = array
-                else:
-                    still_failed.append(index)
-            failed = still_failed
+        attempt = _recover_failed(
+            machine, label, tag, transfers, expected, delivered, failed, tracer
+        )
         if round_span is not None and attempt:
             round_span.attrs["retries"] = attempt
     return delivered
+
+
+def execute_rounds_fused(
+    machine: Machine,
+    rounds: Sequence[LabeledRound],
+    tag: str,
+    record_empty: bool = False,
+) -> List[List[np.ndarray]]:
+    """Execute a batch of logical rounds as one fused physical exchange.
+
+    The batch's transfers are grouped by destination into one
+    header-framed buffer each (:class:`FusionPlan`), so the transport
+    moves O(active destinations) messages instead of O(transfers). The
+    algorithmic ledger is priced from the *unfused* schedule — every
+    round individually, in order, under its own label — and the
+    physical counts land in the ledger's ``fused_*`` side-channel, so
+    fused and unfused runs have byte-for-byte identical algorithmic
+    fingerprints.
+
+    Deliveries are returned per round, in transfer order, as views
+    into the fused buffers (bitwise identical to unfused delivery). A
+    group that fails structural validation or any member that fails
+    its checksum degrades to individual unfused redelivery through the
+    shared recovery path. Batches containing non-1-D/non-float64
+    payloads, and machines with fusion disabled, fall back to plain
+    per-round :func:`execute_round` execution (same pricing, no fusion
+    side-channel).
+
+    Note: all payloads are collected before any byte moves, so
+    ``payload_for``-style callers must hand over buffers that stay
+    valid (not reused) for the whole batch.
+    """
+    rounds = [(label, list(transfers)) for label, transfers in rounds]
+    flat = [t for _, transfers in rounds for t in transfers]
+    plan = FusionPlan(flat)
+    if not machine.fusion or not plan.fusible or not flat:
+        return [
+            execute_round(machine, label, tag, transfers, record_empty)
+            for label, transfers in rounds
+        ]
+    stats = plan.stats()
+    tracer = get_tracer()
+    if tracer.enabled:
+        span_cm = tracer.span(
+            f"round:{tag}:fused{len(rounds)}",
+            kind="round",
+            attrs={
+                "tag": tag,
+                "rounds": len(rounds),
+                "messages_fused": stats.messages_fused,
+                "messages_logical": stats.messages_logical,
+                "words_fused": stats.words_fused,
+                "words_logical": stats.words_logical,
+            },
+        )
+    else:
+        span_cm = None
+    with span_cm if span_cm is not None else _NULL_SPAN as round_span:
+        machine.cost.price_fused_batch(
+            machine.ledger, rounds, tag, plan, record_empty=record_empty
+        )
+        verify = machine.verification_required
+        expected: List[Optional[int]] = [
+            payload_checksum(t.payload) if verify else None for t in flat
+        ]
+        physical = plan.pack()
+        delivered_fused = _exchange_with_failover(machine, physical)
+        payloads, failed = plan.unpack(delivered_fused)
+        if verify:
+            failed_set = set(failed)
+            for index, payload in enumerate(payloads):
+                if index in failed_set or payload is None:
+                    continue
+                if payload_checksum(payload) != expected[index]:
+                    failed.append(index)
+        failed = sorted(set(failed))
+        label = f"{tag}:fused{len(rounds)}"
+        attempt = _recover_failed(
+            machine, label, tag, flat, expected, payloads, failed, tracer
+        )
+        if round_span is not None and attempt:
+            round_span.attrs["retries"] = attempt
+    per_round: List[List[np.ndarray]] = []
+    cursor = 0
+    for _, transfers in rounds:
+        per_round.append(payloads[cursor : cursor + len(transfers)])
+        cursor += len(transfers)
+    return per_round
 
 
 def _validate_sendbufs(machine: Machine, sendbufs: SendBuffers) -> None:
@@ -204,6 +340,7 @@ def all_to_all(
     for src in range(P):
         if src in sendbufs[src]:
             recv[src][src] = np.array(sendbufs[src][src], copy=True)
+    labeled: List[LabeledRound] = []
     for shift in range(1, P):
         transfers: List[Transfer] = []
         for src in range(P):
@@ -212,9 +349,15 @@ def all_to_all(
             if payload is None or word_count(payload) == 0:
                 continue
             transfers.append(Transfer(src, dst, payload))
-        delivered = execute_round(
-            machine, f"{tag}:shift{shift}", tag, transfers
-        )
+        labeled.append((f"{tag}:shift{shift}", transfers))
+    if machine.fusion:
+        delivered_rounds = execute_rounds_fused(machine, labeled, tag)
+    else:
+        delivered_rounds = [
+            execute_round(machine, label, tag, transfers)
+            for label, transfers in labeled
+        ]
+    for (_, transfers), delivered in zip(labeled, delivered_rounds):
         for transfer, array in zip(transfers, delivered):
             recv[transfer.dest][transfer.source] = array
     return recv
@@ -255,6 +398,35 @@ def point_to_point_rounds(
     """
     P = machine.P
     recv: List[Dict[int, np.ndarray]] = [{} for _ in range(P)]
+    labeled = schedule_point_to_point(rounds, payload_for, tag=tag)
+    if machine.fusion:
+        delivered_rounds = execute_rounds_fused(machine, labeled, tag)
+    else:
+        delivered_rounds = [
+            execute_round(machine, label, tag, transfers)
+            for label, transfers in labeled
+        ]
+    for (_, transfers), delivered in zip(labeled, delivered_rounds):
+        for transfer, array in zip(transfers, delivered):
+            recv[transfer.dest][transfer.source] = array
+    return recv
+
+
+def schedule_point_to_point(
+    rounds: Sequence[Dict[int, int]],
+    payload_for: Callable[[int, int], Optional[np.ndarray]],
+    tag: str = "p2p",
+) -> List[LabeledRound]:
+    """Validate and materialize a permutation-round schedule.
+
+    Shared front half of :func:`point_to_point_rounds`, exposed so
+    pipelined callers (the STTSV overlap pipeline) can build the full
+    labeled schedule once, then execute it in chunks through
+    :func:`execute_rounds_fused` while overlapping compute. Labels are
+    exactly the ones unfused execution would use (``{tag}:round{i}``),
+    so the ledger fingerprint is identical either way.
+    """
+    labeled: List[LabeledRound] = []
     for index, round_map in enumerate(rounds):
         senders = list(round_map.keys())
         receivers = list(round_map.values())
@@ -268,12 +440,8 @@ def point_to_point_rounds(
             if word_count(payload) == 0:
                 continue
             transfers.append(Transfer(src, dst, payload))
-        delivered = execute_round(
-            machine, f"{tag}:round{index}", tag, transfers
-        )
-        for transfer, array in zip(transfers, delivered):
-            recv[transfer.dest][transfer.source] = array
-    return recv
+        labeled.append((f"{tag}:round{index}", transfers))
+    return labeled
 
 
 def all_gather(

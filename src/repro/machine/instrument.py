@@ -1,19 +1,29 @@
-"""Compatibility shim: instrumentation moved to :mod:`repro.obs`.
+"""Deprecated shim: instrumentation moved to :mod:`repro.obs`.
 
 The per-phase :class:`Instrumentation` timers grew trace-span emission
 and now live in :mod:`repro.obs.instrument`, next to the tracer and
 metrics registry they feed. Every import path that worked before the
-move keeps working through this module; new code should import from
-:mod:`repro.obs` directly.
+move keeps working through this module, but importing it emits a
+:class:`DeprecationWarning` — switch to :mod:`repro.obs.instrument`
+(or the :mod:`repro.obs` package exports) directly.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.obs.instrument import (
     Instrumentation,
     PhaseTiming,
     SpanHook,
     WarningHook,
+)
+
+warnings.warn(
+    "repro.machine.instrument is deprecated; import from"
+    " repro.obs.instrument instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["Instrumentation", "PhaseTiming", "SpanHook", "WarningHook"]

@@ -63,6 +63,17 @@ class CommunicationLedger:
         self.retry_rounds = 0
         self.retry_words = 0
         self.retry_messages = 0
+        # Fusion side-channel: what the transport *physically* moved
+        # when the fusing scheduler packed a batch of logical rounds
+        # into per-destination group buffers. Same contract as retry_*:
+        # the algorithmic counters above always describe the unfused
+        # logical schedule, so the closed-form assertions never move.
+        self.fused_rounds = 0
+        self.fused_messages = 0
+        self.fused_words = 0
+        self.fused_logical_rounds = 0
+        self.fused_logical_messages = 0
+        self.fused_logical_words = 0
 
     # -- round management ------------------------------------------------------
 
@@ -107,6 +118,56 @@ class CommunicationLedger:
         self.retry_rounds += 1
         self.retry_words += words
         self.retry_messages += messages
+
+    def record_fusion(
+        self,
+        *,
+        physical_messages: int,
+        physical_words: int,
+        logical_rounds: int,
+        logical_messages: int,
+        logical_words: int,
+    ) -> None:
+        """Account one fused physical exchange covering a batch of
+        logical rounds.
+
+        The logical rounds were already priced into the algorithmic
+        counters individually (labels and order unchanged); this
+        side-channel records what actually crossed the transport — one
+        header-framed buffer per active destination — so fusion savings
+        are observable without perturbing the closed-form counts.
+        """
+        if min(
+            physical_messages,
+            physical_words,
+            logical_rounds,
+            logical_messages,
+            logical_words,
+        ) < 0:
+            raise MachineError("negative fusion accounting")
+        self.fused_rounds += 1
+        self.fused_messages += physical_messages
+        self.fused_words += physical_words
+        self.fused_logical_rounds += logical_rounds
+        self.fused_logical_messages += logical_messages
+        self.fused_logical_words += logical_words
+
+    def fusion_summary(self) -> Dict[str, int]:
+        """Logical-vs-physical message accounting of every fused batch.
+
+        ``messages_logical`` / ``words_logical`` count only the rounds
+        that went through the fusing scheduler (the algorithmic totals
+        live in ``messages_sent`` / ``words_sent``); the reduction
+        factor is therefore an apples-to-apples physical comparison.
+        """
+        return {
+            "fused_rounds": self.fused_rounds,
+            "messages_fused": self.fused_messages,
+            "messages_logical": self.fused_logical_messages,
+            "words_fused": self.fused_words,
+            "words_logical": self.fused_logical_words,
+            "logical_rounds_fused": self.fused_logical_rounds,
+        }
 
     # -- derived quantities -------------------------------------------------------
 
@@ -169,6 +230,12 @@ class CommunicationLedger:
         self.retry_rounds += other.retry_rounds
         self.retry_words += other.retry_words
         self.retry_messages += other.retry_messages
+        self.fused_rounds += other.fused_rounds
+        self.fused_messages += other.fused_messages
+        self.fused_words += other.fused_words
+        self.fused_logical_rounds += other.fused_logical_rounds
+        self.fused_logical_messages += other.fused_logical_messages
+        self.fused_logical_words += other.fused_logical_words
 
     def __repr__(self) -> str:
         return (

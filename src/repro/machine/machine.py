@@ -6,8 +6,8 @@ from typing import Iterator, List, Optional
 
 from repro.errors import MachineError
 from repro.machine.cost import CostModel
-from repro.machine.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
+from repro.obs.instrument import Instrumentation
 from repro.machine.processor import Processor
 from repro.machine.recovery import RecoveryPolicy
 from repro.machine.transport import SimulatedTransport, Transport
@@ -57,6 +57,7 @@ class Machine:
         cost_model: Optional[CostModel] = None,
         recovery: Optional[RecoveryPolicy] = None,
         failover: bool = True,
+        fusion: bool = True,
     ):
         self.P = check_positive_int(n_processors, "n_processors")
         if transport is None:
@@ -70,6 +71,11 @@ class Machine:
         self.cost = cost_model if cost_model is not None else CostModel()
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.failover = failover
+        #: When True (default) the collectives may pack batches of
+        #: logical rounds into per-destination fused buffers; the
+        #: algorithmic ledger is priced from the unfused schedule
+        #: either way (DESIGN.md §11).
+        self.fusion = fusion
         #: True once :meth:`fail_over` has replaced a dead transport.
         self.failed_over = False
         self.processors: List[Processor] = [Processor(r) for r in range(self.P)]
@@ -86,6 +92,28 @@ class Machine:
         if not 0 <= rank < self.P:
             raise MachineError(f"rank {rank} out of range for P={self.P}")
         return self.processors[rank]
+
+    @property
+    def verification_required(self) -> bool:
+        """Whether delivered payloads must be checksum-verified.
+
+        True when recovery is enabled or any layer of the transport
+        stack injects faults. Recomputed per call because failover can
+        swap the transport mid-run. The fault-layer walk reads
+        ``__dict__`` directly: :class:`FaultInjectingTransport` forwards
+        unknown attributes to its inner transport, so ``getattr`` would
+        see phantom ``inner`` / ``policy`` attributes on plain
+        transports.
+        """
+        if self.recovery.enabled:
+            return True
+        transport: Optional[Transport] = self.transport
+        while transport is not None:
+            policy = transport.__dict__.get("policy")
+            if policy is not None and getattr(policy, "enabled", False):
+                return True
+            transport = transport.__dict__.get("inner")
+        return False
 
     def reset_ledger(self) -> CommunicationLedger:
         """Swap in a fresh ledger, returning the old one.

@@ -24,6 +24,14 @@ class RecoveryPolicy:
 
     Attributes
     ----------
+    enabled:
+        When ``False`` *and* the transport stack carries no fault
+        layer, the collectives skip per-transfer checksum computation
+        entirely (the fast path for trusted transports). With a fault
+        layer present verification always runs regardless — a faulty
+        network must never slip past integrity checks. Distinct from
+        ``max_retries=0``, which keeps verification on but makes any
+        failure immediately fatal.
     max_retries:
         Retry rounds allowed per communication round before the machine
         raises :class:`~repro.errors.MachineError`. Zero disables
@@ -38,6 +46,7 @@ class RecoveryPolicy:
     max_retries: int = 8
     backoff_base_seconds: float = 5e-4
     backoff_factor: float = 2.0
+    enabled: bool = True
 
     def __post_init__(self):
         if self.max_retries < 0:

@@ -25,6 +25,12 @@ from repro.machine.transport.faults import (
     FaultPolicy,
     FaultStats,
 )
+from repro.machine.transport.fusion import (
+    FusedGroup,
+    FusionPlan,
+    FusionStats,
+    fusible_payload,
+)
 from repro.machine.transport.shm import SharedMemoryTransport
 from repro.machine.transport.simulated import SimulatedTransport
 
@@ -76,6 +82,10 @@ __all__ = [
     "FaultInjectingTransport",
     "FaultPolicy",
     "FaultStats",
+    "FusedGroup",
+    "FusionPlan",
+    "FusionStats",
+    "fusible_payload",
     "SharedMemoryTransport",
     "SimulatedTransport",
     "check_transfers",

@@ -13,7 +13,7 @@ distinct as well:
   a round into the :class:`~repro.machine.ledger.CommunicationLedger`.
   Costs are a pure function of the transfer list, so word / message /
   round counts are identical no matter which transport moved the bytes.
-* **Instrumentation** (:mod:`repro.machine.instrument`) — wall-clock
+* **Instrumentation** (:mod:`repro.obs.instrument`) — wall-clock
   spans around phases, for benchmarks and traces.
 
 A transport receives the full round as an ordered list of

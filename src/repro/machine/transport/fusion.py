@@ -1,0 +1,231 @@
+"""Message fusion: pack many scheduled transfers into few physical buffers.
+
+The cost model charges α per message, and the repo's schedules already
+prove the β (bandwidth) term optimal — so the remaining physical cost
+is message *count*: the §7.2.2 point-to-point schedule moves one
+message per ordered neighbor pair per round, and every one of those
+messages pays per-transfer dispatch overhead in the shared-memory
+backend (queue round-trips, per-buffer packing).
+
+:class:`FusionPlan` is the packing layer the fused collectives funnel
+(:func:`repro.machine.collectives.execute_rounds_fused`) builds over a
+*batch* of logical rounds: all transfers bound for the same destination
+— including multiple transfers of the same ``(src, dst)`` pair when a
+batch contains several — are packed into one contiguous ``float64``
+buffer behind a self-describing header, moved as a single physical
+transfer, and unpacked into bitwise-identical member payloads on
+delivery. This is the same-destination group-buffer pattern of
+production gradient-communication stacks (the kfac ``TensorGroup``
+exemplar): message count drops from O(transfers) to O(active
+destinations) per batch.
+
+Wire format (one fused buffer, all ``float64`` words)::
+
+    [ MAGIC, k,
+      src_0, words_0, ..., src_{k-1}, words_{k-1},
+      payload_0 words..., ..., payload_{k-1} words... ]
+
+The header is validated structurally on unpack — magic word, member
+count, per-member sources and word counts, total length — against the
+*plan* (derived from the schedule before any bytes moved), so a
+dropped (zeroed), corrupted (bit-flipped), or duplicated (doubled)
+fused buffer is detected even before per-member checksums run, and
+every member of a failed group is handed back to the caller for
+individual unfused redelivery through the normal recovery path.
+
+Fusion is an execution detail of the *physical* layer: the algorithmic
+ledger is priced from the unfused logical schedule (labels, counts,
+and round order unchanged — the paper's closed-form assertions never
+move), and fusion savings are recorded in the ledger's ``fused_*``
+side-channel, mirroring the ``retry_*`` recovery pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.transport.base import Transfer
+
+#: Sentinel first word of every fused buffer (8 ASCII bytes as float64).
+_MAGIC_BYTES = b"FUSEDv1\x00"
+MAGIC = float(np.frombuffer(_MAGIC_BYTES, dtype=np.float64)[0])
+
+#: Header words before the member table: [MAGIC, member_count].
+_PREAMBLE_WORDS = 2
+
+#: Header words per member: [source, words].
+_MEMBER_HEADER_WORDS = 2
+
+
+def fusible_payload(payload: np.ndarray) -> bool:
+    """True iff ``payload`` can ride in a fused buffer losslessly.
+
+    Fused buffers are flat ``float64`` arrays, so only one-dimensional
+    ``float64`` payloads round-trip with their shape and dtype intact
+    (anything else would come back reshaped and break the bitwise
+    contract). Callers fall back to unfused per-round execution for
+    batches containing anything fancier.
+    """
+    return (
+        isinstance(payload, np.ndarray)
+        and payload.dtype == np.float64
+        and payload.ndim == 1
+    )
+
+
+@dataclass
+class FusedGroup:
+    """One physical buffer: every batched transfer bound for ``dest``."""
+
+    dest: int
+    #: Rank stamped on the physical :class:`Transfer` (the first
+    #: member's source; true per-member sources live in the header).
+    source: int
+    #: Indices into the flat member list, in batch order.
+    members: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FusionStats:
+    """Logical-vs-physical accounting of one fused batch."""
+
+    messages_logical: int = 0
+    messages_fused: int = 0
+    words_logical: int = 0
+    words_fused: int = 0
+
+    @property
+    def header_words(self) -> int:
+        """Framing overhead the fused schedule adds on the wire."""
+        return self.words_fused - self.words_logical
+
+
+class FusionPlan:
+    """Destination-grouped packing of one batch of logical transfers.
+
+    Parameters
+    ----------
+    transfers:
+        The flattened logical schedule (a batch of rounds' transfers,
+        in round order). Group membership, buffer layout, and the
+        validation fingerprint are all derived here — before any bytes
+        move — so unpack can verify deliveries against the schedule.
+    """
+
+    def __init__(self, transfers: Sequence[Transfer]):
+        self.transfers: List[Transfer] = list(transfers)
+        self.fusible = all(fusible_payload(t.payload) for t in self.transfers)
+        self.groups: List[FusedGroup] = []
+        self._group_of_dest: Dict[int, FusedGroup] = {}
+        if not self.fusible:
+            return
+        for index, transfer in enumerate(self.transfers):
+            group = self._group_of_dest.get(transfer.dest)
+            if group is None:
+                group = FusedGroup(dest=transfer.dest, source=transfer.source)
+                self._group_of_dest[transfer.dest] = group
+                self.groups.append(group)
+            group.members.append(index)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stats(self) -> FusionStats:
+        """Logical vs physical message/word counts of this batch."""
+        words_logical = sum(t.payload.size for t in self.transfers)
+        words_fused = sum(self._buffer_words(g) for g in self.groups)
+        return FusionStats(
+            messages_logical=len(self.transfers),
+            messages_fused=len(self.groups),
+            words_logical=words_logical,
+            words_fused=words_fused,
+        )
+
+    def _buffer_words(self, group: FusedGroup) -> int:
+        payload_words = sum(
+            self.transfers[m].payload.size for m in group.members
+        )
+        return (
+            _PREAMBLE_WORDS
+            + _MEMBER_HEADER_WORDS * len(group.members)
+            + payload_words
+        )
+
+    # -- packing ---------------------------------------------------------------
+
+    def pack(self) -> List[Transfer]:
+        """Build the physical schedule: one header-framed buffer per group."""
+        physical: List[Transfer] = []
+        for group in self.groups:
+            members = group.members
+            buf = np.empty(self._buffer_words(group))
+            buf[0] = MAGIC
+            buf[1] = float(len(members))
+            cursor = _PREAMBLE_WORDS + _MEMBER_HEADER_WORDS * len(members)
+            for slot, m in enumerate(members):
+                transfer = self.transfers[m]
+                words = transfer.payload.size
+                buf[_PREAMBLE_WORDS + 2 * slot] = float(transfer.source)
+                buf[_PREAMBLE_WORDS + 2 * slot + 1] = float(words)
+                buf[cursor : cursor + words] = transfer.payload
+                cursor += words
+            physical.append(Transfer(group.source, group.dest, buf))
+        return physical
+
+    # -- unpacking -------------------------------------------------------------
+
+    def unpack(
+        self, delivered: Sequence[np.ndarray]
+    ) -> Tuple[List[Optional[np.ndarray]], List[int]]:
+        """Split delivered fused buffers back into member payloads.
+
+        Returns ``(payloads, failed)``: one array per logical transfer
+        (views into the delivered buffers — bitwise identical to the
+        packed payloads), and the indices of every member whose group
+        buffer failed structural validation (wrong magic, member table,
+        or length). Failed members get ``None`` payloads; the caller
+        redelivers them individually through the recovery path.
+        """
+        payloads: List[Optional[np.ndarray]] = [None] * len(self.transfers)
+        failed: List[int] = []
+        for group, buf in zip(self.groups, delivered):
+            if not self._validate(group, buf):
+                failed.extend(group.members)
+                continue
+            members = group.members
+            cursor = _PREAMBLE_WORDS + _MEMBER_HEADER_WORDS * len(members)
+            for m in members:
+                words = self.transfers[m].payload.size
+                payloads[m] = buf[cursor : cursor + words]
+                cursor += words
+        return payloads, failed
+
+    def _validate(self, group: FusedGroup, buf: np.ndarray) -> bool:
+        """Structural check of one delivered buffer against the plan."""
+        members = group.members
+        expected_words = self._buffer_words(group)
+        if (
+            not isinstance(buf, np.ndarray)
+            or buf.dtype != np.float64
+            or buf.ndim != 1
+            or buf.size != expected_words
+        ):
+            return False
+        if buf[:1].tobytes() != _MAGIC_BYTES:
+            return False
+        if buf[1] != float(len(members)):
+            return False
+        for slot, m in enumerate(members):
+            transfer = self.transfers[m]
+            if buf[_PREAMBLE_WORDS + 2 * slot] != float(transfer.source):
+                return False
+            if buf[_PREAMBLE_WORDS + 2 * slot + 1] != float(
+                transfer.payload.size
+            ):
+                return False
+        return True
+
+
+__all__ = ["MAGIC", "FusedGroup", "FusionPlan", "FusionStats", "fusible_payload"]

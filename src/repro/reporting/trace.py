@@ -5,7 +5,7 @@ summaries — a per-round table and a per-processor activity strip — used
 for debugging algorithms and for eyeballing that a schedule's rounds
 are balanced (every processor busy every step, uniform message sizes).
 :func:`phase_table` renders the wall-clock side: the per-phase timers
-collected by :class:`~repro.machine.instrument.Instrumentation`;
+collected by :class:`~repro.obs.instrument.Instrumentation`;
 :func:`fault_summary` renders the robustness side: the ledger's
 ``retry_*`` recovery counters plus, when a
 :class:`~repro.machine.transport.faults.FaultInjectingTransport` is in
@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.machine.instrument import Instrumentation
+from repro.obs.instrument import Instrumentation
 from repro.machine.ledger import CommunicationLedger
 from repro.obs.tracing import Span
 

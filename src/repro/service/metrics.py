@@ -8,7 +8,7 @@ Three layers of observability meet here:
   that concurrent requests actually coalesce (the integration tests
   assert on it);
 * the machine layer's existing counters surfaced per session: PR 2's
-  :class:`~repro.machine.instrument.Instrumentation` phase spans and
+  :class:`~repro.obs.instrument.Instrumentation` phase spans and
   PR 3's ledger ``retry_*`` recovery side-channel, fault-injection
   stats, and transport failover flag.
 
@@ -120,6 +120,9 @@ class SessionMetrics:
             "retry_rounds": 0,
             "retry_words": 0,
             "retry_messages": 0,
+            "fused_exchanges": 0,
+            "messages_fused": 0,
+            "messages_logical": 0,
         }
 
     def incr(self, name: str, amount: int = 1) -> None:
@@ -137,6 +140,9 @@ class SessionMetrics:
             self._counters["retry_rounds"] += ledger.retry_rounds
             self._counters["retry_words"] += ledger.retry_words
             self._counters["retry_messages"] += ledger.retry_messages
+            self._counters["fused_exchanges"] += ledger.fused_rounds
+            self._counters["messages_fused"] += ledger.fused_messages
+            self._counters["messages_logical"] += ledger.fused_logical_messages
 
     def snapshot(self) -> Dict:
         with self._lock:

@@ -103,12 +103,16 @@ class STTSVServer:
         max_wait_ms: float = 0.0,
         admission_capacity: int = DEFAULT_ADMISSION_CAPACITY,
         faults: Optional[FaultPolicy] = None,
+        fusion: bool = True,
         tracing: bool = True,
         registry: Optional[MetricsRegistry] = None,
     ):
         self._host = host
         self._port = port
         self.faults = faults
+        #: Whether sessions created by this server fuse their exchange
+        #: rounds into per-destination buffers (default on).
+        self.fusion = fusion
         #: Whether this server turns on the process tracer while it
         #: runs (the prior tracer state is restored on :meth:`stop`).
         self.tracing = tracing
@@ -434,7 +438,11 @@ class STTSVServer:
         # Build outside all locks: block extraction + plan compilation
         # is the expensive part registration exists to amortize.
         session = EngineSession(
-            key, tensor, strategy=strategy, faults=self.faults
+            key,
+            tensor,
+            strategy=strategy,
+            faults=self.faults,
+            fusion=self.fusion,
         )
         with self._routes_lock:
             self._routes[tensor_id] = key
@@ -635,6 +643,7 @@ class STTSVServer:
                 "max_wait_ms": self.batcher.max_wait_ms,
                 "admission_capacity": self.batcher.admission_capacity,
                 "faults": self.faults is not None and self.faults.enabled,
+                "fusion": self.fusion,
                 "tracing": get_tracer().enabled,
             },
             "recent_traces": get_tracer().recent_trace_ids(),

@@ -75,6 +75,7 @@ class EngineSession:
         strategy: str = "auto",
         faults: Optional[FaultPolicy] = None,
         local_threads: Optional[int] = None,
+        fusion: bool = True,
     ):
         partition = TetrahedralPartition(spherical_steiner_system(key.q))
         partition.validate()
@@ -87,9 +88,11 @@ class EngineSession:
         self.tensor = tensor
         self.n = tensor.n
         self.faults = faults
+        self.fusion = fusion
         self.machine = Machine(
             partition.P,
             transport=make_transport(key.backend, partition.P, faults=faults),
+            fusion=fusion,
         )
         self.algo = ParallelSTTSV(
             partition, tensor.n, local_threads=local_threads
@@ -166,6 +169,7 @@ class EngineSession:
             "P": self.key.P,
             "backend": self.key.backend,
             "plan_strategy": self.plan.strategy,
+            "fusion": self.fusion,
             "session_bytes": self.nbytes(),
             **self.metrics.snapshot(),
             "phases": self.machine.instrument.as_dict(),

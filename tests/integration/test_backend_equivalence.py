@@ -28,14 +28,18 @@ def _ledger_fingerprint(ledger):
     }
 
 
-def _run_sttsv(partition, n, seed, backend, transport):
+def _run_sttsv(partition, n, seed, backend, transport, fusion=True):
     tensor = random_symmetric(n, seed=seed)
     x = np.random.default_rng(seed + 1).normal(size=n)
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, fusion=fusion)
     algo = ParallelSTTSV(partition, n, backend)
     algo.load(machine, tensor, x)
     algo.run(machine)
-    return algo.gather_result(machine), _ledger_fingerprint(machine.ledger)
+    return (
+        algo.gather_result(machine),
+        _ledger_fingerprint(machine.ledger),
+        machine.ledger.fusion_summary(),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -57,10 +61,10 @@ class TestSTTSVEquivalence:
     @pytest.mark.parametrize("seed", [0, 7])
     def test_q2_bitwise_identical(self, partition_q2, shm_q2, backend, seed):
         n = 30
-        y_sim, ledger_sim = _run_sttsv(
+        y_sim, ledger_sim, _ = _run_sttsv(
             partition_q2, n, seed, backend, SimulatedTransport(partition_q2.P)
         )
-        y_shm, ledger_shm = _run_sttsv(partition_q2, n, seed, backend, shm_q2)
+        y_shm, ledger_shm, _ = _run_sttsv(partition_q2, n, seed, backend, shm_q2)
         assert np.array_equal(
             y_sim.view(np.uint64), y_shm.view(np.uint64)
         ), "y differs at the bit level between transports"
@@ -69,10 +73,10 @@ class TestSTTSVEquivalence:
     @pytest.mark.parametrize("backend", list(CommBackend))
     def test_q3_bitwise_identical(self, partition_q3, shm_q3, backend):
         n = 60
-        y_sim, ledger_sim = _run_sttsv(
+        y_sim, ledger_sim, _ = _run_sttsv(
             partition_q3, n, 3, backend, SimulatedTransport(partition_q3.P)
         )
-        y_shm, ledger_shm = _run_sttsv(partition_q3, n, 3, backend, shm_q3)
+        y_shm, ledger_shm, _ = _run_sttsv(partition_q3, n, 3, backend, shm_q3)
         assert np.array_equal(y_sim.view(np.uint64), y_shm.view(np.uint64))
         assert ledger_sim == ledger_shm
 
@@ -141,3 +145,79 @@ class TestInstrumentationAcrossBackends:
                 "sttsv:local-compute",
                 "sttsv:exchange-y",
             } <= names
+
+
+class TestFusionEquivalence:
+    """Fusion is a physical-layer detail: results bitwise identical,
+    algorithmic ledger fingerprints byte-for-byte equal, physical
+    message count strictly lower — on both transports."""
+
+    @pytest.mark.parametrize("q_fix", ["q2", "q3"])
+    def test_fused_vs_unfused_simulated(self, request, q_fix):
+        partition = request.getfixturevalue(f"partition_{q_fix}")
+        n = 3 * partition.P
+        backend = CommBackend.POINT_TO_POINT
+        y_f, ledger_f, fused = _run_sttsv(
+            partition, n, 11, backend, SimulatedTransport(partition.P)
+        )
+        y_u, ledger_u, unfused = _run_sttsv(
+            partition,
+            n,
+            11,
+            backend,
+            SimulatedTransport(partition.P),
+            fusion=False,
+        )
+        assert np.array_equal(y_f.view(np.uint64), y_u.view(np.uint64))
+        assert ledger_f == ledger_u
+        assert unfused["fused_rounds"] == 0
+        assert fused["messages_fused"] < fused["messages_logical"]
+
+    def test_fused_shm_vs_unfused_simulated(self, partition_q2, shm_q2):
+        n = 30
+        backend = CommBackend.POINT_TO_POINT
+        y_shm, ledger_shm, fused = _run_sttsv(
+            partition_q2, n, 13, backend, shm_q2
+        )
+        y_sim, ledger_sim, _ = _run_sttsv(
+            partition_q2,
+            n,
+            13,
+            backend,
+            SimulatedTransport(partition_q2.P),
+            fusion=False,
+        )
+        assert np.array_equal(y_shm.view(np.uint64), y_sim.view(np.uint64))
+        assert ledger_shm == ledger_sim
+        assert fused["messages_fused"] < fused["messages_logical"]
+
+    def test_fused_under_faults_bitwise_identical(self, partition_q2):
+        from repro.machine.transport import (
+            FaultInjectingTransport,
+            FaultPolicy,
+        )
+
+        n = 30
+        backend = CommBackend.POINT_TO_POINT
+        y_clean, ledger_clean, _ = _run_sttsv(
+            partition_q2,
+            n,
+            17,
+            backend,
+            SimulatedTransport(partition_q2.P),
+            fusion=False,
+        )
+        faulty = FaultInjectingTransport(
+            SimulatedTransport(partition_q2.P),
+            FaultPolicy(drop=0.15, corrupt=0.05, seed=21),
+        )
+        y_faulty, ledger_faulty, fused = _run_sttsv(
+            partition_q2, n, 17, backend, faulty
+        )
+        assert np.array_equal(
+            y_clean.view(np.uint64), y_faulty.view(np.uint64)
+        )
+        # Recovery cost lives in the retry side-channel only: the
+        # algorithmic fingerprint equals the clean unfused run's.
+        assert ledger_clean == ledger_faulty
+        assert fused["messages_fused"] < fused["messages_logical"]

@@ -43,16 +43,16 @@ def _closed_form_words(q: int, P: int, n_padded: int) -> int:
     return round(value)
 
 
-def _run(partition, n, seed, transport):
+def _run(partition, n, seed, transport, fusion=True):
     tensor = random_symmetric(n, seed=seed)
     x = np.random.default_rng(seed + 1).normal(size=n)
-    machine = Machine(partition.P, transport=transport)
+    machine = Machine(partition.P, transport=transport, fusion=fusion)
     algo = ParallelSTTSV(partition, n, CommBackend.POINT_TO_POINT)
     algo.load(machine, tensor, x)
     algo.run(machine)
     y = algo.gather_result(machine)
     assert np.allclose(y, sttsv_packed(tensor, x))
-    return algo, machine.ledger
+    return algo, machine.ledger, y
 
 
 @settings(max_examples=25, deadline=None)
@@ -74,7 +74,7 @@ def test_faulty_simulated_ledger_matches_closed_form(
     faults = FaultPolicy(drop=drop, corrupt=corrupt, seed=seed % 1000)
     transport = make_transport("simulated", partition.P, faults=faults)
     try:
-        algo, ledger = _run(partition, n, seed, transport)
+        algo, ledger, _ = _run(partition, n, seed, transport)
     finally:
         transport.close()
     expected = _closed_form_words(q, partition.P, algo.n_padded)
@@ -99,10 +99,50 @@ def test_faulty_shm_ledger_matches_closed_form(q):
     inner = SharedMemoryTransport(partition.P, n_workers=2)
     transport = FaultInjectingTransport(inner, faults)
     try:
-        algo, ledger = _run(partition, n=3 * partition.P, seed=q, transport=transport)
+        algo, ledger, _ = _run(
+            partition, n=3 * partition.P, seed=q, transport=transport
+        )
     finally:
         transport.close()
     expected = _closed_form_words(q, partition.P, algo.n_padded)
     assert ledger.words_sent == [expected] * partition.P
     assert ledger.words_received == [expected] * partition.P
     assert expected == algo.expected_words_per_processor()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    q=st.sampled_from([2, 3]),
+    n=st.integers(min_value=3, max_value=80),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_fusion_preserves_closed_form_and_bits(q, n, seed):
+    """The fusing scheduler is invisible to the paper's accounting:
+    the closed form holds with fusion on and off, the algorithmic
+    counters agree exactly, results are bitwise identical, and the
+    only difference is the ledger's ``fused_*`` side-channel."""
+    partition = _PARTITIONS[q]
+    runs = {}
+    for fusion in (True, False):
+        transport = make_transport("simulated", partition.P)
+        try:
+            algo, ledger, y = _run(
+                partition, n, seed, transport, fusion=fusion
+            )
+        finally:
+            transport.close()
+        expected = _closed_form_words(q, partition.P, algo.n_padded)
+        assert ledger.words_sent == [expected] * partition.P
+        runs[fusion] = (ledger, y)
+    fused_ledger, unfused_ledger = runs[True][0], runs[False][0]
+    assert np.array_equal(
+        runs[True][1].view(np.uint64), runs[False][1].view(np.uint64)
+    )
+    assert fused_ledger.words_sent == unfused_ledger.words_sent
+    assert fused_ledger.messages_sent == unfused_ledger.messages_sent
+    assert [r.label for r in fused_ledger.rounds] == [
+        r.label for r in unfused_ledger.rounds
+    ]
+    assert unfused_ledger.fused_rounds == 0
+    summary = fused_ledger.fusion_summary()
+    assert summary["messages_fused"] <= summary["messages_logical"]

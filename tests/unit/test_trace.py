@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.core.parallel_sttsv import ParallelSTTSV
-from repro.machine.instrument import Instrumentation
+from repro.obs.instrument import Instrumentation
 from repro.machine.machine import Machine
 from repro.reporting.trace import (
     activity_strip,
