@@ -1,0 +1,338 @@
+"""Fleet-tier benchmark → machine-readable BENCH_fleet.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_fleet_bench.py [--quick]
+
+Two claims, measured against real ``python -m repro serve`` shard
+*processes* behind the in-process consistent-hash gateway:
+
+1. **Horizontal capacity scaling.** Shards run with a fixed batcher
+   coalescing window (``--max-wait-ms``), so every closed-loop request
+   pays one window of service time on its session's lane — the
+   per-request service time is pinned by configuration, and a shard's
+   capacity is its lanes over that window. Adding shards adds lanes:
+   aggregate throughput must scale near-linearly with shard count,
+   with the acceptance bar >= 1.7x from 1 shard to 2. (Pinning the
+   service time is what makes the measurement meaningful on a 1-core
+   CI container, where two processes cannot scale raw compute; on a
+   multi-core host the same sweep with ``mode="parallel"`` shows the
+   compute-bound version of the same curve.) The bench registers a
+   pool of tensors, reads their ring placement from the gateway, and
+   selects an equal number of *primaries per shard* — so the offered
+   load is balanced by construction and the measurement isolates
+   scaling from hash luck.
+
+2. **Bounded-tail chaos.** With 2 shards under continuous load, one
+   shard is SIGKILLed mid-run and later restarted (re-joining the
+   ring). Every request must complete — clients talk to the gateway,
+   whose reroute hides the death — and client-side p99 must stay
+   bounded (the reroute is a fast connection-refused, not a timeout).
+
+Each scaling level gets a FRESH fleet so per-shard request counters
+and ring state are per-level, not cumulative.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.gateway import LocalFleet  # noqa: E402
+from repro.tensor.dense import random_symmetric  # noqa: E402
+
+#: Tensor dimension (q=2, P=10 sessions; small enough to register fast,
+#: large enough that a parallel run is real work).
+N = 30
+
+#: Primaries driven per shard at every scaling level.
+TENSORS_PER_SHARD = 2
+
+#: Batcher coalescing window the scaling-level shards run with: the
+#: pinned per-request service time (see module docstring, claim 1).
+SERVICE_WINDOW_MS = 20.0
+
+#: p99 bound for the kill/restart run (milliseconds). A reroute costs
+#: one refused connect plus a replayed registration, not a timeout.
+P99_BOUND_MS = 2000.0
+
+
+def _select_balanced_tensors(fleet, tensor, per_shard):
+    """Register tensors until every shard owns >= ``per_shard``
+    primaries, then return exactly ``per_shard`` ids per shard.
+
+    Placement is blind hashing; selection afterwards is what makes the
+    offered load exactly balanced.
+    """
+    host, port = fleet.gateway.address
+    by_shard = {fleet.shard_name(i): [] for i in range(len(fleet.ports))}
+    with ServiceClient(host, port) as client:
+        for index in range(64):
+            if all(len(ids) >= per_shard for ids in by_shard.values()):
+                break
+            tensor_id = f"bench-{index}"
+            info = client.register(tensor_id, tensor, q=2)
+            owners = by_shard.get(info["shard"])
+            if owners is not None:
+                owners.append(tensor_id)
+        else:
+            raise RuntimeError(
+                f"could not place {per_shard} primaries on every shard:"
+                f" {by_shard}"
+            )
+    return {
+        shard: ids[:per_shard] for shard, ids in by_shard.items()
+    }
+
+
+def _drive(host, port, assignments, requests_per_tensor, mode,
+           progress=None):
+    """One closed-loop worker per selected tensor; returns latencies,
+    error count, elapsed wall time. ``progress["done"]`` (if given) is
+    kept current so a chaos controller can trigger mid-run."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+    gate = threading.Event()
+    tensor_ids = [tid for ids in assignments.values() for tid in ids]
+
+    def worker(worker_id, tensor_id):
+        rng = np.random.default_rng(worker_id)
+        local = []
+        failed = 0
+        with ServiceClient(host, port) as client:
+            gate.wait()
+            for _ in range(requests_per_tensor):
+                x = rng.standard_normal(N)
+                t0 = time.monotonic()
+                try:
+                    client.apply(tensor_id, x, mode=mode)
+                except Exception:  # noqa: BLE001 — counted, not fatal
+                    failed += 1
+                else:
+                    local.append(time.monotonic() - t0)
+                if progress is not None:
+                    with lock:
+                        progress["done"] += 1
+        with lock:
+            latencies.extend(local)
+            errors.append(failed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, tid), daemon=True)
+        for i, tid in enumerate(tensor_ids)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.monotonic()
+    gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - start
+    return latencies, sum(errors), elapsed
+
+
+def _latency_summary(latencies):
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    arr = np.asarray(latencies)
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return {
+        "p50_ms": float(p50) * 1e3,
+        "p95_ms": float(p95) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+        "max_ms": float(arr.max()) * 1e3,
+    }
+
+
+def bench_scaling(shard_counts, requests_per_tensor):
+    """Fixed-service-time throughput at 1, 2, ... shard processes."""
+    tensor = random_symmetric(N, seed=0)
+    shard_args = (
+        "--no-tracing", "--max-wait-ms", str(SERVICE_WINDOW_MS),
+    )
+    levels = []
+    for shards in shard_counts:
+        with LocalFleet(shards=shards, shard_args=shard_args) as fleet:
+            host, port = fleet.gateway.address
+            assignments = _select_balanced_tensors(
+                fleet, tensor, TENSORS_PER_SHARD
+            )
+            latencies, errors, elapsed = _drive(
+                host, port, assignments, requests_per_tensor, mode="plan"
+            )
+            stats = fleet.gateway.stats()["gateway"]
+            per_shard_requests = {
+                name: shard["requests"]
+                for name, shard in stats["shards"].items()
+            }
+        total_ok = len(latencies)
+        levels.append(
+            {
+                "shards": shards,
+                "driven_tensors": shards * TENSORS_PER_SHARD,
+                "requests": total_ok + errors,
+                "ok": total_ok,
+                "errors": errors,
+                "elapsed_s": elapsed,
+                "throughput_rps": total_ok / elapsed if elapsed else 0.0,
+                "latency_ms": _latency_summary(latencies),
+                "per_shard_requests": per_shard_requests,
+            }
+        )
+        print(
+            f"  {shards} shard(s): {levels[-1]['throughput_rps']:.1f} req/s"
+            f" ({total_ok} ok, {errors} errors)",
+            flush=True,
+        )
+    by_shards = {level["shards"]: level for level in levels}
+    scaling = (
+        by_shards[2]["throughput_rps"] / by_shards[1]["throughput_rps"]
+        if 1 in by_shards and 2 in by_shards
+        and by_shards[1]["throughput_rps"] > 0
+        else 0.0
+    )
+    return {
+        "mode": "plan",
+        "n": N,
+        "tensors_per_shard": TENSORS_PER_SHARD,
+        "service_window_ms": SERVICE_WINDOW_MS,
+        "requests_per_tensor": requests_per_tensor,
+        "levels": levels,
+        "scaling_1_to_2": scaling,
+        "meets_scaling_target": scaling >= 1.7,
+    }
+
+
+def bench_kill_restart(requests_per_tensor):
+    """Plan-mode load on 2 shards; SIGKILL one a third of the way in,
+    restart it two thirds in. Records client-visible tail latency."""
+    tensor = random_symmetric(N, seed=1)
+    with LocalFleet(shards=2, shard_args=("--no-tracing",)) as fleet:
+        host, port = fleet.gateway.address
+        assignments = _select_balanced_tensors(
+            fleet, tensor, TENSORS_PER_SHARD
+        )
+        # Progress-triggered chaos: the kill lands after a third of
+        # the requests completed and the restart after two thirds —
+        # mid-run at any machine speed, unlike wall-clock timers.
+        total = 2 * TENSORS_PER_SHARD * requests_per_tensor
+        progress = {"done": 0}
+        victim = 0
+
+        def chaos_controller():
+            while progress["done"] < total // 3:
+                time.sleep(0.005)
+            fleet.kill_shard(victim)
+            while progress["done"] < 2 * total // 3:
+                time.sleep(0.005)
+            fleet.restart_shard(victim)
+
+        controller = threading.Thread(target=chaos_controller, daemon=True)
+        controller.start()
+        latencies, errors, elapsed = _drive(
+            host, port, assignments, requests_per_tensor, mode="plan",
+            progress=progress,
+        )
+        controller.join(timeout=60)
+        events = fleet.gateway.stats()["gateway"]["events"]
+    summary = _latency_summary(latencies)
+    return {
+        "mode": "plan",
+        "shards": 2,
+        "requests": len(latencies) + errors,
+        "ok": len(latencies),
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "throughput_rps": len(latencies) / elapsed if elapsed else 0.0,
+        "latency_ms": summary,
+        "gateway_events": events,
+        "rerouted": events["reroutes"] >= 1,
+        "p99_bound_ms": P99_BOUND_MS,
+        "p99_bounded": summary["p99_ms"] <= P99_BOUND_MS,
+        "all_requests_served": errors == 0,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small request counts / fewer levels (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_fleet.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        shard_counts = (1, 2)
+        scaling_requests = 8
+        chaos_requests = 40
+    else:
+        shard_counts = (1, 2, 4)
+        scaling_requests = 24
+        chaos_requests = 150
+
+    print("scaling sweep:", flush=True)
+    scaling = bench_scaling(shard_counts, scaling_requests)
+    print("kill/restart run:", flush=True)
+    chaos = bench_kill_restart(chaos_requests)
+    print(
+        f"  {chaos['ok']}/{chaos['requests']} ok,"
+        f" p99 {chaos['latency_ms']['p99_ms']:.1f} ms,"
+        f" rerouted={chaos['rerouted']}",
+        flush=True,
+    )
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+
+    report = {
+        "benchmark": "fleet",
+        "quick": args.quick,
+        "commit": commit,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "scaling": scaling,
+        "kill_restart": chaos,
+        # The acceptance bars this file exists to witness.
+        "scaling_1_to_2": scaling["scaling_1_to_2"],
+        "meets_scaling_target": scaling["meets_scaling_target"],
+        "chaos_all_served": chaos["all_requests_served"],
+        "chaos_p99_bounded": chaos["p99_bounded"],
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,11 +10,15 @@ Commands
                 communication with the closed forms
 ``admissible``  list constructible processor counts
 ``serve``       start the STTSV serving layer (warm sessions + dynamic
-                batching) on a TCP port
-``load``        register a random tensor on a running server and drive
-                it with concurrent closed-loop clients
-``stats``       scrape a running server: human table, raw JSON, or
-                Prometheus text format
+                batching) on a TCP port; ``--fleet N`` spawns N shard
+                processes behind a consistent-hash gateway instead
+``gateway``     route STTSV traffic across already-running shard
+                servers with a consistent-hash ring
+``load``        register a random tensor on a running server (or
+                gateway) and drive it with concurrent closed-loop
+                clients
+``stats``       scrape a running server or gateway: human table, raw
+                JSON, or Prometheus text format
 ``trace``       render the span tree of one trace id (from a running
                 server or a JSON-lines dump)
 
@@ -250,6 +254,8 @@ def _command_admissible(args) -> int:
 def _command_serve(args) -> int:
     from repro.service.server import STTSVServer
 
+    if args.fleet:
+        return _serve_fleet(args)
     fault_policy = (
         FaultPolicy.parse(args.faults) if args.faults is not None else None
     )
@@ -285,8 +291,95 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _fleet_shard_args(args) -> list:
+    """Forward the serve tuning flags to spawned shard processes."""
+    shard_args = [
+        "--max-batch", str(args.max_batch),
+        "--max-wait-ms", str(args.max_wait_ms),
+        "--admission-capacity", str(args.admission_capacity),
+        "--max-sessions", str(args.max_sessions),
+    ]
+    if args.faults is not None:
+        shard_args += ["--faults", args.faults]
+    if not args.fused:
+        shard_args.append("--no-fused")
+    if args.no_tracing:
+        shard_args.append("--no-tracing")
+    return shard_args
+
+
+def _serve_fleet(args) -> int:
+    from repro.service.gateway import LocalFleet
+
+    fleet = LocalFleet(
+        shards=args.fleet,
+        host=args.host,
+        gateway_port=args.port,
+        replication=args.replication,
+        shard_args=_fleet_shard_args(args),
+    )
+    try:
+        fleet.start()
+    except Exception as error:  # noqa: BLE001 — report, then clean up
+        print(f"error: fleet failed to start: {error}", flush=True)
+        fleet.stop()
+        return 1
+    host, port = fleet.gateway.address
+    shard_list = ", ".join(
+        fleet.shard_name(i) for i in range(len(fleet.ports))
+    )
+    print(
+        f"serving STTSV fleet on {host}:{port}"
+        f" ({args.fleet} shards: {shard_list};"
+        f" replication={args.replication})",
+        flush=True,
+    )
+    try:
+        fleet.gateway.wait()
+    except KeyboardInterrupt:
+        print("interrupted; stopping fleet", flush=True)
+    finally:
+        fleet.stop()
+    print("fleet stopped", flush=True)
+    return 0
+
+
+def _command_gateway(args) -> int:
+    from repro.service.gateway import STTSVGateway
+
+    backends = []
+    for spec in args.backend:
+        host, _, port_text = spec.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"error: --backend must be host:port, got {spec!r}")
+            return 1
+        backends.append((host, int(port_text)))
+    gateway = STTSVGateway(
+        backends,
+        host=args.host,
+        port=args.port,
+        replication=args.replication,
+    )
+    host, port = gateway.start()
+    print(
+        f"gateway on {host}:{port} routing to"
+        f" {len(backends)} shard(s):"
+        f" {', '.join(f'{h}:{p}' for h, p in backends)}"
+        f" (replication={args.replication})",
+        flush=True,
+    )
+    try:
+        gateway.wait()
+    except KeyboardInterrupt:
+        print("interrupted; stopping", flush=True)
+    finally:
+        gateway.stop()
+    print("gateway stopped", flush=True)
+    return 0
+
+
 def _command_load(args) -> int:
-    from repro.reporting.trace import service_table
+    from repro.reporting.trace import gateway_table, service_table
     from repro.service.client import ServiceClient, run_load
     from repro.tensor.dense import random_symmetric
 
@@ -326,14 +419,18 @@ def _command_load(args) -> int:
         f"  max {latency['max_ms']:.2f}"
     )
     print()
-    print(service_table(summary["server_stats"]))
+    server_stats = summary["server_stats"]
+    if "gateway" in server_stats:
+        print(gateway_table(server_stats))
+    else:
+        print(service_table(server_stats))
     return 0 if summary["errors"] == 0 else 1
 
 
 def _command_stats(args) -> int:
     import json
 
-    from repro.reporting.trace import service_table
+    from repro.reporting.trace import gateway_table, service_table
     from repro.service.client import ServiceClient
 
     with ServiceClient(args.host, args.port) as client:
@@ -343,7 +440,12 @@ def _command_stats(args) -> int:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
         else:
             stats = client.stats()
-            print(service_table(stats))
+            # A gateway STATS payload self-identifies; render the ring
+            # and shard table instead of the single-server view.
+            if "gateway" in stats:
+                print(gateway_table(stats))
+            else:
+                print(service_table(stats))
     return 0
 
 
@@ -502,7 +604,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not record request-to-round trace spans (tracing is on"
         " by default; spans live in a bounded in-memory ring buffer)",
     )
+    serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="serve a sharded fleet instead of one server: spawn N"
+        " shard processes on ephemeral ports and route to them through"
+        " a consistent-hash gateway listening on --port",
+    )
+    serve.add_argument(
+        "--replication", type=int, default=2,
+        help="shards each tensor registers on in fleet/gateway mode"
+        " (primary + replicas; default 2)",
+    )
     serve.set_defaults(func=_command_serve)
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="route STTSV traffic across running shard servers with a"
+        " consistent-hash ring",
+    )
+    gateway.add_argument("--host", type=str, default="127.0.0.1")
+    gateway.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick an ephemeral port and print it)",
+    )
+    gateway.add_argument(
+        "--backend", action="append", required=True, metavar="HOST:PORT",
+        help="address of a running shard server (repeat for each shard)",
+    )
+    gateway.add_argument(
+        "--replication", type=int, default=2,
+        help="shards each tensor registers on (primary + replicas;"
+        " default 2)",
+    )
+    gateway.set_defaults(func=_command_gateway)
 
     load = subparsers.add_parser(
         "load",

@@ -7,8 +7,8 @@ communication rounds it caused:
   through :mod:`contextvars`, collected as nested spans by a bounded
   process-wide :class:`~repro.obs.tracing.Tracer`;
 * :mod:`repro.obs.instrument` — the per-phase
-  :class:`~repro.obs.instrument.Instrumentation` timers (formerly
-  ``repro.machine.instrument``), now emitting trace spans too;
+  :class:`~repro.obs.instrument.Instrumentation` timers (moved here
+  from the machine layer), now emitting trace spans too;
 * :mod:`repro.obs.metrics` — the process-wide
   :class:`~repro.obs.metrics.MetricsRegistry` consolidating service
   stats, plan-cache counters, and ledger words/messages/rounds behind

@@ -1,8 +1,9 @@
 """Per-phase instrumentation, trace-aware.
 
 This is the observability-layer home of :class:`Instrumentation`
-(grown out of ``repro/machine/instrument.py``, which now re-exports
-it). The public surface is unchanged — ``span`` / ``add_hook`` /
+(grown out of the machine layer; the old ``repro/machine/instrument``
+path has been removed). The public surface is unchanged — ``span`` /
+``add_hook`` /
 ``warn`` / ``timings`` / ``as_dict`` / ``reset`` — so every existing
 driver, benchmark, and test keeps working. What is new:
 

@@ -260,3 +260,67 @@ def service_table(stats: Dict) -> str:
         for warning in session.get("warnings", []):
             lines.append(f"  warning: {warning}")
     return "\n".join(lines)
+
+
+def gateway_table(stats: Dict) -> str:
+    """Human-readable rendering of a gateway ``STATS`` snapshot.
+
+    Takes the JSON payload of
+    :meth:`~repro.service.gateway.STTSVGateway.stats` — recognizable by
+    its top-level ``"gateway"`` key — and renders the hash ring, the
+    per-shard health/traffic table, tensor placements, and the
+    membership event counters (reroutes, rebalanced registrations,
+    drains). ``repro stats`` picks this renderer automatically when the
+    scraped endpoint is a gateway.
+    """
+    gateway = stats.get("gateway", {})
+    ring = gateway.get("ring", {})
+    shards = gateway.get("shards", {})
+    tensors = gateway.get("tensors", {})
+    events = gateway.get("events", {})
+    server = gateway.get("server", {})
+    lines = [
+        f"gateway: {len(ring.get('nodes', []))} shards on ring"
+        f" ({ring.get('points', 0)} virtual nodes,"
+        f" {ring.get('vnodes_per_node', 0)}/shard)"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'shard':<24} {'state':<10} {'requests':>9}"
+        f" {'errors':>7} {'inflight':>9}  tensors"
+    )
+    for name in sorted(shards):
+        shard = shards[name]
+        resident = shard.get("resident_tensors", [])
+        resident_text = " ".join(resident[:6]) or "-"
+        if len(resident) > 6:
+            resident_text += f" (+{len(resident) - 6})"
+        lines.append(
+            f"{name:<24} {shard.get('state', '?'):<10}"
+            f" {shard.get('requests', 0):>9}"
+            f" {shard.get('errors', 0):>7}"
+            f" {shard.get('inflight', 0):>9}  {resident_text}"
+        )
+    if tensors:
+        lines.append("")
+        lines.append(f"{'tensor':<22} {'q':>3} {'P':>4}  owners")
+        for tensor_id in sorted(tensors):
+            record = tensors[tensor_id]
+            lines.append(
+                f"{tensor_id:<22} {record.get('q', 0):>3}"
+                f" {record.get('P', 0):>4}"
+                f"  {' -> '.join(record.get('owners', []))}"
+            )
+    lines.append("")
+    lines.append(f"{'events':<26} {'count':>8}")
+    for name in sorted(events):
+        lines.append(f"{name:<26} {events[name]:>8}")
+    for name in (
+        "accepted",
+        "registrations",
+        "rejected_overload",
+        "bad_requests",
+        "internal_errors",
+    ):
+        lines.append(f"{name:<26} {server.get(name, 0):>8}")
+    return "\n".join(lines)

@@ -7,6 +7,15 @@ pull stats, request shutdown. Typed ``ERROR`` replies re-raise as
 ``error.code`` (``OVERLOADED``, ``DEADLINE_EXCEEDED``, ...) exactly as
 the server classified the failure.
 
+Transport failures are retried: a reset, broken pipe, or mid-frame
+close (the server restarted, or an idle connection was reaped) tears
+down the socket, reconnects after a short exponential backoff, and
+replays the request — bounded by ``retries`` attempts, after which the
+underlying ``OSError`` propagates. Malformed-but-delivered frames
+(plain :class:`~repro.service.protocol.ProtocolError`) are *not*
+retried: the peer answered, it just answered garbage, and replaying
+the request cannot fix that.
+
 :func:`run_load` is the closed-loop generator behind ``repro load``
 and the service benchmark: ``clients`` threads, each with its own
 connection, each issuing ``requests_per_client`` applies back to back.
@@ -39,15 +48,34 @@ from repro.service.protocol import (
 from repro.tensor.packed import PackedSymmetricTensor
 
 
+#: Reconnect attempts after the first transport failure.
+DEFAULT_RETRIES = 2
+
+#: First-retry backoff; doubles per attempt.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+
 class ServiceClient:
-    """One blocking connection to an :class:`STTSVServer`."""
+    """One blocking connection to an :class:`STTSVServer` (or gateway),
+    with bounded reconnect-and-replay on transport failure."""
 
     def __init__(
-        self, host: str, port: int, timeout: Optional[float] = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._retry_backoff_s = retry_backoff_s
+        self._sock: Optional[socket.socket] = self._connect()
         self._lock = threading.Lock()
+        #: Transport failures recovered by reconnect-and-replay.
+        self.reconnects = 0
         #: Trace id of the most recent ``apply``/``apply_batch`` reply
         #: (the server mints one per request and echoes it back, so
         #: ``repro trace <id>`` can find that request's spans).
@@ -55,13 +83,56 @@ class ServiceClient:
 
     # -- plumbing --------------------------------------------------------------
 
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
     def _roundtrip(
         self, msg_type: MessageType, header: Dict, body: bytes = b""
     ) -> Tuple[MessageType, Dict, bytes]:
-        """One request/reply exchange; raises on typed ``ERROR``."""
+        """One request/reply exchange; raises on typed ``ERROR``.
+
+        A reset, broken pipe, or mid-frame close reconnects (with
+        exponential backoff) and replays the request, up to
+        ``retries`` extra attempts. Requests here are safe to replay:
+        applies are pure computation, registrations are idempotent
+        upserts.
+        """
         with self._lock:
-            write_frame(self._sock, msg_type, header, body)
-            reply_type, reply_header, reply_body = read_frame(self._sock)
+            for attempt in range(self._retries + 1):
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    write_frame(self._sock, msg_type, header, body)
+                    reply_type, reply_header, reply_body = read_frame(
+                        self._sock
+                    )
+                    break
+                except ProtocolError as error:
+                    if not isinstance(error, ConnectionError):
+                        raise  # delivered-but-malformed: not retryable
+                    self._drop_socket()
+                    if attempt == self._retries:
+                        raise
+                    self.reconnects += 1
+                    time.sleep(self._retry_backoff_s * (2**attempt))
+                except OSError:
+                    self._drop_socket()
+                    if attempt == self._retries:
+                        raise
+                    self.reconnects += 1
+                    time.sleep(self._retry_backoff_s * (2**attempt))
         if reply_type == MessageType.ERROR:
             raise parse_error(reply_header)
         return reply_type, reply_header, reply_body
@@ -74,10 +145,7 @@ class ServiceClient:
             )
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_socket()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -207,6 +275,7 @@ def run_load(
     mode: str = "plan",
     deadline_ms: Optional[float] = None,
     seed: int = 0,
+    retries: int = DEFAULT_RETRIES,
 ) -> Dict:
     """Drive the server with ``clients`` concurrent closed-loop workers.
 
@@ -227,7 +296,7 @@ def run_load(
         rng = np.random.default_rng(seed + worker_id)
         local_lat: List[float] = []
         local = {"ok": 0, "overloaded": 0, "deadline_exceeded": 0, "errors": 0}
-        with ServiceClient(host, port) as client:
+        with ServiceClient(host, port, retries=retries) as client:
             start_gate.wait()
             for _ in range(requests_per_client):
                 x = rng.standard_normal(n)
@@ -243,6 +312,10 @@ def run_load(
                         local["deadline_exceeded"] += 1
                     else:
                         local["errors"] += 1
+                except OSError:
+                    # Retries exhausted: count it, keep the worker
+                    # alive — the client redials on the next request.
+                    local["errors"] += 1
                 else:
                     local["ok"] += 1
                     local_lat.append(time.monotonic() - t0)

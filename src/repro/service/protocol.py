@@ -56,6 +56,16 @@ class ProtocolError(ReproError):
     """Malformed frame: bad magic, version, length, or encoding."""
 
 
+class ConnectionClosedMidFrame(ProtocolError, ConnectionError):
+    """The peer vanished inside a frame.
+
+    Both a :class:`ProtocolError` (the frame can never be completed)
+    and a :class:`ConnectionError` (the transport died), so framing
+    code treats it as malformed input while retry logic — the client's
+    auto-reconnect path — treats it as a retryable connection loss.
+    """
+
+
 class ServiceError(ReproError):
     """A typed ``ERROR`` reply, surfaced client-side.
 
@@ -195,13 +205,82 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
         if not chunk:
             if remaining == count and not chunks:
                 raise ConnectionError("connection closed")
-            raise ProtocolError(
+            raise ConnectionClosedMidFrame(
                 f"connection closed mid-frame ({count - remaining} of"
                 f" {count} bytes read)"
             )
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- incremental parsing --------------------------------------------------------
+
+
+class FrameReader:
+    """Incremental frame parser for non-blocking sockets.
+
+    The event-loop connection layer feeds whatever bytes ``recv``
+    produced; complete frames come back out as soon as their last byte
+    arrives::
+
+        reader = FrameReader()
+        reader.feed(chunk)
+        while (frame := reader.next_frame()) is not None:
+            msg_type, header, body = frame
+
+    Validation is identical to :func:`read_frame` — the prefix is
+    checked the moment its 16 bytes are buffered, so an oversized
+    length, bad magic, unknown type, or version mismatch raises
+    :class:`ProtocolError` *before* any payload is read, bounding what
+    a hostile peer can make the server buffer. A raised reader is
+    poisoned: the stream has no recoverable frame boundary, so every
+    later call re-raises.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        #: Parsed prefix of the in-progress frame, or None between frames.
+        self._pending: Optional[Tuple[int, int, int]] = None
+        self._error: Optional[ProtocolError] = None
+
+    def feed(self, data: bytes) -> None:
+        """Buffer bytes as they arrive off the socket."""
+        self._buffer.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held but not yet returned as a frame."""
+        return len(self._buffer)
+
+    def next_frame(self) -> Optional[Tuple[MessageType, Dict, bytes]]:
+        """The next complete frame, or None until more bytes arrive."""
+        if self._error is not None:
+            raise self._error
+        try:
+            return self._parse()
+        except ProtocolError as error:
+            self._error = error
+            raise
+
+    def _parse(self) -> Optional[Tuple[MessageType, Dict, bytes]]:
+        if self._pending is None:
+            if len(self._buffer) < _PREFIX.size:
+                return None
+            magic, version, msg_type, header_len, body_len = (
+                _PREFIX.unpack_from(self._buffer)
+            )
+            _check_prefix(magic, version, msg_type, header_len, body_len)
+            del self._buffer[: _PREFIX.size]
+            self._pending = (msg_type, header_len, body_len)
+        msg_type, header_len, body_len = self._pending
+        if len(self._buffer) < header_len + body_len:
+            return None
+        header = _decode_header(bytes(self._buffer[:header_len]))
+        body = bytes(self._buffer[header_len : header_len + body_len])
+        del self._buffer[: header_len + body_len]
+        self._pending = None
+        return MessageType(msg_type), header, body
 
 
 # -- array payloads ------------------------------------------------------------

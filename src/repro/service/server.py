@@ -1,37 +1,43 @@
-"""Threaded TCP server fronting warm STTSV engine sessions.
+"""Event-loop TCP server fronting warm STTSV engine sessions.
 
 Request path for ``APPLY``::
 
-    client ──frame──▶ handler thread ──submit──▶ DynamicBatcher lane
-                                                      │ (coalesce)
-    client ◀─frame── handler thread ◀─future── EngineSession.apply_batch
+    client ──frame──▶ event loop ──dispatch──▶ executor worker
+                                                    │ submit
+                                              DynamicBatcher lane
+                                                    │ (coalesce)
+    client ◀─frame── event loop ◀─reply── EngineSession.apply_batch
 
-Each accepted connection gets a handler thread that reads frames in a
-loop and dispatches on :class:`~repro.service.protocol.MessageType`.
-Handlers never execute engine work directly for ``APPLY`` — they
-enqueue into the :class:`~repro.service.batcher.DynamicBatcher` and
-block on the returned future, which is what lets concurrent requests
-from independent connections coalesce into one batched execution.
+The connection layer is the non-blocking selector loop of
+:class:`~repro.service.eventloop.FrameLoopServer`: one thread owns
+every socket, feeds incremental frame readers, and writes replies as
+sockets accept them — no thread per connection. Engine work never runs
+on the loop: complete frames dispatch (serially per connection) to a
+bounded executor, where the handler enqueues into the
+:class:`~repro.service.batcher.DynamicBatcher` and blocks on the
+returned future — which is what lets concurrent requests from
+independent connections coalesce into one batched execution, exactly
+as before the refactor. Sessions, batcher lanes, and trace
+propagation keep their seams unchanged.
 
 Failure discipline: every error a request can cause becomes a typed
 ``ERROR`` reply (:class:`~repro.service.protocol.ErrorCode`) on that
 request's connection; the server never prints a traceback and never
-dies because of one request. Backpressure is immediate — a full
-admission queue is an ``OVERLOADED`` reply, not a stalled socket — so
-a saturated server stays observable (``STATS`` still answers) and
+dies because of one request. Backpressure is immediate and two-layer —
+a full batcher lane is an ``OVERLOADED`` reply from the worker, a
+saturated executor is an ``OVERLOADED`` reply straight from the loop —
+so a saturated server stays observable (``STATS`` still answers) and
 recoverable.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
 from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ReproError
 from repro.machine.transport import TRANSPORTS, FaultPolicy
 from repro.obs.export import prometheus_text, spans_to_jsonl
 from repro.obs.metrics import (
@@ -46,17 +52,18 @@ from repro.service.batcher import (
     DEFAULT_MAX_BATCH,
     DynamicBatcher,
 )
+from repro.service.eventloop import (
+    DEFAULT_EXECUTOR_WORKERS,
+    FrameLoopServer,
+    Reply,
+)
 from repro.service.metrics import ServerMetrics
 from repro.service.protocol import (
     ErrorCode,
     MessageType,
-    ProtocolError,
     ServiceError,
     decode_array,
     encode_array,
-    error_header,
-    read_frame,
-    write_frame,
 )
 from repro.service.sessions import (
     DEFAULT_MAX_SESSIONS,
@@ -65,9 +72,6 @@ from repro.service.sessions import (
     SessionPool,
 )
 from repro.tensor.packed import PackedSymmetricTensor, packed_size
-
-#: Accept-loop poll interval — bounds shutdown latency.
-_ACCEPT_TIMEOUT_S = 0.2
 
 #: Grace added to a request deadline when waiting on its future: the
 #: batcher enforces expiry at dequeue; this only guards against a
@@ -78,7 +82,7 @@ _DEADLINE_GRACE_S = 5.0
 _NULL_SPAN = nullcontext(None)
 
 
-class STTSVServer:
+class STTSVServer(FrameLoopServer):
     """Serve STTSV applies over TCP with dynamic batching.
 
     ``port=0`` (the default) binds an ephemeral port; read
@@ -106,9 +110,16 @@ class STTSVServer:
         fusion: bool = True,
         tracing: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        executor_workers: int = DEFAULT_EXECUTOR_WORKERS,
+        max_inflight: Optional[int] = None,
     ):
-        self._host = host
-        self._port = port
+        super().__init__(
+            host=host,
+            port=port,
+            executor_workers=executor_workers,
+            max_inflight=max_inflight,
+            name="sttsv",
+        )
         self.faults = faults
         #: Whether sessions created by this server fuse their exchange
         #: rounds into per-destination buffers (default on).
@@ -133,54 +144,19 @@ class STTSVServer:
         #: ``tensor_id -> SessionKey`` routing table.
         self._routes: Dict[str, SessionKey] = {}
         self._routes_lock = threading.Lock()
-        self._sock: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._running = False
-        self._stop_event = threading.Event()
 
-    # -- lifecycle -------------------------------------------------------------
+    # -- lifecycle hooks -------------------------------------------------------
 
-    def start(self) -> Tuple[str, int]:
-        """Bind, listen, and spawn the accept loop; returns the address."""
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self._host, self._port))
-        sock.listen(128)
-        sock.settimeout(_ACCEPT_TIMEOUT_S)
-        self._sock = sock
+    def on_start(self) -> None:
         tracer = get_tracer()
         self._tracer_was_enabled = tracer.enabled
         if self.tracing:
             tracer.enable()
         self.registry.register_collector(self._collect_metrics)
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="sttsv-accept", daemon=True
-        )
-        self._accept_thread.start()
-        return self.address
 
-    @property
-    def address(self) -> Tuple[str, int]:
-        if self._sock is None:
-            raise ServiceError(ErrorCode.INTERNAL, "server not started")
-        host, port = self._sock.getsockname()[:2]
-        return host, port
-
-    def stop(self) -> None:
-        """Drain and shut down (idempotent): no new connections, pending
-        requests failed ``SHUTTING_DOWN``, all sessions closed."""
-        if not self._running:
-            return
-        self._running = False
-        self._stop_event.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+    def on_stop(self) -> None:
+        """Drain and release: pending requests fail ``SHUTTING_DOWN``,
+        all sessions close, collectors and tracer state restore."""
         self.batcher.close()
         with self._routes_lock:
             self._routes.clear()
@@ -189,17 +165,27 @@ class STTSVServer:
         if self.tracing and not self._tracer_was_enabled:
             get_tracer().disable()
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the server stops (``SHUTDOWN`` request or
-        :meth:`stop`); returns False on timeout."""
-        return self._stop_event.wait(timeout)
-
     def __enter__(self) -> "STTSVServer":
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    # -- loop hooks ------------------------------------------------------------
+
+    def note_connection(self) -> None:
+        self.metrics.incr("connections_opened")
+
+    def note_bad_frame(self) -> None:
+        self.metrics.incr("bad_requests")
+
+    def note_error(self, code: ErrorCode) -> None:
+        if code == ErrorCode.OVERLOADED:
+            self.metrics.incr("rejected_overload")
+        elif code == ErrorCode.DEADLINE_EXCEEDED:
+            self.metrics.incr("deadline_exceeded")
+        elif code == ErrorCode.INTERNAL:
+            self.metrics.incr("internal_errors")
+        else:
+            self.metrics.incr("bad_requests")
 
     # -- callbacks -------------------------------------------------------------
 
@@ -242,6 +228,11 @@ class STTSVServer:
                     self.batcher.queue_depths().items()
                 )
             ],
+        )
+        connections = MetricFamily(
+            "sttsv_open_connections", "gauge",
+            "Connections currently owned by the event loop",
+            [Sample(labels=(), value=float(self.connection_count()))],
         )
         info = self.pool.info()
         pool = [
@@ -302,108 +293,36 @@ class STTSVServer:
                     latency,
                 )
             )
-        return [events, depth, *pool, *sessions]
+        return [events, depth, connections, *pool, *sessions]
 
-    # -- accept / handle -------------------------------------------------------
+    # -- request dispatch ------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                conn, _addr = self._sock.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return
-            self.metrics.incr("connections_opened")
-            threading.Thread(
-                target=self._handle_connection,
-                args=(conn,),
-                name="sttsv-conn",
-                daemon=True,
-            ).start()
-
-    def _handle_connection(self, conn: socket.socket) -> None:
-        with conn:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            while self._running:
-                try:
-                    msg_type, header, body = read_frame(conn)
-                except ConnectionError:
-                    return  # client went away cleanly
-                except ProtocolError as error:
-                    # Framing is broken: reply once (best effort) and
-                    # drop the connection — we can no longer find the
-                    # next frame boundary.
-                    self.metrics.incr("bad_requests")
-                    self._try_reply_error(
-                        conn, ErrorCode.BAD_REQUEST, str(error)
-                    )
-                    return
-                except OSError:
-                    return
-                if not self._dispatch(conn, msg_type, header, body):
-                    return
-
-    def _dispatch(self, conn, msg_type, header, body) -> bool:
-        """Handle one request; returns False to close the connection."""
-        try:
-            if msg_type == MessageType.REGISTER:
-                self._handle_register(conn, header, body)
-            elif msg_type == MessageType.APPLY:
-                self._handle_apply(conn, header, body)
-            elif msg_type == MessageType.APPLY_BATCH:
-                self._handle_apply_batch(conn, header, body)
-            elif msg_type == MessageType.STATS:
-                self._handle_stats(conn, header)
-            elif msg_type == MessageType.SHUTDOWN:
-                write_frame(conn, MessageType.OK, {"stopping": True})
-                threading.Thread(target=self.stop, daemon=True).start()
-                return False
-            else:
-                self.metrics.incr("bad_requests")
-                self._try_reply_error(
-                    conn,
-                    ErrorCode.BAD_REQUEST,
-                    f"{MessageType(msg_type).name} is not a request type",
-                )
-        except ServiceError as error:
-            self._count_error(error.code)
-            self._try_reply_error(conn, error.code, error.detail)
-        except ReproError as error:
-            self.metrics.incr("bad_requests")
-            self._try_reply_error(conn, ErrorCode.BAD_REQUEST, str(error))
-        except (OSError, ConnectionError):
-            return False
-        except Exception as error:  # noqa: BLE001 — one request never
-            # kills the server, and tracebacks never hit the log
-            self.metrics.incr("internal_errors")
-            self._try_reply_error(
-                conn,
-                ErrorCode.INTERNAL,
-                f"{type(error).__name__}: {error}",
+    def handle_request(
+        self, msg_type: MessageType, header: Dict, body: bytes
+    ) -> Reply:
+        """Serve one request on an executor thread (may block on the
+        batcher); exceptions become typed ``ERROR`` replies upstream."""
+        if msg_type == MessageType.REGISTER:
+            return self._handle_register(header, body)
+        if msg_type == MessageType.APPLY:
+            return self._handle_apply(header, body)
+        if msg_type == MessageType.APPLY_BATCH:
+            return self._handle_apply_batch(header, body)
+        if msg_type == MessageType.STATS:
+            return self._handle_stats(header)
+        if msg_type == MessageType.SHUTDOWN:
+            return Reply(
+                MessageType.OK, {"stopping": True},
+                close=True, then=self.stop,
             )
-        return True
-
-    def _count_error(self, code: ErrorCode) -> None:
-        if code == ErrorCode.OVERLOADED:
-            self.metrics.incr("rejected_overload")
-        elif code == ErrorCode.DEADLINE_EXCEEDED:
-            self.metrics.incr("deadline_exceeded")
-        else:
-            self.metrics.incr("bad_requests")
-
-    @staticmethod
-    def _try_reply_error(conn, code: ErrorCode, message: str) -> None:
-        try:
-            write_frame(
-                conn, MessageType.ERROR, error_header(code, message)
-            )
-        except OSError:
-            pass  # client is gone; nothing to tell
+        raise ServiceError(
+            ErrorCode.BAD_REQUEST,
+            f"{MessageType(msg_type).name} is not a request type",
+        )
 
     # -- request handlers ------------------------------------------------------
 
-    def _handle_register(self, conn, header: Dict, body: bytes) -> None:
+    def _handle_register(self, header: Dict, body: bytes) -> Reply:
         tensor_id = header.get("tensor_id")
         if not isinstance(tensor_id, str) or not tensor_id:
             raise ServiceError(
@@ -448,8 +367,7 @@ class STTSVServer:
             self._routes[tensor_id] = key
         self.pool.put(key, session)
         self.metrics.incr("registrations")
-        write_frame(
-            conn,
+        return Reply(
             MessageType.OK,
             {
                 "tensor_id": tensor_id,
@@ -498,7 +416,7 @@ class STTSVServer:
             return trace_id
         return new_trace_id()
 
-    def _handle_apply(self, conn, header: Dict, body: bytes) -> None:
+    def _handle_apply(self, header: Dict, body: bytes) -> Reply:
         start = time.monotonic()
         trace_id = self._trace_id(header)
         key, session = self._resolve(header)
@@ -543,9 +461,9 @@ class STTSVServer:
         self.metrics.incr("accepted")
         result_header, result_body = encode_array(y)
         result_header["trace_id"] = trace_id
-        write_frame(conn, MessageType.RESULT, result_header, result_body)
+        return Reply(MessageType.RESULT, result_header, result_body)
 
-    def _handle_apply_batch(self, conn, header: Dict, body: bytes) -> None:
+    def _handle_apply_batch(self, header: Dict, body: bytes) -> Reply:
         start = time.monotonic()
         trace_id = self._trace_id(header)
         key, session = self._resolve(header)
@@ -580,9 +498,9 @@ class STTSVServer:
         self.metrics.incr("accepted", X.shape[1])
         result_header, result_body = encode_array(Y)
         result_header["trace_id"] = trace_id
-        write_frame(conn, MessageType.RESULT, result_header, result_body)
+        return Reply(MessageType.RESULT, result_header, result_body)
 
-    def _handle_stats(self, conn, header: Optional[Dict] = None) -> None:
+    def _handle_stats(self, header: Optional[Dict] = None) -> Reply:
         """``STATS`` with optional exporter formats: the default reply
         is the JSON stats payload; ``{"format": "prometheus"}`` returns
         the registry in Prometheus text format and ``{"format":
@@ -590,28 +508,27 @@ class STTSVServer:
         filtered by ``trace_id``) — both as UTF-8 frame bodies."""
         fmt = (header or {}).get("format", "json")
         if fmt == "json":
-            write_frame(conn, MessageType.OK, self.stats())
-        elif fmt == "prometheus":
+            return Reply(MessageType.OK, self.stats())
+        if fmt == "prometheus":
             text = prometheus_text(self.registry)
-            write_frame(
-                conn, MessageType.OK,
+            return Reply(
+                MessageType.OK,
                 {"format": "prometheus"}, text.encode("utf-8"),
             )
-        elif fmt == "spans":
+        if fmt == "spans":
             trace_id = (header or {}).get("trace_id")
             spans = get_tracer().spans(trace_id=trace_id)
             text = spans_to_jsonl(spans)
-            write_frame(
-                conn, MessageType.OK,
+            return Reply(
+                MessageType.OK,
                 {"format": "spans", "count": len(spans)},
                 text.encode("utf-8"),
             )
-        else:
-            raise ServiceError(
-                ErrorCode.BAD_REQUEST,
-                f"stats format must be json, prometheus, or spans;"
-                f" got {fmt!r}",
-            )
+        raise ServiceError(
+            ErrorCode.BAD_REQUEST,
+            f"stats format must be json, prometheus, or spans;"
+            f" got {fmt!r}",
+        )
 
     # -- introspection ---------------------------------------------------------
 
@@ -638,10 +555,13 @@ class STTSVServer:
                 "byte_budget": info.byte_budget,
                 "evictions": info.evictions,
             },
+            "connections": self.connection_count(),
             "config": {
                 "max_batch": self.batcher.max_batch,
                 "max_wait_ms": self.batcher.max_wait_ms,
                 "admission_capacity": self.batcher.admission_capacity,
+                "executor_workers": self.executor_workers,
+                "max_inflight": self.max_inflight,
                 "faults": self.faults is not None and self.faults.enabled,
                 "fusion": self.fusion,
                 "tracing": get_tracer().enabled,

@@ -10,7 +10,6 @@ answer.
 """
 
 import importlib
-import warnings
 
 import numpy as np
 import pytest
@@ -303,18 +302,14 @@ class TestMachineFusionToggle:
         assert summary["words_fused"] > summary["words_logical"]
 
 
-class TestInstrumentShimDeprecation:
-    def test_import_warns(self):
-        import repro.machine.instrument as shim
+class TestInstrumentShimRemoved:
+    def test_shim_module_is_gone(self):
+        # The PR-6 deprecation window is over: the old path no longer
+        # imports, and the canonical home serves the names.
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.machine.instrument")
 
-        with pytest.warns(DeprecationWarning, match="repro.obs.instrument"):
-            importlib.reload(shim)
+    def test_canonical_import_path(self):
+        from repro.obs.instrument import Instrumentation
 
-    def test_names_still_importable(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            import repro.machine.instrument as shim
-
-            from repro.obs.instrument import Instrumentation
-
-            assert shim.Instrumentation is Instrumentation
+        assert Instrumentation is not None

@@ -12,7 +12,9 @@ from repro.service.protocol import (
     MAX_BODY_BYTES,
     MAX_HEADER_BYTES,
     PROTOCOL_VERSION,
+    ConnectionClosedMidFrame,
     ErrorCode,
+    FrameReader,
     MessageType,
     ProtocolError,
     ServiceError,
@@ -86,6 +88,132 @@ class TestFrameRoundTrip:
                 read_frame(server)
         finally:
             server.close()
+
+    def test_mid_frame_eof_is_also_connection_error(self):
+        """The dual classification the client's retry logic relies on:
+        a peer vanishing inside a frame is a retryable transport loss
+        *and* an unrecoverable framing state."""
+        server, client = socket.socketpair()
+        try:
+            frame = pack_frame(MessageType.APPLY, {"tensor_id": "T"})
+            client.sendall(frame[:5])
+            client.close()
+            with pytest.raises(ConnectionClosedMidFrame) as info:
+                read_frame(server)
+            assert isinstance(info.value, ConnectionError)
+            assert isinstance(info.value, ProtocolError)
+        finally:
+            server.close()
+
+
+class TestFrameReader:
+    """The incremental parser behind the event-loop connection layer."""
+
+    def _frame(self, header=None, body=b""):
+        return pack_frame(MessageType.APPLY, header or {"tensor_id": "T"}, body)
+
+    def test_byte_at_a_time_reassembly(self):
+        frame = self._frame(body=np.arange(7.0).tobytes())
+        reader = FrameReader()
+        for byte in frame[:-1]:
+            reader.feed(bytes([byte]))
+            assert reader.next_frame() is None
+        reader.feed(frame[-1:])
+        msg_type, header, body = reader.next_frame()
+        assert msg_type == MessageType.APPLY
+        assert header["tensor_id"] == "T"
+        assert body == np.arange(7.0).tobytes()
+        assert reader.buffered == 0
+
+    def test_pipelined_frames_in_one_chunk(self):
+        reader = FrameReader()
+        reader.feed(
+            self._frame({"tensor_id": "a"}) + self._frame({"tensor_id": "b"})
+        )
+        first = reader.next_frame()
+        second = reader.next_frame()
+        assert first[1]["tensor_id"] == "a"
+        assert second[1]["tensor_id"] == "b"
+        assert reader.next_frame() is None
+
+    def test_truncated_frame_stays_pending(self):
+        """A partial frame is not an error — just not a frame yet."""
+        frame = self._frame()
+        reader = FrameReader()
+        reader.feed(frame[:-1])
+        assert reader.next_frame() is None
+        assert reader.buffered > 0
+        reader.feed(frame[-1:])
+        assert reader.next_frame() is not None
+
+    def _prefix(self, magic=MAGIC, version=PROTOCOL_VERSION, msg_type=2,
+                header_len=2, body_len=0):
+        return struct.pack("!2sBBIQ", magic, version, msg_type, header_len,
+                           body_len)
+
+    def test_oversized_length_prefix_rejected_before_payload(self):
+        """The hostile-peer bound: a giant advertised length raises as
+        soon as the 16 prefix bytes arrive, before any payload is
+        buffered."""
+        reader = FrameReader()
+        reader.feed(self._prefix(body_len=MAX_BODY_BYTES + 1))
+        with pytest.raises(ProtocolError, match="body too large"):
+            reader.next_frame()
+
+    def test_oversized_header_rejected(self):
+        reader = FrameReader()
+        reader.feed(self._prefix(header_len=MAX_HEADER_BYTES + 1))
+        with pytest.raises(ProtocolError, match="header too large"):
+            reader.next_frame()
+
+    def test_unknown_message_type_rejected(self):
+        reader = FrameReader()
+        reader.feed(self._prefix(msg_type=99) + b"{}")
+        with pytest.raises(ProtocolError, match="message type"):
+            reader.next_frame()
+
+    def test_version_mismatch_rejected(self):
+        reader = FrameReader()
+        reader.feed(self._prefix(version=9) + b"{}")
+        with pytest.raises(ProtocolError, match="version"):
+            reader.next_frame()
+
+    def test_bad_magic_rejected(self):
+        reader = FrameReader()
+        reader.feed(self._prefix(magic=b"XX") + b"{}")
+        with pytest.raises(ProtocolError, match="magic"):
+            reader.next_frame()
+
+    def test_undecodable_header_rejected(self):
+        reader = FrameReader()
+        reader.feed(self._prefix(header_len=3) + b"xyz")
+        with pytest.raises(ProtocolError, match="undecodable"):
+            reader.next_frame()
+
+    def test_poisoned_reader_stays_poisoned(self):
+        """After a framing error there is no recoverable boundary:
+        every later call re-raises, even after a valid frame arrives."""
+        reader = FrameReader()
+        reader.feed(self._prefix(magic=b"XX") + b"{}")
+        with pytest.raises(ProtocolError):
+            reader.next_frame()
+        reader.feed(self._frame())
+        with pytest.raises(ProtocolError):
+            reader.next_frame()
+
+    def test_matches_blocking_reader_on_split_points(self):
+        """Every split point of a frame yields the same parse as the
+        one-shot unpack — the incremental reader cannot disagree with
+        the blocking one."""
+        frame = self._frame({"tensor_id": "split"}, np.ones(3).tobytes())
+        expected = unpack_frame(frame)
+        for split in range(1, len(frame)):
+            reader = FrameReader()
+            reader.feed(frame[:split])
+            early = reader.next_frame()
+            assert early is None
+            reader.feed(frame[split:])
+            assert reader.next_frame() == expected
 
 
 class TestFrameValidation:
