@@ -9,6 +9,11 @@ Commands
 ``analyze``     run Algorithm 5 on the simulator and compare measured
                 communication with the closed forms
 ``admissible``  list constructible processor counts
+``plan``        price every candidate configuration (variant × fusion ×
+                backend × plan strategy) under calibrated α-β-γ
+                constants and print the decision table;
+                ``--calibrate`` refreshes the constants from
+                microbenchmarks first
 ``serve``       start the STTSV serving layer (warm sessions + dynamic
                 batching) on a TCP port; ``--fleet N`` spawns N shard
                 processes behind a consistent-hash gateway instead
@@ -45,6 +50,7 @@ from repro.core.sttsv_ndim import sttsv_ndim_lower_bound
 from repro.errors import ReproError
 from repro.machine.machine import Machine
 from repro.machine.transport import TRANSPORTS, FaultPolicy, make_transport
+from repro.planner.pricing import VARIANTS
 from repro.reporting.tables import (
     render_processor_table,
     render_row_block_table,
@@ -251,6 +257,89 @@ def _command_admissible(args) -> int:
     return 0
 
 
+def _command_plan(args) -> int:
+    from dataclasses import replace
+
+    from repro.planner import (
+        Calibration,
+        calibrate,
+        measure_candidate,
+        plan_sttsv,
+        render_decision_table,
+    )
+    from repro.planner.calibration import (
+        DEFAULT_CALIBRATION_FILE,
+        ComputeConstants,
+        TransportConstants,
+    )
+
+    backends = tuple(args.backend) if args.backend else ("simulated",)
+    if args.calibrate:
+        calibration = calibrate(backends=backends)
+        saved = calibration.save(args.calibration or DEFAULT_CALIBRATION_FILE)
+        print(f"calibrated {', '.join(backends)}; wrote {saved}")
+    else:
+        calibration = Calibration.load_or_default(args.calibration)
+    if args.alpha is not None or args.beta is not None:
+        overridden = {
+            name: TransportConstants(
+                alpha=(
+                    args.alpha
+                    if args.alpha is not None
+                    else calibration.constants_for(name).alpha
+                ),
+                beta=(
+                    args.beta
+                    if args.beta is not None
+                    else calibration.constants_for(name).beta
+                ),
+            )
+            for name in backends
+        }
+        calibration = replace(
+            calibration,
+            backends={**calibration.backends, **overridden},
+        )
+    if args.gamma is not None:
+        calibration = replace(
+            calibration,
+            compute=ComputeConstants(
+                gemm_flop_s=args.gamma,
+                gemv_flop_s=args.gamma,
+                scatter_op_s=calibration.compute.scatter_op_s,
+            ),
+        )
+    qs = tuple(args.q) if args.q else (2, 3)
+    n = args.n if args.n else 4 * max(qs) * (max(qs) ** 2 + 1)
+    if args.fused is None:
+        fusion_options = (True, False)
+    else:
+        fusion_options = (args.fused,)
+    decision = plan_sttsv(
+        n,
+        qs=qs,
+        backends=backends,
+        fusion_options=fusion_options,
+        calibration=calibration,
+        Ps=args.P if args.P else None,
+    )
+    print(render_decision_table(decision))
+    if args.measure and decision.best_parallel is not None:
+        measured = measure_candidate(decision.best_parallel, n)
+        print(
+            f"\nmeasured (best parallel, median of 3):"
+            f" {measured.measured_seconds * 1e3:.4f} ms vs"
+            f" {measured.total_time * 1e3:.4f} ms predicted"
+            f" (ratio {measured.prediction_error:.3f})"
+        )
+    config = decision.session_config()
+    print(
+        "\nsession config: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+    )
+    return 0
+
+
 def _command_serve(args) -> int:
     from repro.service.server import STTSVServer
 
@@ -269,6 +358,7 @@ def _command_serve(args) -> int:
         faults=fault_policy,
         fusion=args.fused,
         tracing=not args.no_tracing,
+        calibration_path=args.calibration,
     )
     host, port = server.start()
     print(
@@ -301,6 +391,8 @@ def _fleet_shard_args(args) -> list:
     ]
     if args.faults is not None:
         shard_args += ["--faults", args.faults]
+    if args.calibration is not None:
+        shard_args += ["--calibration", args.calibration]
     if not args.fused:
         shard_args.append("--no-fused")
     if args.no_tracing:
@@ -387,12 +479,18 @@ def _command_load(args) -> int:
     tensor = random_symmetric(n, seed=args.seed)
     with ServiceClient(args.host, args.port) as client:
         info = client.register(
-            args.tensor_id, tensor, q=args.q, backend=args.backend
+            args.tensor_id,
+            tensor,
+            q=args.q,
+            backend=args.backend,
+            variant=args.variant,
         )
     print(
         f"registered {args.tensor_id!r}: n={info['n']}, q={info['q']},"
         f" P={info['P']}, backend={info['backend']},"
+        f" variant={info.get('variant', 'point-to-point')},"
         f" plan={info['plan_strategy']}"
+        + (" [planner-resolved]" if info.get("planned") else "")
     )
     summary = run_load(
         args.host,
@@ -561,6 +659,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(symv)
     symv.set_defaults(func=_command_symv)
 
+    plan = subparsers.add_parser(
+        "plan",
+        help="price candidate STTSV configurations under calibrated"
+        " α-β-γ constants and print the decision table",
+    )
+    plan.add_argument(
+        "--q", type=int, action="append", default=None, metavar="Q",
+        help="prime power to consider (repeatable; default: 2 and 3)",
+    )
+    plan.add_argument(
+        "--P", type=int, action="append", default=None, metavar="P",
+        help="keep only qs whose P = q(q²+1) appears here (repeatable)",
+    )
+    plan.add_argument(
+        "--n", type=int, default=None,
+        help="tensor dimension (default 4·P for the largest q)",
+    )
+    plan.add_argument(
+        "--backend", action="append", choices=sorted(TRANSPORTS),
+        default=None,
+        help="transport backend to consider (repeatable; default"
+        " simulated)",
+    )
+    plan.add_argument(
+        "--calibrate", action="store_true",
+        help="run the α-β-γ microbenchmarks first and write the"
+        " calibration file",
+    )
+    plan.add_argument(
+        "--calibration", type=str, default=None, metavar="PATH",
+        help="calibration file to read/write (default"
+        " ./repro-calibration.json; documented defaults when absent)",
+    )
+    plan.add_argument(
+        "--alpha", type=float, default=None,
+        help="override per-message latency (s) for every backend",
+    )
+    plan.add_argument(
+        "--beta", type=float, default=None,
+        help="override per-word bandwidth cost (s) for every backend",
+    )
+    plan.add_argument(
+        "--gamma", type=float, default=None,
+        help="override the per-flop compute rate (s) for gemm and gemv",
+    )
+    plan.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="restrict candidates to fused (--fused) or unfused"
+        " (--no-fused) execution; default considers both",
+    )
+    plan.add_argument(
+        "--measure", action="store_true",
+        help="execute the best parallel candidate and print measured vs"
+        " predicted time",
+    )
+    plan.set_defaults(func=_command_plan)
+
     serve = subparsers.add_parser(
         "serve",
         help="start the STTSV serving layer (warm sessions, dynamic batching)",
@@ -598,6 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="fuse each session's exchange rounds into per-destination"
         " buffers (--no-fused disables; default fused)",
+    )
+    serve.add_argument(
+        "--calibration", type=str, default=None, metavar="PATH",
+        help="calibration file auto-mode registrations price with"
+        " (default ./repro-calibration.json; documented defaults when"
+        " absent)",
     )
     serve.add_argument(
         "--no-tracing", action="store_true",
@@ -674,7 +837,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline; expired requests get typed errors",
     )
     load.add_argument("--seed", type=int, default=0)
-    _add_backend_argument(load)
+    load.add_argument(
+        "--backend",
+        choices=("auto", *sorted(TRANSPORTS)),
+        default="simulated",
+        help="transport for the session (default simulated), or 'auto'"
+        " to let the server's planner choose",
+    )
+    load.add_argument(
+        "--variant",
+        choices=("auto", *VARIANTS),
+        default="point-to-point",
+        help="communication variant for mode=parallel requests"
+        " (default point-to-point), or 'auto' to let the server's"
+        " planner choose",
+    )
     load.set_defaults(func=_command_load)
 
     stats = subparsers.add_parser(

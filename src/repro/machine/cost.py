@@ -121,25 +121,19 @@ class CostModel:
         active destination, so the latency term is ``α · fused_rounds``
         and the bandwidth term spreads the physical words (headers
         included) over the machine: ``β · fused_words / P``. Rounds
-        that did not go through the fusing scheduler are priced at
-        their unfused :meth:`communication_time` rates. Comparing this
-        against :meth:`communication_time` quantifies the α savings
-        fusion buys without touching the algorithmic ledger.
+        that did not go through the fusing scheduler — identified
+        exactly by the per-round ``fused`` tag
+        :meth:`~repro.machine.ledger.CommunicationLedger.record_fusion`
+        sets — are priced at their own unfused
+        :meth:`communication_time` rates, so mixed ledgers are exact,
+        not averaged. Comparing this against
+        :meth:`communication_time` quantifies the α savings fusion
+        buys without touching the algorithmic ledger. An empty ledger
+        prices to 0.0.
         """
-        unfused_rounds = max(
-            ledger.round_count() - ledger.fused_logical_rounds, 0
-        )
-        # Which specific rounds were fused is not recorded per-round;
-        # approximate the unfused remainder at the mean per-round
-        # bandwidth. Exact when everything (or nothing) was fused —
-        # the two cases the benchmarks compare.
-        mean_round_bw = (
-            self.bandwidth_time(ledger) / ledger.round_count()
-            if ledger.round_count()
-            else 0.0
-        )
+        unfused = [r for r in ledger.rounds if not r.fused]
         return (
-            self.alpha * (ledger.fused_rounds + unfused_rounds)
+            self.alpha * (ledger.fused_rounds + len(unfused))
             + self.beta * ledger.fused_words / max(ledger.P, 1)
-            + mean_round_bw * unfused_rounds
+            + self.beta * sum(r.max_words() for r in unfused)
         )

@@ -27,6 +27,12 @@ class RoundRecord:
 
     label: str
     messages: List[Message] = field(default_factory=list)
+    #: True iff this logical round was covered by a fused physical
+    #: exchange (set by :meth:`CommunicationLedger.record_fusion`).
+    #: The flag never changes the algorithmic counts — it exists so
+    #: time estimates can price the *unfused remainder* of a mixed
+    #: ledger exactly instead of averaging.
+    fused: bool = False
 
     def max_words(self) -> int:
         """Largest per-processor send volume within the round."""
@@ -136,6 +142,13 @@ class CommunicationLedger:
         side-channel records what actually crossed the transport — one
         header-framed buffer per active destination — so fusion savings
         are observable without perturbing the closed-form counts.
+
+        The ``logical_rounds`` most recently completed rounds are
+        additionally tagged ``fused`` (they are exactly the rounds the
+        caller just priced through
+        :meth:`~repro.machine.cost.CostModel.price_fused_batch`), so
+        mixed fused/unfused ledgers can be timed exactly: the unfused
+        remainder is whatever rounds carry no tag.
         """
         if min(
             physical_messages,
@@ -145,6 +158,14 @@ class CommunicationLedger:
             logical_words,
         ) < 0:
             raise MachineError("negative fusion accounting")
+        if logical_rounds > len(self.rounds):
+            raise MachineError(
+                f"fusion batch claims {logical_rounds} logical rounds but"
+                f" the ledger holds only {len(self.rounds)} — price the"
+                " batch's rounds before recording its fusion"
+            )
+        for record in self.rounds[len(self.rounds) - logical_rounds :]:
+            record.fused = True
         self.fused_rounds += 1
         self.fused_messages += physical_messages
         self.fused_words += physical_words

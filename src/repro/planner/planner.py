@@ -1,0 +1,378 @@
+"""Candidate enumeration, argmin selection, and measured cross-checks.
+
+``plan_sttsv`` is the autotuning entry point: enumerate every valid
+configuration for a tensor — communication variant (point-to-point vs
+All-to-All), fused vs unfused execution, transport backend, plan
+strategy, batch width — price each one from its exact predicted ledger
+(:mod:`repro.planner.pricing`) under calibrated α-β-γ constants
+(:mod:`repro.planner.calibration`), and return the argmin with the
+full priced table.
+
+The interesting selection is the paper's own tradeoff: the All-to-All
+variant moves ~2× the point-to-point bandwidth but fuses each phase
+into a single physical exchange, so it wins exactly when α dominates β
+— inflate α (a high-latency interconnect) and the argmin flips from
+point-to-point to All-to-All; inflate β (a thin pipe) and it flips
+back. Both flips are pinned by tests.
+
+Ties are broken deterministically: candidates are priced in a fixed
+enumeration order and sorting is stable, so equal-cost configurations
+resolve to the earliest-enumerated one (simulated before shm,
+point-to-point before All-to-All, fused before unfused, smaller batch
+widths first) — the planner never dithers between equivalent choices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import TetrahedralPartition
+from repro.errors import ConfigurationError
+from repro.machine.ledger import CommunicationLedger
+from repro.planner.calibration import Calibration
+from repro.planner.pricing import (
+    STRATEGIES,
+    VARIANTS,
+    gemm_plan_flops,
+    parallel_flops,
+    predicted_ledger,
+    scatter_plan_ops,
+)
+from repro.steiner import spherical_steiner_system
+
+#: Modes a candidate prices: the warm machine (Algorithm 5) or the
+#: compiled sequential plan.
+MODES = ("parallel", "plan")
+
+#: Default batch widths enumerated for the plan path.
+DEFAULT_BATCH_WIDTHS = (1, 8, 32)
+
+#: Flops per ternary multiplication (one multiply-accumulate).
+_FLOPS_PER_TERNARY = 2
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One runnable configuration.
+
+    ``mode="parallel"`` candidates carry ``(q, P, backend, variant,
+    fusion)`` and serve through Algorithm 5 on the warm machine;
+    ``mode="plan"`` candidates carry ``(strategy, batch_width)`` and
+    serve through the compiled sequential plan (no communication).
+    """
+
+    mode: str
+    q: Optional[int] = None
+    P: Optional[int] = None
+    backend: Optional[str] = None
+    variant: Optional[str] = None
+    fusion: Optional[bool] = None
+    strategy: Optional[str] = None
+    batch_width: Optional[int] = None
+
+    def label(self) -> str:
+        if self.mode == "parallel":
+            return (
+                f"parallel q={self.q} {self.backend} {self.variant}"
+                f" {'fused' if self.fusion else 'unfused'}"
+            )
+        return f"plan {self.strategy} s={self.batch_width}"
+
+
+@dataclass
+class PricedCandidate:
+    """A candidate with its α-β-γ price (seconds per served vector)."""
+
+    candidate: Candidate
+    comm_time: float
+    compute_time: float
+    total_time: float
+    #: Physical synchronous steps per vector (fused exchanges count 1).
+    physical_rounds: int
+    #: Critical-path words sent per processor per vector.
+    words_per_processor: int
+    alpha: float
+    beta: float
+    gamma: float
+    #: Filled by :func:`measure_candidate` (wall seconds, one vector).
+    measured_seconds: Optional[float] = None
+
+    @property
+    def prediction_error(self) -> Optional[float]:
+        """``predicted/measured`` ratio (None until measured)."""
+        if not self.measured_seconds:
+            return None
+        return self.total_time / self.measured_seconds
+
+
+class PlanDecision:
+    """The priced candidate table plus its argmins."""
+
+    def __init__(
+        self,
+        n: int,
+        candidates: List[PricedCandidate],
+        calibration: Calibration,
+    ):
+        if not candidates:
+            raise ConfigurationError("planner produced no candidates")
+        self.n = n
+        self.calibration = calibration
+        # Stable sort: ties resolve to enumeration order.
+        self.candidates = sorted(candidates, key=lambda c: c.total_time)
+        self.best = self.candidates[0]
+        self.best_parallel = next(
+            (c for c in self.candidates if c.candidate.mode == "parallel"),
+            None,
+        )
+        self.best_plan = next(
+            (c for c in self.candidates if c.candidate.mode == "plan"),
+            None,
+        )
+
+    def session_config(self) -> Dict:
+        """The configuration the serving layer's auto mode applies:
+        machine side from the best parallel candidate, plan side from
+        the best sequential candidate."""
+        config: Dict = {"n": self.n}
+        if self.best_parallel is not None:
+            parallel = self.best_parallel.candidate
+            config.update(
+                q=parallel.q,
+                P=parallel.P,
+                backend=parallel.backend,
+                variant=parallel.variant,
+                fusion=parallel.fusion,
+            )
+        if self.best_plan is not None:
+            plan = self.best_plan.candidate
+            config.update(
+                strategy=plan.strategy, batch_width=plan.batch_width
+            )
+        return config
+
+
+def _price_parallel(
+    candidate: Candidate,
+    partition: TetrahedralPartition,
+    n: int,
+    ledger: CommunicationLedger,
+    calibration: Calibration,
+) -> PricedCandidate:
+    gamma = calibration.compute.gemm_flop_s
+    model = calibration.cost_model(candidate.backend, gamma=gamma)
+    if candidate.fusion:
+        comm = model.fused_communication_time(ledger)
+        physical_rounds = ledger.fused_rounds + sum(
+            1 for r in ledger.rounds if not r.fused
+        )
+    else:
+        comm = model.communication_time(ledger)
+        physical_rounds = ledger.round_count()
+    flops = _FLOPS_PER_TERNARY * parallel_flops(partition, n)
+    compute = model.computation_time(flops)
+    return PricedCandidate(
+        candidate=candidate,
+        comm_time=comm,
+        compute_time=compute,
+        total_time=comm + compute,
+        physical_rounds=physical_rounds,
+        words_per_processor=ledger.max_words_sent(),
+        alpha=model.alpha,
+        beta=model.beta,
+        gamma=gamma,
+    )
+
+
+def _price_plan(
+    candidate: Candidate, n: int, calibration: Calibration
+) -> PricedCandidate:
+    compute_constants = calibration.compute
+    if candidate.strategy == "gemm":
+        work = gemm_plan_flops(n)
+        rate = (
+            compute_constants.gemm_flop_s
+            if (candidate.batch_width or 1) > 1
+            else compute_constants.gemv_flop_s
+        )
+    else:
+        # bincount batches column by column: width buys nothing.
+        work = scatter_plan_ops(n)
+        rate = compute_constants.scatter_op_s
+    compute = work * rate
+    return PricedCandidate(
+        candidate=candidate,
+        comm_time=0.0,
+        compute_time=compute,
+        total_time=compute,
+        physical_rounds=0,
+        words_per_processor=0,
+        alpha=0.0,
+        beta=0.0,
+        gamma=rate,
+    )
+
+
+def plan_sttsv(
+    n: int,
+    qs: Sequence[int],
+    backends: Sequence[str] = ("simulated",),
+    variants: Sequence[str] = VARIANTS,
+    fusion_options: Sequence[bool] = (True, False),
+    strategies: Sequence[str] = STRATEGIES,
+    batch_widths: Sequence[int] = DEFAULT_BATCH_WIDTHS,
+    calibration: Optional[Calibration] = None,
+    Ps: Optional[Sequence[int]] = None,
+) -> PlanDecision:
+    """Enumerate, price, and rank every candidate configuration.
+
+    Parameters
+    ----------
+    n:
+        Tensor dimension the plan is for.
+    qs:
+        Prime powers to consider (each builds ``P = q(q²+1)``
+        processors).
+    Ps:
+        Optional processor-count filter: keep only the ``qs`` whose
+        ``P`` appears here (a ``(q, P)`` consistency check when both
+        are given explicitly).
+    """
+    if n < 1:
+        raise ConfigurationError(f"tensor dimension must be >= 1, got {n}")
+    if not qs:
+        raise ConfigurationError("planner needs at least one q")
+    for variant in variants:
+        if variant not in VARIANTS:
+            raise ConfigurationError(
+                f"variant must be one of {VARIANTS}, got {variant!r}"
+            )
+    calibration = (
+        calibration if calibration is not None else Calibration.default()
+    )
+    wanted_P = set(Ps) if Ps else None
+    priced: List[PricedCandidate] = []
+    seen_P: List[int] = []
+    for q in qs:
+        partition = TetrahedralPartition(spherical_steiner_system(q))
+        partition.validate()
+        seen_P.append(partition.P)
+        if wanted_P is not None and partition.P not in wanted_P:
+            continue
+        ledgers: Dict[Tuple[str, bool], CommunicationLedger] = {}
+        for backend in backends:
+            for variant in variants:
+                for fusion in fusion_options:
+                    ledger = ledgers.get((variant, fusion))
+                    if ledger is None:
+                        ledger = predicted_ledger(
+                            partition, n, variant=variant, fusion=fusion
+                        )
+                        ledgers[(variant, fusion)] = ledger
+                    candidate = Candidate(
+                        mode="parallel",
+                        q=q,
+                        P=partition.P,
+                        backend=backend,
+                        variant=variant,
+                        fusion=fusion,
+                    )
+                    priced.append(
+                        _price_parallel(
+                            candidate, partition, n, ledger, calibration
+                        )
+                    )
+    for strategy in strategies:
+        for width in batch_widths:
+            candidate = Candidate(
+                mode="plan", strategy=strategy, batch_width=width
+            )
+            priced.append(_price_plan(candidate, n, calibration))
+    if wanted_P is not None and not any(
+        c.candidate.mode == "parallel" for c in priced
+    ):
+        raise ConfigurationError(
+            f"no q in {list(qs)} builds P in {sorted(wanted_P)}"
+            f" (qs give P = {seen_P})"
+        )
+    return PlanDecision(n, priced, calibration)
+
+
+def auto_session_config(
+    n: int,
+    q: int,
+    backends: Sequence[str] = ("simulated",),
+    calibration: Optional[Calibration] = None,
+    fusion_options: Sequence[bool] = (True,),
+) -> Dict:
+    """The serving layer's auto-mode hook: the best configuration for
+    one registered tensor at a fixed ``q``.
+
+    ``fusion_options`` defaults to fused-only because the session pool
+    owner (the server) controls fusion globally; pass both options to
+    let the planner decide that too.
+    """
+    decision = plan_sttsv(
+        n,
+        qs=(q,),
+        backends=backends,
+        fusion_options=fusion_options,
+        calibration=calibration,
+    )
+    return decision.session_config()
+
+
+# -- measured cross-check --------------------------------------------------------
+
+
+def measure_candidate(
+    priced: PricedCandidate,
+    n: int,
+    seed: int = 0,
+    repeats: int = 3,
+) -> PricedCandidate:
+    """Execute a parallel candidate once per repeat and attach the
+    median measured wall time (obs phase spans) to a copy.
+
+    The returned candidate's ``measured_seconds`` is the median
+    ``sttsv:run`` span; callers compare it against ``total_time`` to
+    track the cost model's prediction error (the benchmarks hook
+    records exactly that).
+    """
+    from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
+    from repro.machine.machine import Machine
+    from repro.machine.transport import make_transport
+    from repro.tensor.dense import random_symmetric
+
+    candidate = priced.candidate
+    if candidate.mode != "parallel":
+        raise ConfigurationError(
+            "measure_candidate only measures parallel candidates"
+        )
+    partition = TetrahedralPartition(spherical_steiner_system(candidate.q))
+    tensor = random_symmetric(n, seed=seed)
+    x = np.random.default_rng(seed + 1).normal(size=n)
+    samples: List[float] = []
+    with Machine(
+        partition.P,
+        transport=make_transport(candidate.backend, partition.P),
+        fusion=bool(candidate.fusion),
+    ) as machine:
+        algo = ParallelSTTSV(
+            partition, n, backend=CommBackend(candidate.variant)
+        )
+        algo.load_tensor(machine, tensor)
+        for _ in range(repeats):
+            machine.instrument.reset()
+            algo.load_vector(machine, x)
+            algo.run(machine)
+            machine.reset_ledger()
+            samples.append(
+                machine.instrument.total_seconds("sttsv:run")
+            )
+    measured = float(np.median(samples)) if samples else math.nan
+    return replace(priced, measured_seconds=measured)

@@ -1,0 +1,193 @@
+"""Exact predicted ledgers and candidate pricing.
+
+The pricing layer never moves a byte and never touches tensor data: a
+configuration's communication cost is a pure function of the round
+*schedule*, and the schedule is a pure function of ``(q, n, variant,
+fusion)``. So the planner builds, for each candidate, the exact
+:class:`~repro.machine.ledger.CommunicationLedger` a real Algorithm 5
+run would produce — same labels, same per-round word counts, same
+``fused_*`` side-channel — and prices it with the calibrated
+:class:`~repro.machine.cost.CostModel` (``communication_time`` /
+``fused_communication_time`` / ``total_time``). A conformance test
+asserts predicted ledgers match executed ones field for field.
+
+Schedule reconstruction mirrors the execution paths byte for byte:
+
+* **point-to-point** — the §7.2.2 permutation schedule; the payload
+  ``src → dst`` in either exchange phase is one shard per shared row
+  block, ``|R_src ∩ R_dst| · shard`` words. With fusion on, execution
+  goes through the overlap pipeline, which packs each phase's rounds
+  into :data:`~repro.core.parallel_sttsv.PIPELINE_CHUNKS` contiguous
+  fused exchanges — reproduced here chunk for chunk, fusion headers
+  included.
+* **all-to-all** — ``P − 1`` shift rounds per phase of one uniform
+  2-shard slot to every other processor; with fusion on, each phase is
+  one fused exchange. This is the paper's α-vs-β tradeoff in ledger
+  form: ~2× the point-to-point bandwidth, but 2 fused exchanges per
+  STTSV instead of ``2 · PIPELINE_CHUNKS``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.parallel_sttsv import PIPELINE_CHUNKS, _chunk_bounds
+from repro.core.partition import TetrahedralPartition
+from repro.core.schedule import build_exchange_schedule
+from repro.errors import ConfigurationError
+from repro.machine.ledger import CommunicationLedger
+from repro.machine.message import Message
+from repro.machine.transport.fusion import (
+    _MEMBER_HEADER_WORDS,
+    _PREAMBLE_WORDS,
+)
+
+#: Comm-variant names (string forms of ``CommBackend`` values).
+VARIANTS = ("point-to-point", "all-to-all")
+
+#: Plan-strategy names the sequential path can be pinned to.
+STRATEGIES = ("gemm", "bincount")
+
+
+def padded_block_size(partition: TetrahedralPartition, n: int) -> int:
+    """Row-block size ``b`` of the padded problem (same rule as
+    :class:`~repro.core.parallel_sttsv.ParallelSTTSV`)."""
+    replication = partition.steiner.point_replication()
+    per_row = -(-n // partition.m)
+    return replication * (-(-per_row // replication))
+
+
+#: One scheduled message: ``(source, dest, words)``.
+_Sched = Tuple[int, int, int]
+
+
+def _p2p_rounds(
+    partition: TetrahedralPartition, shard: int
+) -> List[List[_Sched]]:
+    """Per-round ``(src, dst, words)`` schedules of one p2p phase."""
+    schedule = build_exchange_schedule(partition)
+    members = [frozenset(row) for row in partition.R]
+    rounds: List[List[_Sched]] = []
+    for round_map in schedule.rounds:
+        rounds.append(
+            [
+                (src, dst, len(members[src] & members[dst]) * shard)
+                for src, dst in round_map.items()
+            ]
+        )
+    return rounds
+
+
+def _a2a_rounds(P: int, shard: int) -> List[List[_Sched]]:
+    """Per-shift ``(src, dst, words)`` schedules of one All-to-All
+    phase (uniform 2-shard slots, every ordered pair)."""
+    slot = 2 * shard
+    return [
+        [(src, (src + shift) % P, slot) for src in range(P)]
+        for shift in range(1, P)
+    ]
+
+
+def _record_phase(
+    ledger: CommunicationLedger,
+    tag: str,
+    rounds: Sequence[List[_Sched]],
+    labels: Sequence[str],
+    fused_batches: Sequence[Tuple[int, int]],
+) -> None:
+    """Price one phase's rounds and its fused batches into ``ledger``.
+
+    ``fused_batches`` lists ``(lo, hi)`` round-index ranges, each
+    executed as one fused physical exchange (empty for unfused runs).
+    Pricing interleaves exactly like execution does — each batch's
+    rounds are priced, then its fusion recorded — so the per-round
+    ``fused`` tags land on the right rounds.
+    """
+
+    def price(lo: int, hi: int) -> None:
+        for label, sched in zip(labels[lo:hi], rounds[lo:hi]):
+            ledger.begin_round(label)
+            for src, dst, words in sched:
+                if words:
+                    ledger.record(Message(src, dst, words, tag))
+            ledger.end_round()
+
+    if not fused_batches:
+        price(0, len(rounds))
+        return
+    for lo, hi in fused_batches:
+        price(lo, hi)
+        batch = [s for sched in rounds[lo:hi] for s in sched if s[2]]
+        destinations = {dst for _, dst, _ in batch}
+        logical_words = sum(words for _, _, words in batch)
+        ledger.record_fusion(
+            physical_messages=len(destinations),
+            physical_words=(
+                logical_words
+                + _PREAMBLE_WORDS * len(destinations)
+                + _MEMBER_HEADER_WORDS * len(batch)
+            ),
+            logical_rounds=hi - lo,
+            logical_messages=len(batch),
+            logical_words=logical_words,
+        )
+
+
+def predicted_ledger(
+    partition: TetrahedralPartition,
+    n: int,
+    variant: str = "point-to-point",
+    fusion: bool = True,
+) -> CommunicationLedger:
+    """The exact ledger one STTSV would produce under this config.
+
+    Matches a real run field for field: per-processor counters, round
+    labels and word counts, and the ``fused_*`` side-channel
+    (conformance-tested against executed ledgers).
+    """
+    if variant not in VARIANTS:
+        raise ConfigurationError(
+            f"variant must be one of {VARIANTS}, got {variant!r}"
+        )
+    b = padded_block_size(partition, n)
+    shard = partition.shard_size(b)
+    ledger = CommunicationLedger(partition.P)
+    for tag in ("x-exchange", "y-exchange"):
+        if variant == "point-to-point":
+            rounds = _p2p_rounds(partition, shard)
+            labels = [f"{tag}:round{i}" for i in range(len(rounds))]
+            # The overlap pipeline executes each phase in
+            # PIPELINE_CHUNKS contiguous fused exchanges.
+            batches = _chunk_bounds(len(rounds), PIPELINE_CHUNKS) if fusion else []
+        else:
+            rounds = _a2a_rounds(partition.P, shard)
+            labels = [f"{tag}:shift{s}" for s in range(1, partition.P)]
+            # all_to_all fuses the whole phase into one exchange.
+            batches = [(0, len(rounds))] if fusion else []
+        _record_phase(ledger, tag, rounds, labels, batches)
+    return ledger
+
+
+# -- flop counts -----------------------------------------------------------------
+
+
+def parallel_flops(partition: TetrahedralPartition, n: int) -> int:
+    """Critical-path phase-2 work: the largest per-processor ternary
+    multiplication count (§7.1)."""
+    b = padded_block_size(partition, n)
+    return max(
+        partition.ternary_multiplications(p, b)
+        for p in range(partition.P)
+    )
+
+
+def gemm_plan_flops(n: int) -> float:
+    """Per-vector flops of the ``gemm`` plan strategy: one product of
+    the ``n × n(n+1)/2`` symmetry-reduced unfolding."""
+    return 2.0 * n * (n * (n + 1) // 2)
+
+
+def scatter_plan_ops(n: int) -> float:
+    """Per-vector scatter ops of the ``bincount`` plan strategy: a
+    bounded number of weighted scatter-adds per packed entry."""
+    return 6.0 * (n * (n + 1) * (n + 2) // 6)

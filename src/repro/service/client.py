@@ -72,9 +72,16 @@ class ServiceClient:
         self._timeout = timeout
         self._retries = max(0, int(retries))
         self._retry_backoff_s = retry_backoff_s
-        self._sock: Optional[socket.socket] = self._connect()
+        # Connect lazily: the first ``_roundtrip`` dials inside its
+        # bounded-backoff retry loop, so a transient refusal at
+        # construction time (racing a shard restart behind the
+        # gateway) is retried like any other transport failure instead
+        # of raising before ``retries`` ever applied.
+        self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
-        #: Transport failures recovered by reconnect-and-replay.
+        #: Transport failures recovered by reconnect-and-replay —
+        #: including a failed initial dial that a later attempt in the
+        #: same bounded-backoff loop recovered.
         self.reconnects = 0
         #: Trace id of the most recent ``apply``/``apply_batch`` reply
         #: (the server mints one per request and echoes it back, so
@@ -162,8 +169,15 @@ class ServiceClient:
         q: int,
         backend: str = "simulated",
         strategy: str = "auto",
+        variant: str = "point-to-point",
     ) -> Dict:
-        """Upload a tensor and warm an engine session for it."""
+        """Upload a tensor and warm an engine session for it.
+
+        Pass ``backend="auto"`` and/or ``variant="auto"`` to let the
+        server's planner pick the cheapest configuration under its
+        calibrated constants; the reply echoes what was chosen
+        (``planned: true``).
+        """
         header, body = encode_array(tensor.data)
         header.update(
             {
@@ -172,6 +186,7 @@ class ServiceClient:
                 "q": q,
                 "backend": backend,
                 "strategy": strategy,
+                "variant": variant,
             }
         )
         reply_type, reply_header, _ = self._roundtrip(

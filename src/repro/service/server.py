@@ -47,6 +47,8 @@ from repro.obs.metrics import (
     default_registry,
 )
 from repro.obs.tracing import get_tracer, new_trace_id, trace_context
+from repro.planner import Calibration, auto_session_config
+from repro.planner.pricing import VARIANTS
 from repro.service.batcher import (
     DEFAULT_ADMISSION_CAPACITY,
     DEFAULT_MAX_BATCH,
@@ -112,6 +114,7 @@ class STTSVServer(FrameLoopServer):
         registry: Optional[MetricsRegistry] = None,
         executor_workers: int = DEFAULT_EXECUTOR_WORKERS,
         max_inflight: Optional[int] = None,
+        calibration_path: Optional[str] = None,
     ):
         super().__init__(
             host=host,
@@ -124,6 +127,9 @@ class STTSVServer(FrameLoopServer):
         #: Whether sessions created by this server fuse their exchange
         #: rounds into per-destination buffers (default on).
         self.fusion = fusion
+        #: Calibration file auto-mode registrations price with (None =
+        #: the default path, falling back to documented constants).
+        self.calibration_path = calibration_path
         #: Whether this server turns on the process tracer while it
         #: runs (the prior tracer state is restored on :meth:`stop`).
         self.tracing = tracing
@@ -336,13 +342,25 @@ class STTSVServer(FrameLoopServer):
                 ErrorCode.BAD_REQUEST, "register needs integer n and q"
             ) from None
         backend = header.get("backend", "simulated")
-        if backend not in TRANSPORTS:
+        if backend != "auto" and backend not in TRANSPORTS:
             raise ServiceError(
                 ErrorCode.BAD_REQUEST,
-                f"unknown backend {backend!r}; available:"
+                f"unknown backend {backend!r}; available: auto,"
                 f" {', '.join(sorted(TRANSPORTS))}",
             )
+        variant = header.get("variant", "point-to-point")
+        if variant != "auto" and variant not in VARIANTS:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown variant {variant!r}; available: auto,"
+                f" {', '.join(VARIANTS)}",
+            )
         strategy = header.get("strategy", "auto")
+        planned = backend == "auto" or variant == "auto"
+        if planned:
+            backend, variant, strategy = self._plan_registration(
+                n, q, backend, variant, strategy
+            )
         data = decode_array(header, body, expected_ndim=1)
         if data.shape[0] != packed_size(n):
             raise ServiceError(
@@ -362,6 +380,7 @@ class STTSVServer(FrameLoopServer):
             strategy=strategy,
             faults=self.faults,
             fusion=self.fusion,
+            variant=variant,
         )
         with self._routes_lock:
             self._routes[tensor_id] = key
@@ -375,10 +394,43 @@ class STTSVServer(FrameLoopServer):
                 "q": q,
                 "P": key.P,
                 "backend": backend,
+                "variant": session.variant.value,
+                "planned": planned,
                 "plan_strategy": session.plan.strategy,
                 "session_bytes": session.nbytes(),
             },
         )
+
+    def _plan_registration(
+        self, n: int, q: int, backend: str, variant: str, strategy: str
+    ) -> Tuple[str, str, str]:
+        """Resolve ``auto`` registration fields through the planner.
+
+        Deterministic given the calibration file (or its absence): the
+        planner prices candidates under the loaded constants and ties
+        break in enumeration order, so every shard behind the gateway
+        resolves an identical replayed registration identically. Only
+        the fields the caller left on ``auto`` are overwritten, and
+        fusion candidates are pinned to this server's own ``fusion``
+        setting (sessions inherit it regardless).
+        """
+        calibration = Calibration.load_or_default(self.calibration_path)
+        config = auto_session_config(
+            n,
+            q,
+            backends=(
+                tuple(sorted(TRANSPORTS)) if backend == "auto" else (backend,)
+            ),
+            calibration=calibration,
+            fusion_options=(self.fusion,),
+        )
+        if backend == "auto":
+            backend = config["backend"]
+        if variant == "auto":
+            variant = config["variant"]
+        if strategy == "auto":
+            strategy = config["strategy"]
+        return backend, variant, strategy
 
     def _resolve(self, header: Dict) -> Tuple[SessionKey, EngineSession]:
         tensor_id = header.get("tensor_id")

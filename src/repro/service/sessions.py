@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional
 
 import numpy as np
 
-from repro.core.parallel_sttsv import ParallelSTTSV
+from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
 from repro.core.plans import LRUByteCache, SequentialPlan, sequential_plan
 from repro.errors import ConfigurationError
@@ -76,6 +76,7 @@ class EngineSession:
         faults: Optional[FaultPolicy] = None,
         local_threads: Optional[int] = None,
         fusion: bool = True,
+        variant: str = "point-to-point",
     ):
         partition = TetrahedralPartition(spherical_steiner_system(key.q))
         partition.validate()
@@ -89,13 +90,17 @@ class EngineSession:
         self.n = tensor.n
         self.faults = faults
         self.fusion = fusion
+        self.variant = CommBackend(variant)
         self.machine = Machine(
             partition.P,
             transport=make_transport(key.backend, partition.P, faults=faults),
             fusion=fusion,
         )
         self.algo = ParallelSTTSV(
-            partition, tensor.n, local_threads=local_threads
+            partition,
+            tensor.n,
+            backend=self.variant,
+            local_threads=local_threads,
         )
         self.algo.load_tensor(self.machine, tensor)
         self.plan: SequentialPlan = sequential_plan(tensor, strategy=strategy)
@@ -168,6 +173,7 @@ class EngineSession:
             "q": self.key.q,
             "P": self.key.P,
             "backend": self.key.backend,
+            "variant": self.variant.value,
             "plan_strategy": self.plan.strategy,
             "fusion": self.fusion,
             "session_bytes": self.nbytes(),

@@ -62,6 +62,49 @@ class TestAdmissible:
         assert "10, 14, 30, 68, 130" in out
 
 
+class TestPlan:
+    def test_decision_table_prints(self, capsys):
+        assert main(["plan", "--q", "3", "--P", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "STTSV plan for n=120" in out
+        assert "all-to-all" in out and "point-to-point" in out
+        assert "best:" in out
+        assert "session config:" in out
+
+    def test_alpha_override_flips_to_all_to_all(self, capsys):
+        assert main(
+            ["plan", "--q", "3", "--alpha", "1e-2", "--fused"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "variant=all-to-all" in out
+
+    def test_beta_override_flips_to_point_to_point(self, capsys):
+        assert main(
+            [
+                "plan", "--q", "3",
+                "--alpha", "1e-9", "--beta", "1e-3", "--fused",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "variant=point-to-point" in out
+
+    def test_calibrate_writes_file_plan_reads_it(self, tmp_path, capsys):
+        path = str(tmp_path / "cal.json")
+        assert main(
+            ["plan", "--q", "2", "--calibrate", "--calibration", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "measured constants" in out
+        # A second run loads the same file instead of re-measuring.
+        assert main(["plan", "--q", "2", "--calibration", path]) == 0
+        assert "measured constants" in capsys.readouterr().out
+
+    def test_mismatched_P_reports_error(self, capsys):
+        assert main(["plan", "--q", "2", "--P", "999"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_bad_q_reports_error(self, capsys):
         assert main(["tables", "--q", "6"]) == 2

@@ -164,3 +164,76 @@ class TestCostModel:
         assert model.communication_time(ledger) == pytest.approx(2e-6)
         assert model.computation_time(10**6) == pytest.approx(1e-4)
         assert model.total_time(ledger, 10**6) == pytest.approx(1e-4 + 2e-6)
+
+    def test_fused_time_mixed_ledger_is_exact(self):
+        # Two unfused rounds, then a fused batch covering two more:
+        # the unfused remainder must be priced at its own per-round
+        # critical path, not spread at a mean bandwidth.
+        ledger = CommunicationLedger(4)
+        for words in (100, 300):  # unfused rounds
+            ledger.begin_round()
+            ledger.record(Message(0, 1, words))
+            ledger.end_round()
+        for words in (50, 70):  # rounds covered by one fused exchange
+            ledger.begin_round()
+            ledger.record(Message(2, 3, words))
+            ledger.end_round()
+        ledger.record_fusion(
+            physical_messages=1,
+            physical_words=128,  # 120 payload + headers
+            logical_rounds=2,
+            logical_messages=2,
+            logical_words=120,
+        )
+        assert [r.fused for r in ledger.rounds] == [
+            False, False, True, True,
+        ]
+        model = CostModel(alpha=1e-6, beta=1e-9)
+        # α: 1 fused exchange + 2 unfused rounds = 3 latencies.
+        # β: fused words spread over P (128/4) + exact unfused
+        #    per-round maxima (100 + 300).
+        expected = 1e-6 * 3 + 1e-9 * (128 / 4) + 1e-9 * (100 + 300)
+        assert model.fused_communication_time(ledger) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_fused_time_empty_ledger_is_zero(self):
+        model = CostModel()
+        assert model.fused_communication_time(CommunicationLedger(3)) == 0.0
+        # Zero-P ledgers cannot exist — the degenerate case is caught
+        # at construction, before any pricing path can divide by P.
+        with pytest.raises(MachineError):
+            CommunicationLedger(0)
+
+    def test_record_fusion_rejects_overclaimed_rounds(self):
+        ledger = CommunicationLedger(2)
+        ledger.begin_round()
+        ledger.record(Message(0, 1, 10))
+        ledger.end_round()
+        with pytest.raises(MachineError):
+            ledger.record_fusion(
+                physical_messages=1,
+                physical_words=12,
+                logical_rounds=2,  # only 1 round priced so far
+                logical_messages=1,
+                logical_words=10,
+            )
+
+    def test_merge_carries_fused_tags(self):
+        first = CommunicationLedger(2)
+        first.begin_round()
+        first.record(Message(0, 1, 5))
+        first.end_round()
+        first.record_fusion(
+            physical_messages=1,
+            physical_words=9,
+            logical_rounds=1,
+            logical_messages=1,
+            logical_words=5,
+        )
+        second = CommunicationLedger(2)
+        second.begin_round()
+        second.record(Message(1, 0, 6))
+        second.end_round()
+        first.merge(second)
+        assert [r.fused for r in first.rounds] == [True, False]
