@@ -47,7 +47,7 @@ from repro.core.parallel_sttsv import CommBackend, ParallelSTTSV
 from repro.core.partition import TetrahedralPartition
 from repro.core.schedule import build_exchange_schedule
 from repro.core.sttsv_ndim import sttsv_ndim_lower_bound
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.machine.machine import Machine
 from repro.machine.transport import TRANSPORTS, FaultPolicy, make_transport
 from repro.planner.pricing import VARIANTS
@@ -158,12 +158,64 @@ def _command_analyze(args) -> int:
             tracer.disable()
 
 
+def _run_analyze_ndim(args, trace_id: str) -> int:
+    """Order-4 analysis: run the blocked STTSV over an SQS partition
+    and compare measured communication with the generalized bound."""
+    from repro.core.parallel_sttsv_ndim import ParallelSTTSVm
+    from repro.core.partition_ndim import QuadruplePartition
+    from repro.core.sttsv_ndim import sttsv_ndim
+    from repro.tensor.ndpacked import nd_random_symmetric
+
+    if args.sqs is None:
+        raise ConfigurationError(
+            "order-4 analysis partitions with SQS(2^k); pass --sqs K"
+        )
+    partition = QuadruplePartition(boolean_steiner_system(args.sqs))
+    partition.validate()
+    n = args.n if args.n else partition.m * partition.replication
+    tensor = nd_random_symmetric(n, 4, seed=args.seed)
+    x = np.random.default_rng(args.seed + 1).normal(size=n)
+    algo = ParallelSTTSVm(partition, n)
+    print(
+        f"order-4 blocked STTSV on P = {partition.P} processors, n = {n}"
+        f" (padded to {algo.n_padded}, transport {args.backend})"
+    )
+    print(f"trace id: {trace_id}")
+    with Machine(
+        partition.P,
+        transport=make_transport(args.backend, partition.P),
+        fusion=args.fused,
+    ) as machine:
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        y = algo.gather_result(machine)
+        words = machine.ledger.max_words_sent()
+        rounds = machine.ledger.round_count()
+    error = float(np.max(np.abs(y - sttsv_ndim(tensor, x))))
+    bound = sttsv_ndim_lower_bound(n, partition.P, 4)
+    print(
+        f"  {'point-to-point':>16}: {words:>8} words/proc,"
+        f" {rounds:>4} rounds, max error {error:.2e}"
+    )
+    print(
+        f"  {'lower bound':>16}: {bound:>8.1f} words/proc"
+        f" (order-4 generalization)"
+    )
+    return 0
+
+
 def _run_analyze(args, trace_id: str) -> int:
     from repro.core.verification import verify_sttsv_run
     from repro.obs.export import spans_to_jsonl
     from repro.obs.tracing import get_tracer
     from repro.reporting.trace import fault_summary
 
+    if args.order == 4:
+        return _run_analyze_ndim(args, trace_id)
+    if args.order != 3:
+        raise ConfigurationError(
+            f"analyze supports tensor orders 3 and 4, got {args.order}"
+        )
     partition = _partition_from_args(args)
     replication = partition.steiner.point_replication()
     n = args.n if args.n else partition.m * replication
@@ -273,6 +325,12 @@ def _command_plan(args) -> int:
         TransportConstants,
     )
 
+    if args.order != 3:
+        raise ConfigurationError(
+            f"the planner's cost model prices the order-3 spherical"
+            f" family only, got order {args.order}; register order-4"
+            f" tensors with explicit backend/variant instead"
+        )
     backends = tuple(args.backend) if args.backend else ("simulated",)
     if args.calibrate:
         calibration = calibrate(backends=backends)
@@ -348,6 +406,7 @@ def _command_serve(args) -> int:
     fault_policy = (
         FaultPolicy.parse(args.faults) if args.faults is not None else None
     )
+    accepted_orders = tuple(args.order) if args.order else (3, 4)
     server = STTSVServer(
         host=args.host,
         port=args.port,
@@ -359,6 +418,7 @@ def _command_serve(args) -> int:
         fusion=args.fused,
         tracing=not args.no_tracing,
         calibration_path=args.calibration,
+        accepted_orders=accepted_orders,
     )
     host, port = server.start()
     print(
@@ -366,6 +426,11 @@ def _command_serve(args) -> int:
         f" (max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms},"
         f" admission_capacity={args.admission_capacity},"
         f" max_sessions={args.max_sessions}"
+        + (
+            f", orders {','.join(map(str, accepted_orders))}"
+            if accepted_orders != (3, 4)
+            else ""
+        )
         + (f", faults {args.faults}" if fault_policy else "")
         + (", tracing off" if args.no_tracing else "")
         + ")",
@@ -391,6 +456,9 @@ def _fleet_shard_args(args) -> list:
     ]
     if args.faults is not None:
         shard_args += ["--faults", args.faults]
+    if args.order:
+        for order in args.order:
+            shard_args += ["--order", str(order)]
     if args.calibration is not None:
         shard_args += ["--calibration", args.calibration]
     if not args.fused:
@@ -475,8 +543,15 @@ def _command_load(args) -> int:
     from repro.service.client import ServiceClient, run_load
     from repro.tensor.dense import random_symmetric
 
-    n = args.n if args.n else 4 * args.q * (args.q * args.q + 1)
-    tensor = random_symmetric(n, seed=args.seed)
+    if args.order == 4:
+        from repro.tensor.ndpacked import nd_random_symmetric
+
+        # q is the SQS parameter k of S(2^k, 4, 3) at order 4.
+        n = args.n if args.n else 4 * 2**args.q
+        tensor = nd_random_symmetric(n, 4, seed=args.seed)
+    else:
+        n = args.n if args.n else 4 * args.q * (args.q * args.q + 1)
+        tensor = random_symmetric(n, seed=args.seed)
     with ServiceClient(args.host, args.port) as client:
         info = client.register(
             args.tensor_id,
@@ -484,12 +559,14 @@ def _command_load(args) -> int:
             q=args.q,
             backend=args.backend,
             variant=args.variant,
+            order=args.order,
         )
     print(
         f"registered {args.tensor_id!r}: n={info['n']}, q={info['q']},"
         f" P={info['P']}, backend={info['backend']},"
         f" variant={info.get('variant', 'point-to-point')},"
         f" plan={info['plan_strategy']}"
+        + (f", order={args.order}" if args.order != 3 else "")
         + (" [planner-resolved]" if info.get("planned") else "")
     )
     summary = run_load(
@@ -600,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arguments(analyze)
     analyze.add_argument("--n", type=int, default=None, help="tensor dimension")
     analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--order", type=int, default=3, choices=(3, 4),
+        help="tensor order: 3 (Algorithm 5, default) or 4 (blocked BCSS"
+        " STTSV over an SQS partition; requires --sqs)",
+    )
     analyze.add_argument(
         "--audit",
         action="store_true",
@@ -716,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the best parallel candidate and print measured vs"
         " predicted time",
     )
+    plan.add_argument(
+        "--order", type=int, default=3,
+        help="tensor order (the cost model prices order 3 only; any"
+        " other value is a configuration error)",
+    )
     plan.set_defaults(func=_command_plan)
 
     serve = subparsers.add_parser(
@@ -761,6 +848,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibration file auto-mode registrations price with"
         " (default ./repro-calibration.json; documented defaults when"
         " absent)",
+    )
+    serve.add_argument(
+        "--order", type=int, action="append", choices=(3, 4), default=None,
+        metavar="D",
+        help="tensor order this server accepts at registration"
+        " (repeatable; default: both 3 and 4)",
     )
     serve.add_argument(
         "--no-tracing", action="store_true",
@@ -813,7 +906,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument(
         "--q", type=int, default=2,
-        help="prime power for the session's partition (P = q(q²+1); default 2)",
+        help="prime power for the session's partition (P = q(q²+1);"
+        " default 2); with --order 4 this is the SQS parameter k of"
+        " S(2^k, 4, 3)",
+    )
+    load.add_argument(
+        "--order", type=int, default=3, choices=(3, 4),
+        help="tensor order to register and drive (default 3)",
     )
     load.add_argument(
         "--n", type=int, default=None,

@@ -12,6 +12,7 @@ from repro.core.sttsv_sequential import (
     ttv_all_modes,
 )
 from repro.core.plans import (
+    BlockedPlan,
     CacheInfo,
     ExchangePlan,
     LRUByteCache,
@@ -23,7 +24,24 @@ from repro.core.plans import (
     sequential_plan,
 )
 from repro.core.partition import TetrahedralPartition
+from repro.core.partition_ndim import (
+    QuadruplePartition,
+    greedy_partial_permutation_rounds,
+)
 from repro.core.parallel_sttsv import ParallelSTTSV, CommBackend
+from repro.core.parallel_sttsv_ndim import ParallelSTTSVm
+from repro.core.sttsm import (
+    sttsm,
+    sttsm_dense_reference,
+    sttsm_ndpacked,
+    sttsv_bcss,
+)
+from repro.core.sttsv_ndim import (
+    sttsv_ndim,
+    sttsv_ndim_dense_reference,
+    sttsv_ndim_lower_bound,
+    sttsv_ndim_scalar,
+)
 from repro.core.bounds import (
     sttsv_lower_bound,
     minimal_access_solution,
@@ -45,6 +63,18 @@ from repro.core.baselines import (
 __all__ = [
     "sttsv",
     "ttv_all_modes",
+    "BlockedPlan",
+    "QuadruplePartition",
+    "greedy_partial_permutation_rounds",
+    "ParallelSTTSVm",
+    "sttsm",
+    "sttsm_dense_reference",
+    "sttsm_ndpacked",
+    "sttsv_bcss",
+    "sttsv_ndim",
+    "sttsv_ndim_dense_reference",
+    "sttsv_ndim_lower_bound",
+    "sttsv_ndim_scalar",
     "SequentialPlan",
     "ExchangePlan",
     "LRUByteCache",

@@ -538,6 +538,139 @@ def configure_cache(
     )
 
 
+class BlockedPlan:
+    """Compiled order-m blocked-gemm STTSV executor over BCSS storage.
+
+    The order-m sibling of :class:`SequentialPlan`'s gemm strategy: for
+    every stored BCSS block and every *distinct* row block ``t`` of its
+    canonical tuple, compilation bakes the multiplicity weight into a
+    contiguous mode-``t`` unfolding matrix ``(b, b^{m-1})``; each apply
+    is then one GEMV per (block, output) pair against the Kronecker
+    product of the other modes' ``x`` row blocks — and
+    :meth:`apply_batch` turns those GEMVs into GEMMs via the
+    column-wise Khatri–Rao product, amortizing tensor traffic exactly
+    like the order-3 batched path.
+
+    Accepts an :class:`~repro.tensor.ndpacked.NdPackedSymmetricTensor`
+    (padded to a block multiple internally; zero padding is exact) or a
+    prebuilt :class:`~repro.tensor.bcss.BCSSTensor`.
+    """
+
+    def __init__(self, tensor, block_size: int = None):
+        from repro.core.bcss_kernels import kron_vector  # noqa: F401 (API anchor)
+        from repro.tensor.bcss import BCSSTensor
+        from repro.tensor.multiplicity import nd_contribution_weights
+        from repro.tensor.ndpacked import NdPackedSymmetricTensor, pad_ndpacked
+
+        if isinstance(tensor, BCSSTensor):
+            bcss = tensor
+            self.n = bcss.n
+        elif isinstance(tensor, NdPackedSymmetricTensor):
+            self.n = tensor.n
+            if block_size is None:
+                block_size = max(1, min(tensor.n, 16))
+            n_padded = -(-tensor.n // block_size) * block_size
+            bcss = BCSSTensor.from_ndpacked(
+                pad_ndpacked(tensor, n_padded), block_size
+            )
+        else:
+            raise ConfigurationError(
+                f"BlockedPlan needs an NdPackedSymmetricTensor or"
+                f" BCSSTensor, got {type(tensor).__name__}"
+            )
+        self.bcss = bcss
+        self.m = bcss.m
+        self.n_padded = bcss.n
+        self.block_size = bcss.block_size
+        self.requested_strategy = "blocked-gemm"
+        self.strategy = "blocked-gemm"
+        # One (output row block, other-mode row blocks, weighted unfold)
+        # triple per (stored block, distinct tuple value).
+        self._unfolds = []
+        b = self.block_size
+        for offset in range(bcss.num_blocks):
+            block_tuple = tuple(int(v) for v in bcss.block_indices[offset])
+            weights = nd_contribution_weights(block_tuple)
+            block = bcss.blocks[offset]
+            seen = set()
+            for position, value in enumerate(block_tuple):
+                if value in seen:
+                    continue
+                seen.add(value)
+                others = tuple(
+                    block_tuple[mode]
+                    for mode in range(self.m)
+                    if mode != position
+                )
+                # The multiply must allocate: at position 0 the reshape
+                # is a *view* of the stored block, and scaling it in
+                # place would corrupt the block for later unfolds.
+                operator = np.ascontiguousarray(
+                    np.moveaxis(block, position, 0).reshape(b, -1)
+                    * float(weights[value])
+                )
+                self._unfolds.append((value, others, operator))
+
+    def _pad_columns(self, X: np.ndarray) -> np.ndarray:
+        if self.n_padded == self.n:
+            return X
+        padded = np.zeros((self.n_padded,) + X.shape[1:])
+        padded[: self.n] = X
+        return padded
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``y = A ×₂ x ··· ×ₘ x`` through the compiled unfoldings."""
+        from repro.core.bcss_kernels import kron_vector
+
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ConfigurationError(
+                f"vector must have shape ({self.n},), got {x.shape}"
+            )
+        x = self._pad_columns(x)
+        b = self.block_size
+        x_blocks = [
+            x[i * b : (i + 1) * b] for i in range(self.bcss.nbar)
+        ]
+        y = np.zeros(self.n_padded)
+        for target, others, operator in self._unfolds:
+            v = kron_vector([x_blocks[i] for i in others])
+            y[target * b : (target + 1) * b] += operator @ v
+        return y[: self.n]
+
+    def apply_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batched STTSV: one GEMM per (block, output) pair."""
+        from repro.core.bcss_kernels import khatri_rao_columns
+
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ConfigurationError(
+                f"batch must have shape ({self.n}, s), got {X.shape}"
+            )
+        if X.shape[1] == 0:
+            return np.zeros((self.n, 0))
+        X = self._pad_columns(X)
+        b = self.block_size
+        X_blocks = [
+            X[i * b : (i + 1) * b] for i in range(self.bcss.nbar)
+        ]
+        Y = np.zeros((self.n_padded, X.shape[1]))
+        for target, others, operator in self._unfolds:
+            V = khatri_rao_columns([X_blocks[i] for i in others])
+            Y[target * b : (target + 1) * b] += operator @ V
+        return Y[: self.n]
+
+    def nbytes(self) -> int:
+        """Bytes of compiled plan state (the weighted unfoldings)."""
+        return sum(operator.nbytes for _, _, operator in self._unfolds)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockedPlan(n={self.n}, m={self.m}, b={self.block_size},"
+            f" unfolds={len(self._unfolds)}, nbytes={self.nbytes()})"
+        )
+
+
 class ExchangePlan:
     """Compiled gather/scatter structure for Algorithm 5's exchanges.
 

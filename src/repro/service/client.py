@@ -170,13 +170,17 @@ class ServiceClient:
         backend: str = "simulated",
         strategy: str = "auto",
         variant: str = "point-to-point",
+        order: int = 3,
     ) -> Dict:
         """Upload a tensor and warm an engine session for it.
 
         Pass ``backend="auto"`` and/or ``variant="auto"`` to let the
         server's planner pick the cheapest configuration under its
         calibrated constants; the reply echoes what was chosen
-        (``planned: true``).
+        (``planned: true``). For ``order=4`` pass an
+        :class:`~repro.tensor.ndpacked.NdPackedSymmetricTensor` (any
+        object with ``.n`` and packed ``.data`` works) and ``q`` is the
+        SQS parameter ``k`` of ``S(2^k, 4, 3)``.
         """
         header, body = encode_array(tensor.data)
         header.update(
@@ -187,6 +191,7 @@ class ServiceClient:
                 "backend": backend,
                 "strategy": strategy,
                 "variant": variant,
+                "order": order,
             }
         )
         reply_type, reply_header, _ = self._roundtrip(

@@ -163,16 +163,20 @@ class _TensorRecord:
     """One registration the gateway can replay: routing identity plus
     the original frame payload."""
 
-    __slots__ = ("tensor_id", "q", "P", "key", "header", "body", "owners")
+    __slots__ = (
+        "tensor_id", "q", "P", "order", "key", "header", "body", "owners",
+    )
 
     def __init__(
         self, tensor_id: str, q: int, P: int,
         header: Dict, body: bytes, owners: Tuple[str, ...],
+        order: int = 3,
     ):
         self.tensor_id = tensor_id
         self.q = q
         self.P = P
-        self.key = ring_key(tensor_id, q, P)
+        self.order = order
+        self.key = ring_key(tensor_id, q, P, order=order)
         self.header = header
         self.body = body
         self.owners = owners
@@ -404,8 +408,19 @@ class STTSVGateway(FrameLoopServer):
             raise ServiceError(
                 ErrorCode.BAD_REQUEST, "register needs integer n and q"
             ) from None
-        P = q * (q * q + 1)
-        key = ring_key(tensor_id, q, P)
+        try:
+            order = int(header.get("order", 3))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "order must be an integer"
+            ) from None
+        if order == 4:
+            # q is the SQS parameter k of S(2^k, 4, 3).
+            points = 2**q
+            P = points * (points - 1) * (points - 2) // 24
+        else:
+            P = q * (q * q + 1)
+        key = ring_key(tensor_id, q, P, order=order)
         # Like _forward_apply: a dead primary is discovered (and
         # evicted) by the very forward that fails, so re-read the ring
         # and retry on the new primary instead of surfacing the
@@ -450,7 +465,8 @@ class STTSVGateway(FrameLoopServer):
         with self._state:
             owners = tuple(self._ring.nodes_for(key, self.replication))
             self._tensors[tensor_id] = _TensorRecord(
-                tensor_id, q, P, dict(header), bytes(body), owners
+                tensor_id, q, P, dict(header), bytes(body), owners,
+                order=order,
             )
         self.metrics.incr("registrations")
         reply_header = dict(reply_header)

@@ -139,10 +139,18 @@ class HashRing:
         return counts
 
 
-def ring_key(tensor_id: str, q: int, P: int) -> str:
+def ring_key(tensor_id: str, q: int, P: int, order: int = 3) -> str:
     """Routing key of one registered tensor: the ``(tensor, q, P)``
-    parameterization the paper's cost model prices."""
-    return f"{tensor_id}|q={q}|P={P}"
+    parameterization the paper's cost model prices.
+
+    Order-3 keys keep their historical form (placement stability across
+    upgrades); order-m tensors append an ``|order=`` component so the
+    same tensor id registered at different orders lands independently.
+    """
+    key = f"{tensor_id}|q={q}|P={P}"
+    if order != 3:
+        key += f"|order={order}"
+    return key
 
 
 def placement_moves(

@@ -73,6 +73,7 @@ from repro.service.sessions import (
     SessionKey,
     SessionPool,
 )
+from repro.tensor.ndpacked import NdPackedSymmetricTensor, nd_packed_size
 from repro.tensor.packed import PackedSymmetricTensor, packed_size
 
 #: Grace added to a request deadline when waiting on its future: the
@@ -115,6 +116,7 @@ class STTSVServer(FrameLoopServer):
         executor_workers: int = DEFAULT_EXECUTOR_WORKERS,
         max_inflight: Optional[int] = None,
         calibration_path: Optional[str] = None,
+        accepted_orders: Tuple[int, ...] = (3, 4),
     ):
         super().__init__(
             host=host,
@@ -124,6 +126,8 @@ class STTSVServer(FrameLoopServer):
             name="sttsv",
         )
         self.faults = faults
+        #: Tensor orders this server admits at registration.
+        self.accepted_orders = tuple(accepted_orders)
         #: Whether sessions created by this server fuse their exchange
         #: rounds into per-destination buffers (default on).
         self.fusion = fusion
@@ -341,6 +345,24 @@ class STTSVServer(FrameLoopServer):
             raise ServiceError(
                 ErrorCode.BAD_REQUEST, "register needs integer n and q"
             ) from None
+        try:
+            order = int(header.get("order", 3))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "order must be an integer"
+            ) from None
+        if order not in (3, 4):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"serving supports tensor orders 3 and 4, got {order}",
+            )
+        if order not in self.accepted_orders:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"this server accepts orders"
+                f" {', '.join(map(str, self.accepted_orders))};"
+                f" got {order}",
+            )
         backend = header.get("backend", "simulated")
         if backend != "auto" and backend not in TRANSPORTS:
             raise ServiceError(
@@ -356,22 +378,57 @@ class STTSVServer(FrameLoopServer):
                 f" {', '.join(VARIANTS)}",
             )
         strategy = header.get("strategy", "auto")
+        if order == 4:
+            # The planner's cost model prices the order-3 spherical
+            # family only; auto fields have no order-4 meaning yet.
+            if backend == "auto" or variant == "auto":
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    "order-4 registration does not support auto"
+                    " backend/variant (the planner prices order 3 only)",
+                )
+            if variant != "point-to-point":
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"order-4 serving supports only the point-to-point"
+                    f" variant, got {variant!r}",
+                )
         planned = backend == "auto" or variant == "auto"
         if planned:
             backend, variant, strategy = self._plan_registration(
                 n, q, backend, variant, strategy
             )
         data = decode_array(header, body, expected_ndim=1)
-        if data.shape[0] != packed_size(n):
-            raise ServiceError(
-                ErrorCode.BAD_REQUEST,
-                f"packed body has {data.shape[0]} entries, n={n} needs"
-                f" {packed_size(n)}",
+        if order == 4:
+            if q < 2:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"order-4 registration needs SQS parameter q=k >= 2,"
+                    f" got {q}",
+                )
+            if data.shape[0] != nd_packed_size(n, 4):
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"packed order-4 body has {data.shape[0]} entries,"
+                    f" n={n} needs {nd_packed_size(n, 4)}",
+                )
+            tensor = NdPackedSymmetricTensor(n, 4, data)
+            points = 2**q
+            P = points * (points - 1) * (points - 2) // 24
+            key = SessionKey(
+                tensor_id=tensor_id, q=q, P=P, backend=backend, order=4
             )
-        tensor = PackedSymmetricTensor(n, data)
-        key = SessionKey(
-            tensor_id=tensor_id, q=q, P=q * (q * q + 1), backend=backend
-        )
+        else:
+            if data.shape[0] != packed_size(n):
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"packed body has {data.shape[0]} entries, n={n} needs"
+                    f" {packed_size(n)}",
+                )
+            tensor = PackedSymmetricTensor(n, data)
+            key = SessionKey(
+                tensor_id=tensor_id, q=q, P=q * (q * q + 1), backend=backend
+            )
         # Build outside all locks: block extraction + plan compilation
         # is the expensive part registration exists to amortize.
         session = EngineSession(
@@ -393,6 +450,7 @@ class STTSVServer(FrameLoopServer):
                 "n": n,
                 "q": q,
                 "P": key.P,
+                "order": order,
                 "backend": backend,
                 "variant": session.variant.value,
                 "planned": planned,
@@ -616,6 +674,7 @@ class STTSVServer(FrameLoopServer):
                 "max_inflight": self.max_inflight,
                 "faults": self.faults is not None and self.faults.enabled,
                 "fusion": self.fusion,
+                "accepted_orders": list(self.accepted_orders),
                 "tracing": get_tracer().enabled,
             },
             "recent_traces": get_tracer().recent_trace_ids(),

@@ -47,16 +47,27 @@ DEFAULT_MAX_SESSIONS = 8
 
 
 class SessionKey(NamedTuple):
-    """Identity of one warm engine: tensor × machine configuration."""
+    """Identity of one warm engine: tensor × machine configuration.
+
+    ``order`` defaults to 3 so existing order-3 call sites (and their
+    stats labels) are unchanged; order-m sessions carry it explicitly.
+    For order 4 the ``q`` field holds the SQS parameter ``k`` of
+    ``S(2^k, 4, 3)`` — the family knob, exactly as ``q`` is the
+    spherical knob at order 3.
+    """
 
     tensor_id: str
     q: int
     P: int
     backend: str
+    order: int = 3
 
     def label(self) -> str:
         """Stable string form used as the stats-snapshot key."""
-        return f"{self.tensor_id}@q={self.q},P={self.P},{self.backend}"
+        suffix = f",order={self.order}" if self.order != 3 else ""
+        return (
+            f"{self.tensor_id}@q={self.q},P={self.P},{self.backend}{suffix}"
+        )
 
 
 class EngineSession:
@@ -78,8 +89,19 @@ class EngineSession:
         fusion: bool = True,
         variant: str = "point-to-point",
     ):
-        partition = TetrahedralPartition(spherical_steiner_system(key.q))
-        partition.validate()
+        if key.order == 3:
+            partition = TetrahedralPartition(spherical_steiner_system(key.q))
+            partition.validate()
+        elif key.order == 4:
+            from repro.core.partition_ndim import QuadruplePartition
+            from repro.steiner.boolean import boolean_steiner_system
+
+            partition = QuadruplePartition(boolean_steiner_system(key.q))
+            partition.validate()
+        else:
+            raise ConfigurationError(
+                f"sessions support order 3 and 4, got {key.order}"
+            )
         if partition.P != key.P:
             raise ConfigurationError(
                 f"q={key.q} builds P={partition.P} processors, key says"
@@ -96,14 +118,31 @@ class EngineSession:
             transport=make_transport(key.backend, partition.P, faults=faults),
             fusion=fusion,
         )
-        self.algo = ParallelSTTSV(
-            partition,
-            tensor.n,
-            backend=self.variant,
-            local_threads=local_threads,
-        )
-        self.algo.load_tensor(self.machine, tensor)
-        self.plan: SequentialPlan = sequential_plan(tensor, strategy=strategy)
+        if key.order == 3:
+            self.algo = ParallelSTTSV(
+                partition,
+                tensor.n,
+                backend=self.variant,
+                local_threads=local_threads,
+            )
+            self.algo.load_tensor(self.machine, tensor)
+            self.plan: SequentialPlan = sequential_plan(
+                tensor, strategy=strategy
+            )
+        else:
+            from repro.core.parallel_sttsv_ndim import ParallelSTTSVm
+            from repro.core.plans import BlockedPlan
+
+            if strategy not in ("auto", "blocked-gemm"):
+                raise ConfigurationError(
+                    f"order-4 sessions support only the 'blocked-gemm'"
+                    f" plan strategy, got {strategy!r}"
+                )
+            self.algo = ParallelSTTSVm(
+                partition, tensor.n, backend=self.variant
+            )
+            self.algo.load_tensor(self.machine, tensor)
+            self.plan = BlockedPlan(tensor)
         self.metrics = SessionMetrics()
         self.exec_lock = threading.Lock()
         self._closed = False
@@ -172,6 +211,7 @@ class EngineSession:
             "n": self.n,
             "q": self.key.q,
             "P": self.key.P,
+            "order": self.key.order,
             "backend": self.key.backend,
             "variant": self.variant.value,
             "plan_strategy": self.plan.strategy,

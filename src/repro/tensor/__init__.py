@@ -31,14 +31,18 @@ from repro.tensor.blocks import (
     lower_tetrahedral_blocks,
 )
 from repro.tensor.multiplicity import (
+    nd_contribution_weights,
     permutation_multiplicity,
     remaining_pair_multiplicity,
 )
 from repro.tensor.ndpacked import (
     NdPackedSymmetricTensor,
+    nd_index_arrays,
     nd_packed_size,
     nd_random_symmetric,
+    pad_ndpacked,
 )
+from repro.tensor.bcss import BCSSTensor, bcss_block_count
 from repro.tensor.sparse import SparseSymmetricTensor, sttsv_sparse
 from repro.tensor.hypergraph import (
     adjacency_tensor,
@@ -47,9 +51,14 @@ from repro.tensor.hypergraph import (
 )
 
 __all__ = [
+    "BCSSTensor",
+    "bcss_block_count",
     "NdPackedSymmetricTensor",
+    "nd_contribution_weights",
+    "nd_index_arrays",
     "nd_packed_size",
     "nd_random_symmetric",
+    "pad_ndpacked",
     "SparseSymmetricTensor",
     "sttsv_sparse",
     "adjacency_tensor",

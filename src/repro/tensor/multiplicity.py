@@ -15,7 +15,8 @@ canonical entry ``a`` to output ``y_t`` is weighted by the number of
 
 from __future__ import annotations
 
-from typing import Tuple
+from math import factorial
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -70,3 +71,27 @@ def contribution_weights(
     w_j = np.where(j == i, 0.0, w_j)
     w_k = np.where(k == j, 0.0, w_k)
     return w_i, w_j, w_k
+
+
+def nd_contribution_weights(indices: Tuple[int, ...]) -> Dict[int, int]:
+    """Order-m generalization of :func:`contribution_weights` for one
+    canonical tuple: map each *distinct* value ``t`` of the multiset to
+    the number of ordered arrangements of the remaining ``m - 1``
+    indices once one copy of ``t`` is removed —
+    ``(m-1)! · count(t) / Π_v count(v)!``.
+
+    For ``m = 3`` this reproduces the Algorithm-4 case split exactly
+    (distinct: 2/2/2; ``i=j>k``: 2/1; ``i>j=k``: 1/2; central: 1).
+    These are the per-block multiplicity weights of the BCSS kernels.
+    """
+    counts: Dict[int, int] = {}
+    for value in indices:
+        counts[value] = counts.get(value, 0) + 1
+    m = len(indices)
+    denominator = 1
+    for count in counts.values():
+        denominator *= factorial(count)
+    return {
+        value: factorial(m - 1) * count // denominator
+        for value, count in counts.items()
+    }

@@ -54,6 +54,43 @@ def nd_canonical(indices: Tuple[int, ...]) -> Tuple[int, ...]:
     return tuple(sorted(indices, reverse=True))
 
 
+def nd_packed_index_array(canonical: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`nd_packed_index` over a ``(..., d)`` array of
+    canonical (non-increasing along the last axis) index tuples.
+
+    Evaluates ``C(i_t + d - t, d - t + 1)`` with the rising-product
+    formula ``Π_{s=0}^{k-1} (i_t + s) / k!`` in exact int64 arithmetic
+    — valid while offsets fit 63 bits, far beyond any storable tensor.
+    """
+    canonical = np.asarray(canonical, dtype=np.int64)
+    d = canonical.shape[-1]
+    offsets = np.zeros(canonical.shape[:-1], dtype=np.int64)
+    for t in range(1, d + 1):
+        k = d - t + 1
+        values = canonical[..., t - 1]
+        term = np.ones_like(values)
+        for s in range(k):
+            term = term * (values + s)
+        offsets += term // factorial(k)
+    return offsets
+
+
+def nd_index_arrays(n: int, d: int) -> np.ndarray:
+    """All canonical (non-increasing) tuples of an ``(n, d)`` packed
+    layout as a ``(size, d)`` int64 array, row ``o`` holding the tuple
+    whose packed offset is ``o``."""
+    size = nd_packed_size(n, d)
+    combos = np.fromiter(
+        (i for combo in combinations_with_replacement(range(n), d) for i in combo),
+        dtype=np.int64,
+        count=size * d,
+    ).reshape(size, d)
+    canonical = combos[:, ::-1]
+    out = np.empty_like(canonical)
+    out[nd_packed_index_array(canonical)] = canonical
+    return out
+
+
 def nd_unpacked(offset: int, d: int) -> Tuple[int, ...]:
     """Inverse of :func:`nd_packed_index` for order ``d``."""
     if offset < 0:
@@ -143,12 +180,7 @@ class NdPackedSymmetricTensor:
     def index_arrays(self) -> np.ndarray:
         """All canonical tuples as an ``(size, d)`` int array aligned
         with packed offsets."""
-        size = nd_packed_size(self.n, self.d)
-        out = np.empty((size, self.d), dtype=np.int64)
-        for combo in combinations_with_replacement(range(self.n), self.d):
-            canonical = tuple(reversed(combo))
-            out[nd_packed_index(canonical)] = canonical
-        return out
+        return nd_index_arrays(self.n, self.d)
 
     def to_dense(self) -> np.ndarray:
         """Expand to the full ``n^d`` cube (test scale only)."""
@@ -188,6 +220,26 @@ class NdPackedSymmetricTensor:
             f"NdPackedSymmetricTensor(n={self.n}, d={self.d},"
             f" entries={self.data.size})"
         )
+
+
+def pad_ndpacked(
+    tensor: NdPackedSymmetricTensor, n_padded: int
+) -> NdPackedSymmetricTensor:
+    """Zero-pad to mode dimension ``n_padded`` (no-op when equal).
+
+    The combinatorial-number-system offset of a tuple is independent of
+    ``n``, and tuples with maximum value below ``n`` occupy exactly the
+    first ``C(n+d-1, d)`` offsets — so padding is a flat concatenation.
+    """
+    if n_padded < tensor.n:
+        raise ConfigurationError(
+            f"cannot pad n={tensor.n} down to {n_padded}"
+        )
+    if n_padded == tensor.n:
+        return tensor
+    data = np.zeros(nd_packed_size(n_padded, tensor.d))
+    data[: tensor.data.size] = tensor.data
+    return NdPackedSymmetricTensor(n_padded, tensor.d, data)
 
 
 def nd_random_symmetric(n: int, d: int, seed=None) -> NdPackedSymmetricTensor:

@@ -8,9 +8,10 @@ from repro.core.sttsv_ndim import (
     sttsv_ndim,
     sttsv_ndim_dense_reference,
     sttsv_ndim_lower_bound,
+    sttsv_ndim_scalar,
     sttsv_ndim_ternary_count,
 )
-from repro.core.sttsv_sequential import sttsv_packed
+from repro.core.sttsv_sequential import sttsv_packed, sttsv_packed_bincount
 from repro.errors import ConfigurationError
 from repro.tensor.dense import random_symmetric
 from repro.tensor.ndpacked import NdPackedSymmetricTensor, nd_random_symmetric
@@ -55,6 +56,49 @@ class TestKernels:
         tensor = nd_random_symmetric(4, 3, seed=5)
         with pytest.raises(ConfigurationError):
             sttsv_ndim(tensor, np.ones(5))
+
+
+class TestVectorizedKernel:
+    @pytest.mark.parametrize("n,d", [(5, 2), (6, 3), (5, 4), (4, 5)])
+    def test_matches_scalar_reference(self, n, d, rng):
+        tensor = nd_random_symmetric(n, d, seed=6)
+        x = rng.normal(size=n)
+        assert np.allclose(
+            sttsv_ndim(tensor, x),
+            sttsv_ndim_scalar(tensor, x),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_d3_bitwise_matches_bincount_kernel(self, rng):
+        """The vectorized kernel performs Algorithm 4's exact op
+        sequence at d = 3 — per-column products left to right, bincount
+        scatter in column order — so agreement is bitwise."""
+        from repro.tensor.packed import PackedSymmetricTensor
+
+        n = 9
+        packed = PackedSymmetricTensor(
+            n, rng.normal(size=n * (n + 1) * (n + 2) // 6)
+        )
+        tensor = NdPackedSymmetricTensor(n, 3, packed.data.copy())
+        x = rng.normal(size=n)
+        assert (
+            sttsv_ndim(tensor, x).tobytes()
+            == sttsv_packed_bincount(packed, x).tobytes()
+        )
+
+    def test_exact_on_integer_data(self):
+        """Small-integer tensors keep every op exact: the vectorized
+        kernel, the scalar loop, and the dense oracle agree bitwise."""
+        rng = np.random.default_rng(8)
+        from repro.tensor.ndpacked import nd_packed_size
+
+        n, d = 7, 4
+        data = rng.integers(-3, 4, size=nd_packed_size(n, d)).astype(float)
+        tensor = NdPackedSymmetricTensor(n, d, data)
+        x = rng.integers(-2, 3, size=n).astype(float)
+        oracle = sttsv_ndim_dense_reference(tensor.to_dense(), x)
+        assert sttsv_ndim(tensor, x).tobytes() == oracle.tobytes()
+        assert sttsv_ndim_scalar(tensor, x).tobytes() == oracle.tobytes()
 
 
 class TestCounts:
