@@ -1,0 +1,242 @@
+"""Low-rank (symk) serving benchmark → machine-readable BENCH_symk.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_symk_bench.py [--quick]
+
+Writes ``BENCH_symk.json`` at the repository root. ``--quick`` shrinks
+sizes/repeats for CI smoke runs (results still recorded, flagged
+``"quick": true``).
+
+Measured comparisons (median of repeats, warmup excluded):
+
+* ``fastpath``: O(nr) factored TTSV vs the compiled dense gemm plan at
+  the same ``n`` (the acceptance target: >= 10x at n=200, r=4);
+* ``crossover``: for fixed ``n``, the smallest rank at which the
+  factored kernel stops beating the dense plan — the regime boundary a
+  planner needs to know;
+* ``updates``: streamed ``rank1_update`` throughput, and the growth of
+  apply cost with accumulated rank;
+* ``communication``: the closed-form parallel exchange volumes,
+  ``(P-1)*r`` (symk) vs ``2(n(q+1)/(q²+1) - n/P)`` (dense), checked
+  against executed ledgers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.parallel_sttsv import CommBackend  # noqa: E402
+from repro.core.parallel_symk import (  # noqa: E402
+    ParallelSymKTTSV,
+    symk_words_per_processor,
+)
+from repro.core.plans import SequentialPlan  # noqa: E402
+from repro.machine.machine import Machine  # noqa: E402
+from repro.machine.transport import make_transport  # noqa: E402
+from repro.tensor.dense import random_symmetric  # noqa: E402
+from repro.tensor.symk import random_symk  # noqa: E402
+
+
+def median_seconds(fn, repeats: int, warmup: int = 2) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def bench_fastpath(n: int, r: int, repeats: int) -> dict:
+    dense = random_symmetric(n, seed=0)
+    plan = SequentialPlan(dense, strategy="gemm")
+    tensor = random_symk(n, r, seed=1)
+    x = np.random.default_rng(2).normal(size=n)
+
+    dense_seconds = median_seconds(lambda: plan.apply(x), repeats)
+    symk_seconds = median_seconds(lambda: tensor.ttsv(x), repeats)
+    # Correctness spot check against the dense oracle of the *same*
+    # low-rank tensor (small envelope; full bound lives in the
+    # property suite).
+    assert np.allclose(tensor.ttsv(x), tensor.dense_ttsv(x))
+    return {
+        "n": n,
+        "rank": r,
+        "dense_plan_seconds": dense_seconds,
+        "symk_seconds": symk_seconds,
+        "symk_speedup": dense_seconds / symk_seconds,
+        "dense_plan_bytes": plan.nbytes(),
+        "symk_bytes": tensor.nbytes,
+    }
+
+
+def bench_crossover(n: int, max_rank: int, repeats: int) -> dict:
+    """Smallest rank at which the factored kernel stops winning."""
+    dense = random_symmetric(n, seed=3)
+    plan = SequentialPlan(dense, strategy="gemm")
+    x = np.random.default_rng(4).normal(size=n)
+    dense_seconds = median_seconds(lambda: plan.apply(x), repeats)
+
+    points = []
+    crossover_rank = None
+    r = 1
+    while r <= max_rank:
+        tensor = random_symk(n, r, seed=5)
+        symk_seconds = median_seconds(lambda: tensor.ttsv(x), repeats)
+        points.append(
+            {
+                "rank": r,
+                "symk_seconds": symk_seconds,
+                "speedup_vs_dense": dense_seconds / symk_seconds,
+            }
+        )
+        if crossover_rank is None and symk_seconds >= dense_seconds:
+            crossover_rank = r
+        r *= 2
+    return {
+        "n": n,
+        "dense_plan_seconds": dense_seconds,
+        "points": points,
+        # None ⇒ the factored path still won at max_rank.
+        "crossover_rank": crossover_rank,
+        "max_rank_probed": max_rank,
+    }
+
+
+def bench_updates(n: int, r0: int, stream: int, repeats: int) -> dict:
+    rng = np.random.default_rng(6)
+    updates = [
+        (float(rng.standard_normal()), rng.standard_normal(n))
+        for _ in range(stream)
+    ]
+    x = rng.standard_normal(n)
+
+    def run_stream():
+        tensor = random_symk(n, r0, seed=7)
+        for weight, vector in updates:
+            tensor.rank1_update(weight, vector)
+        return tensor
+
+    stream_seconds = median_seconds(run_stream, repeats)
+    grown = run_stream()
+    apply_r0 = median_seconds(
+        lambda: random_symk(n, r0, seed=7).ttsv(x), repeats
+    )
+    apply_grown = median_seconds(lambda: grown.ttsv(x), repeats)
+    return {
+        "n": n,
+        "initial_rank": r0,
+        "streamed_updates": stream,
+        "final_rank": grown.r,
+        "updates_per_second": stream / stream_seconds,
+        "apply_seconds_initial": apply_r0,
+        "apply_seconds_final": apply_grown,
+    }
+
+
+def bench_communication(q: int, n: int, r: int) -> dict:
+    """Closed-form words/processor, checked against executed ledgers."""
+    P = q * (q * q + 1)
+    dense_words = round(2 * (n * (q + 1) / (q * q + 1) - n / P))
+    tensor = random_symk(n, r, seed=8)
+    x = np.random.default_rng(9).normal(size=n)
+    executed = {}
+    for backend in (CommBackend.POINT_TO_POINT, CommBackend.ALL_TO_ALL):
+        with Machine(P, transport=make_transport("simulated", P)) as machine:
+            algo = ParallelSymKTTSV(P, n, backend=backend)
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            words = machine.ledger.max_words_sent()
+            assert words == symk_words_per_processor(P, r)
+            executed[backend.value] = words
+    return {
+        "q": q,
+        "P": P,
+        "n": n,
+        "rank": r,
+        "symk_words_per_processor": symk_words_per_processor(P, r),
+        "dense_words_per_processor": dense_words,
+        "comm_reduction": dense_words / symk_words_per_processor(P, r),
+        "executed": executed,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes / few repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_symk.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        fastpath = bench_fastpath(n=200, r=4, repeats=3)
+        crossover = bench_crossover(n=120, max_rank=256, repeats=3)
+        updates = bench_updates(n=120, r0=4, stream=16, repeats=3)
+        comm = bench_communication(q=2, n=100, r=4)
+    else:
+        fastpath = bench_fastpath(n=200, r=4, repeats=9)
+        crossover = bench_crossover(n=200, max_rank=1024, repeats=5)
+        updates = bench_updates(n=200, r0=4, stream=64, repeats=5)
+        comm = bench_communication(q=2, n=200, r=4)
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+
+    report = {
+        "benchmark": "symk",
+        "quick": args.quick,
+        "commit": commit,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "fastpath": fastpath,
+        "crossover": crossover,
+        "updates": updates,
+        "communication": comm,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    if fastpath["symk_speedup"] < 10.0:
+        print(
+            "WARNING: symk fast path below the 10x acceptance target"
+            f" at n={fastpath['n']}, r={fastpath['rank']}"
+            f" ({fastpath['symk_speedup']:.1f}x)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

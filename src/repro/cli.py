@@ -204,12 +204,78 @@ def _run_analyze_ndim(args, trace_id: str) -> int:
     return 0
 
 
+def _run_analyze_symk(args, trace_id: str) -> int:
+    """Low-rank analysis: run the symk TTSV under both communication
+    variants and compare the measured ledger with the closed form
+    ``(P-1)·r`` words per processor."""
+    from repro.core.parallel_symk import (
+        ParallelSymKTTSV,
+        symk_words_per_processor,
+    )
+    from repro.tensor.symk import random_symk
+
+    P = args.q * (args.q * args.q + 1)
+    n = args.n if args.n else 4 * P
+    tensor = random_symk(n, args.rank, order=args.order, seed=args.seed)
+    x = np.random.default_rng(args.seed + 1).normal(size=n)
+    fault_policy = (
+        FaultPolicy.parse(args.faults) if args.faults is not None else None
+    )
+    print(
+        f"low-rank STTSV (rank {args.rank}, order {args.order}) on"
+        f" P = {P} processors, n = {n} (transport {args.backend}"
+        + (f", faults {args.faults}" if fault_policy else "")
+        + ")"
+    )
+    print(f"trace id: {trace_id}")
+    closed_form = symk_words_per_processor(P, args.rank)
+    all_ok = True
+    for variant in CommBackend:
+        algo = ParallelSymKTTSV(P, n, order=args.order, backend=variant)
+        with Machine(
+            P,
+            transport=make_transport(args.backend, P, faults=fault_policy),
+            fusion=args.fused,
+        ) as machine:
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            y = algo.gather_result(machine)
+            words = machine.ledger.max_words_sent()
+            rounds = machine.ledger.round_count()
+        bitwise = bool(np.array_equal(y, algo.serial_reference(x)))
+        error = float(np.max(np.abs(y - tensor.ttsv(x))))
+        ok = bitwise and words == closed_form
+        all_ok = all_ok and ok
+        print(
+            f"  {variant.value:>16}: {words:>8} words/proc,"
+            f" {rounds:>4} rounds, max error {error:.2e},"
+            f" serial replay {'bitwise' if bitwise else 'MISMATCH'}"
+        )
+    print(
+        f"  {'closed form':>16}: {closed_form:>8} words/proc"
+        f" ((P-1)*r = {P - 1}*{args.rank})"
+    )
+    dense_words = 2 * (n * (args.q + 1) / (args.q**2 + 1) - n / P)
+    print(
+        f"  {'dense (order 3)':>16}: {dense_words:>8.1f} words/proc"
+        f" (2(n(q+1)/(q²+1) - n/P))"
+    )
+    return 0 if all_ok else 1
+
+
 def _run_analyze(args, trace_id: str) -> int:
     from repro.core.verification import verify_sttsv_run
     from repro.obs.export import spans_to_jsonl
     from repro.obs.tracing import get_tracer
     from repro.reporting.trace import fault_summary
 
+    if args.rank is not None:
+        if args.sqs is not None:
+            raise ConfigurationError(
+                "--rank analyzes the low-rank symk path, which places"
+                " any P = q(q²+1); it does not combine with --sqs"
+            )
+        return _run_analyze_symk(args, trace_id)
     if args.order == 4:
         return _run_analyze_ndim(args, trace_id)
     if args.order != 3:
@@ -327,9 +393,10 @@ def _command_plan(args) -> int:
 
     if args.order != 3:
         raise ConfigurationError(
-            f"the planner's cost model prices the order-3 spherical"
-            f" family only, got order {args.order}; register order-4"
-            f" tensors with explicit backend/variant instead"
+            f"the planner prices order 3 only (got --order"
+            f" {args.order}); use --order 3, or skip the planner and"
+            f" register the tensor explicitly with --backend/--variant"
+            f" ('repro load --order {args.order} --backend ...')"
         )
     backends = tuple(args.backend) if args.backend else ("simulated",)
     if args.calibrate:
@@ -380,6 +447,7 @@ def _command_plan(args) -> int:
         fusion_options=fusion_options,
         calibration=calibration,
         Ps=args.P if args.P else None,
+        rank=args.rank,
     )
     print(render_decision_table(decision))
     if args.measure and decision.best_parallel is not None:
@@ -543,7 +611,20 @@ def _command_load(args) -> int:
     from repro.service.client import ServiceClient, run_load
     from repro.tensor.dense import random_symmetric
 
-    if args.order == 4:
+    if args.rank is not None:
+        from repro.tensor.symk import random_symk
+
+        n = args.n if args.n else 4 * args.q * (args.q * args.q + 1)
+        tensor = random_symk(n, args.rank, order=args.order, seed=args.seed)
+        with ServiceClient(args.host, args.port) as client:
+            info = client.register_symk(
+                args.tensor_id,
+                tensor,
+                q=args.q,
+                backend=args.backend,
+                variant=args.variant,
+            )
+    elif args.order == 4:
         from repro.tensor.ndpacked import nd_random_symmetric
 
         # q is the SQS parameter k of S(2^k, 4, 3) at order 4.
@@ -552,20 +633,22 @@ def _command_load(args) -> int:
     else:
         n = args.n if args.n else 4 * args.q * (args.q * args.q + 1)
         tensor = random_symmetric(n, seed=args.seed)
-    with ServiceClient(args.host, args.port) as client:
-        info = client.register(
-            args.tensor_id,
-            tensor,
-            q=args.q,
-            backend=args.backend,
-            variant=args.variant,
-            order=args.order,
-        )
+    if args.rank is None:
+        with ServiceClient(args.host, args.port) as client:
+            info = client.register(
+                args.tensor_id,
+                tensor,
+                q=args.q,
+                backend=args.backend,
+                variant=args.variant,
+                order=args.order,
+            )
     print(
         f"registered {args.tensor_id!r}: n={info['n']}, q={info['q']},"
         f" P={info['P']}, backend={info['backend']},"
         f" variant={info.get('variant', 'point-to-point')},"
         f" plan={info['plan_strategy']}"
+        + (f", rank={args.rank}" if args.rank is not None else "")
         + (f", order={args.order}" if args.order != 3 else "")
         + (" [planner-resolved]" if info.get("planned") else "")
     )
@@ -681,6 +764,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--order", type=int, default=3, choices=(3, 4),
         help="tensor order: 3 (Algorithm 5, default) or 4 (blocked BCSS"
         " STTSV over an SQS partition; requires --sqs)",
+    )
+    analyze.add_argument(
+        "--rank", type=int, default=None, metavar="R",
+        help="analyze the low-rank symk path instead: rank-R"
+        " factorized tensor, communication (P-1)*R words/proc"
+        " independent of n",
     )
     analyze.add_argument(
         "--audit",
@@ -803,6 +892,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="tensor order (the cost model prices order 3 only; any"
         " other value is a configuration error)",
     )
+    plan.add_argument(
+        "--rank", type=int, default=None, metavar="R",
+        help="also price the low-rank symk representation at rank R"
+        " (parallel comm (P-1)*R words/proc plus the O(nR) serial"
+        " plan) next to the dense candidates",
+    )
     plan.set_defaults(func=_command_plan)
 
     serve = subparsers.add_parser(
@@ -913,6 +1008,11 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--order", type=int, default=3, choices=(3, 4),
         help="tensor order to register and drive (default 3)",
+    )
+    load.add_argument(
+        "--rank", type=int, default=None, metavar="R",
+        help="register a low-rank symk tensor of rank R instead of a"
+        " dense packed one and drive the same load against it",
     )
     load.add_argument(
         "--n", type=int, default=None,

@@ -26,6 +26,7 @@ from repro.planner.planner import (
     PlanDecision,
     PricedCandidate,
     auto_session_config,
+    auto_symk_config,
     measure_candidate,
     plan_sttsv,
 )
@@ -34,6 +35,7 @@ from repro.planner.pricing import (
     VARIANTS,
     parallel_flops,
     predicted_ledger,
+    predicted_symk_ledger,
 )
 from repro.planner.report import render_decision_table
 
@@ -48,6 +50,7 @@ __all__ = [
     "TransportConstants",
     "VARIANTS",
     "auto_session_config",
+    "auto_symk_config",
     "calibrate",
     "calibrate_compute",
     "calibrate_transport",
@@ -55,5 +58,6 @@ __all__ = [
     "parallel_flops",
     "plan_sttsv",
     "predicted_ledger",
+    "predicted_symk_ledger",
     "render_decision_table",
 ]

@@ -40,7 +40,10 @@ from repro.planner.pricing import (
     gemm_plan_flops,
     parallel_flops,
     predicted_ledger,
+    predicted_symk_ledger,
     scatter_plan_ops,
+    symk_parallel_flops,
+    symk_plan_flops,
 )
 from repro.steiner import spherical_steiner_system
 
@@ -63,6 +66,9 @@ class Candidate:
     fusion)`` and serve through Algorithm 5 on the warm machine;
     ``mode="plan"`` candidates carry ``(strategy, batch_width)`` and
     serve through the compiled sequential plan (no communication).
+    ``representation="symk"`` candidates (enumerated when the caller
+    knows the tensor's rank) price the low-rank factored paths instead:
+    the parallel ``r``-word all-gather or the O(nr) sequential kernel.
     """
 
     mode: str
@@ -73,13 +79,18 @@ class Candidate:
     fusion: Optional[bool] = None
     strategy: Optional[str] = None
     batch_width: Optional[int] = None
+    representation: str = "dense"
+    rank: Optional[int] = None
 
     def label(self) -> str:
+        prefix = "symk " if self.representation == "symk" else ""
         if self.mode == "parallel":
             return (
-                f"parallel q={self.q} {self.backend} {self.variant}"
+                f"{prefix}parallel q={self.q} {self.backend} {self.variant}"
                 f" {'fused' if self.fusion else 'unfused'}"
             )
+        if self.representation == "symk":
+            return f"symk plan r={self.rank}"
         return f"plan {self.strategy} s={self.batch_width}"
 
 
@@ -217,6 +228,56 @@ def _price_plan(
     )
 
 
+def _price_symk_parallel(
+    candidate: Candidate,
+    n: int,
+    ledger: CommunicationLedger,
+    calibration: Calibration,
+) -> PricedCandidate:
+    gamma = calibration.compute.gemv_flop_s
+    model = calibration.cost_model(candidate.backend, gamma=gamma)
+    if candidate.fusion:
+        comm = model.fused_communication_time(ledger)
+        physical_rounds = ledger.fused_rounds + sum(
+            1 for r in ledger.rounds if not r.fused
+        )
+    else:
+        comm = model.communication_time(ledger)
+        physical_rounds = ledger.round_count()
+    compute = model.computation_time(
+        symk_parallel_flops(candidate.P, n, candidate.rank)
+    )
+    return PricedCandidate(
+        candidate=candidate,
+        comm_time=comm,
+        compute_time=compute,
+        total_time=comm + compute,
+        physical_rounds=physical_rounds,
+        words_per_processor=ledger.max_words_sent(),
+        alpha=model.alpha,
+        beta=model.beta,
+        gamma=gamma,
+    )
+
+
+def _price_symk_plan(
+    candidate: Candidate, n: int, calibration: Calibration
+) -> PricedCandidate:
+    rate = calibration.compute.gemv_flop_s
+    compute = symk_plan_flops(n, candidate.rank) * rate
+    return PricedCandidate(
+        candidate=candidate,
+        comm_time=0.0,
+        compute_time=compute,
+        total_time=compute,
+        physical_rounds=0,
+        words_per_processor=0,
+        alpha=0.0,
+        beta=0.0,
+        gamma=rate,
+    )
+
+
 def plan_sttsv(
     n: int,
     qs: Sequence[int],
@@ -227,6 +288,7 @@ def plan_sttsv(
     batch_widths: Sequence[int] = DEFAULT_BATCH_WIDTHS,
     calibration: Optional[Calibration] = None,
     Ps: Optional[Sequence[int]] = None,
+    rank: Optional[int] = None,
 ) -> PlanDecision:
     """Enumerate, price, and rank every candidate configuration.
 
@@ -241,6 +303,13 @@ def plan_sttsv(
         Optional processor-count filter: keep only the ``qs`` whose
         ``P`` appears here (a ``(q, P)`` consistency check when both
         are given explicitly).
+    rank:
+        When the tensor is known to be a rank-``r`` symmetric Kruskal
+        tensor, also enumerate ``representation="symk"`` candidates —
+        the low-rank parallel path (priced from its exact
+        ``(P − 1) · r``-word predicted ledger) and the O(nr)
+        sequential kernel — alongside the dense ones, so the decision
+        table shows the dense-vs-factored crossover directly.
     """
     if n < 1:
         raise ConfigurationError(f"tensor dimension must be >= 1, got {n}")
@@ -286,6 +355,47 @@ def plan_sttsv(
                             candidate, partition, n, ledger, calibration
                         )
                     )
+        if rank is not None:
+            symk_ledgers: Dict[Tuple[str, bool], CommunicationLedger] = {}
+            for backend in backends:
+                for variant in variants:
+                    for fusion in fusion_options:
+                        ledger = symk_ledgers.get((variant, fusion))
+                        if ledger is None:
+                            ledger = predicted_symk_ledger(
+                                partition.P, rank,
+                                variant=variant, fusion=fusion,
+                            )
+                            symk_ledgers[(variant, fusion)] = ledger
+                        candidate = Candidate(
+                            mode="parallel",
+                            q=q,
+                            P=partition.P,
+                            backend=backend,
+                            variant=variant,
+                            fusion=fusion,
+                            representation="symk",
+                            rank=rank,
+                        )
+                        priced.append(
+                            _price_symk_parallel(
+                                candidate, n, ledger, calibration
+                            )
+                        )
+    if rank is not None:
+        priced.append(
+            _price_symk_plan(
+                Candidate(
+                    mode="plan",
+                    strategy="symk",
+                    batch_width=1,
+                    representation="symk",
+                    rank=rank,
+                ),
+                n,
+                calibration,
+            )
+        )
     for strategy in strategies:
         for width in batch_widths:
             candidate = Candidate(
@@ -324,6 +434,59 @@ def auto_session_config(
         calibration=calibration,
     )
     return decision.session_config()
+
+
+def auto_symk_config(
+    n: int,
+    rank: int,
+    P: int,
+    backends: Sequence[str] = ("simulated",),
+    calibration: Optional[Calibration] = None,
+    fusion_options: Sequence[bool] = (True,),
+) -> Dict:
+    """Auto-mode hook for low-rank registrations at a fixed ``P``.
+
+    Prices only ``representation="symk"`` parallel candidates (the
+    registration payload already fixed the representation) and returns
+    the machine-side fields plus the one valid plan strategy. Same
+    determinism contract as :func:`auto_session_config`: stable sort,
+    enumeration-order ties, identical resolution on every shard.
+    """
+    calibration = (
+        calibration if calibration is not None else Calibration.default()
+    )
+    priced: List[PricedCandidate] = []
+    for backend in backends:
+        for variant in VARIANTS:
+            for fusion in fusion_options:
+                candidate = Candidate(
+                    mode="parallel",
+                    P=P,
+                    backend=backend,
+                    variant=variant,
+                    fusion=fusion,
+                    representation="symk",
+                    rank=rank,
+                )
+                priced.append(
+                    _price_symk_parallel(
+                        candidate,
+                        n,
+                        predicted_symk_ledger(
+                            P, rank, variant=variant, fusion=fusion
+                        ),
+                        calibration,
+                    )
+                )
+    best = sorted(priced, key=lambda c: c.total_time)[0].candidate
+    return {
+        "n": n,
+        "P": P,
+        "backend": best.backend,
+        "variant": best.variant,
+        "fusion": best.fusion,
+        "strategy": "symk",
+    }
 
 
 # -- measured cross-check --------------------------------------------------------

@@ -168,6 +168,59 @@ def predicted_ledger(
     return ledger
 
 
+def predicted_symk_ledger(
+    P: int,
+    rank: int,
+    variant: str = "point-to-point",
+    fusion: bool = True,
+) -> CommunicationLedger:
+    """The exact ledger one low-rank TTSV would produce.
+
+    The only exchange is the all-gather of ``r``-word ``Vᵀx`` partial
+    sums (see :mod:`repro.core.parallel_symk` for the derivation):
+
+    * ``point-to-point`` — ring allgather, ``P − 1`` ``step`` rounds,
+      every processor sends ``r`` words per round (ring steps are
+      synchronous, so fusion never applies);
+    * ``all-to-all`` — ``P − 1`` ``shift`` rounds of one ``r``-word
+      slot to every other processor, packed into a single fused
+      exchange when fusion is on.
+
+    Both variants cost ``(P − 1) · r`` algorithmic words per processor
+    — :func:`repro.core.parallel_symk.symk_words_per_processor` —
+    and the conformance suite asserts executed ledgers match this
+    prediction field for field.
+    """
+    if variant not in VARIANTS:
+        raise ConfigurationError(
+            f"variant must be one of {VARIANTS}, got {variant!r}"
+        )
+    if P < 1 or rank < 1:
+        raise ConfigurationError(
+            f"need P >= 1 and rank >= 1, got P={P}, rank={rank}"
+        )
+    ledger = CommunicationLedger(P)
+    if P == 1:
+        return ledger
+    tag = "symk-z"
+    if variant == "point-to-point":
+        rounds = [
+            [(p, (p + 1) % P, rank) for p in range(P)]
+            for _ in range(P - 1)
+        ]
+        labels = [f"{tag}:step{step}" for step in range(P - 1)]
+        batches: List[Tuple[int, int]] = []
+    else:
+        rounds = [
+            [(src, (src + shift) % P, rank) for src in range(P)]
+            for shift in range(1, P)
+        ]
+        labels = [f"{tag}:shift{shift}" for shift in range(1, P)]
+        batches = [(0, len(rounds))] if fusion else []
+    _record_phase(ledger, tag, rounds, labels, batches)
+    return ledger
+
+
 # -- flop counts -----------------------------------------------------------------
 
 
@@ -191,3 +244,17 @@ def scatter_plan_ops(n: int) -> float:
     """Per-vector scatter ops of the ``bincount`` plan strategy: a
     bounded number of weighted scatter-adds per packed entry."""
     return 6.0 * (n * (n + 1) * (n + 2) // 6)
+
+
+def symk_plan_flops(n: int, rank: int) -> float:
+    """Per-vector flops of the sequential low-rank path: two GEMVs
+    against the ``n × r`` factors (``z = Vᵀx``, ``y = V w``)."""
+    return 4.0 * n * rank
+
+
+def symk_parallel_flops(P: int, n: int, rank: int) -> float:
+    """Critical-path per-processor flops of the distributed low-rank
+    path: the two GEMVs on one ``⌈n/P⌉``-row block plus the rank-order
+    reduction of ``P`` ``r``-word partials."""
+    b = -(-n // P)
+    return 4.0 * b * rank + float(P * rank)

@@ -9,6 +9,7 @@ from repro.planner.planner import PlanDecision, PricedCandidate
 _COLUMNS = (
     "rank",
     "mode",
+    "repr",
     "q",
     "P",
     "backend",
@@ -33,6 +34,7 @@ def _row(rank: int, priced: PricedCandidate, best: bool) -> List[str]:
     return [
         f"{'>' if best else ' '}{rank}",
         c.mode,
+        c.representation,
         str(c.q) if c.q is not None else "-",
         str(c.P) if c.P is not None else "-",
         c.backend or "-",

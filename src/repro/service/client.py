@@ -87,6 +87,10 @@ class ServiceClient:
         #: (the server mints one per request and echoes it back, so
         #: ``repro trace <id>`` can find that request's spans).
         self.last_trace_id: Optional[str] = None
+        #: Update epoch echoed by the most recent symk ``update`` /
+        #: ``apply`` / ``apply_batch`` reply — pass it back as
+        #: ``min_epoch`` to fence a read after your own writes.
+        self.last_update_epoch: Optional[int] = None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -200,6 +204,92 @@ class ServiceClient:
         self._expect(reply_type, MessageType.OK)
         return reply_header
 
+    def register_symk(
+        self,
+        tensor_id: str,
+        tensor,
+        q: int = 2,
+        P: Optional[int] = None,
+        backend: str = "simulated",
+        strategy: str = "auto",
+        variant: str = "point-to-point",
+    ) -> Dict:
+        """Upload a low-rank :class:`~repro.tensor.symk.SymKTensor`.
+
+        The body carries the factorization — ``lambda_`` then ``V``
+        row-major as one flat float64 array — so the wire cost is
+        ``r + n·r`` words instead of the dense packed payload. ``P``
+        defaults server-side to ``q(q²+1)`` so symk and dense plans
+        price side by side; any ``P ≥ 1`` is accepted (no Steiner
+        structure constrains it). Pass ``backend="auto"`` or
+        ``variant="auto"`` to let the server's planner choose using
+        the symk communication formula ``(P−1)·r``.
+        """
+        payload = np.concatenate(
+            [
+                np.ascontiguousarray(tensor.lambda_, dtype=np.float64),
+                np.ascontiguousarray(tensor.V, dtype=np.float64).ravel(),
+            ]
+        )
+        header, body = encode_array(payload)
+        header.update(
+            {
+                "tensor_id": tensor_id,
+                "kind": "symk",
+                "n": tensor.n,
+                "rank": tensor.r,
+                "order": tensor.m,
+                "q": q,
+                "backend": backend,
+                "strategy": strategy,
+                "variant": variant,
+            }
+        )
+        if P is not None:
+            header["P"] = P
+        reply_type, reply_header, _ = self._roundtrip(
+            MessageType.REGISTER, header, body
+        )
+        self._expect(reply_type, MessageType.OK)
+        self.last_update_epoch = reply_header.get("update_epoch")
+        return reply_header
+
+    def update(
+        self, tensor_id: str, weight: float, vector: np.ndarray
+    ) -> int:
+        """Stream one rank-1 update ``(λ_new, v_new)`` into a served
+        symk tensor and return the new update epoch.
+
+        Updates are applied under the session lock in arrival order;
+        the returned epoch is the fence token: pass it as
+        ``min_epoch`` to a later :meth:`apply` to guarantee the read
+        reflects this write (a replica that has not caught up answers
+        with a typed ``STALE_READ`` error instead of stale data).
+
+        Unlike applies and registrations, an update is *not*
+        idempotent: if the connection dies after the server applied
+        the frame but before the reply arrived, the replay applies it
+        again. The echoed epoch is the detector — it advances by
+        exactly one per applied update, so a caller streaming k
+        updates expects to land on ``start + k`` and can rebuild on
+        mismatch.
+        """
+        payload = np.concatenate(
+            [
+                np.asarray([weight], dtype=np.float64),
+                np.ascontiguousarray(vector, dtype=np.float64),
+            ]
+        )
+        header, body = encode_array(payload)
+        header["tensor_id"] = tensor_id
+        reply_type, reply_header, _ = self._roundtrip(
+            MessageType.UPDATE, header, body
+        )
+        self._expect(reply_type, MessageType.OK)
+        epoch = int(reply_header["update_epoch"])
+        self.last_update_epoch = epoch
+        return epoch
+
     def apply(
         self,
         tensor_id: str,
@@ -207,12 +297,16 @@ class ServiceClient:
         mode: str = "plan",
         deadline_ms: Optional[float] = None,
         trace_id: Optional[str] = None,
+        min_epoch: Optional[int] = None,
     ) -> np.ndarray:
         """Serve ``y = A ×₂ x ×₃ x`` for one vector.
 
         Pass ``trace_id`` to propagate a caller-minted id; otherwise
         the server mints one. Either way the id used is readable on
-        :attr:`last_trace_id` after the call returns.
+        :attr:`last_trace_id` after the call returns. For symk
+        sessions, pass ``min_epoch`` (an epoch previously returned by
+        :meth:`update`) to fence the read after that write; the
+        server replies ``STALE_READ`` rather than serve older state.
         """
         header, body = encode_array(x)
         header["tensor_id"] = tensor_id
@@ -221,11 +315,15 @@ class ServiceClient:
             header["deadline_ms"] = deadline_ms
         if trace_id is not None:
             header["trace_id"] = trace_id
+        if min_epoch is not None:
+            header["min_epoch"] = min_epoch
         reply_type, reply_header, reply_body = self._roundtrip(
             MessageType.APPLY, header, body
         )
         self._expect(reply_type, MessageType.RESULT)
         self.last_trace_id = reply_header.get("trace_id")
+        if "update_epoch" in reply_header:
+            self.last_update_epoch = int(reply_header["update_epoch"])
         return decode_array(reply_header, reply_body, expected_ndim=1)
 
     def apply_batch(
@@ -234,6 +332,7 @@ class ServiceClient:
         X: np.ndarray,
         mode: str = "plan",
         trace_id: Optional[str] = None,
+        min_epoch: Optional[int] = None,
     ) -> np.ndarray:
         """Serve a pre-batched ``n × s`` matrix in one request."""
         header, body = encode_array(X)
@@ -241,11 +340,15 @@ class ServiceClient:
         header["mode"] = mode
         if trace_id is not None:
             header["trace_id"] = trace_id
+        if min_epoch is not None:
+            header["min_epoch"] = min_epoch
         reply_type, reply_header, reply_body = self._roundtrip(
             MessageType.APPLY_BATCH, header, body
         )
         self._expect(reply_type, MessageType.RESULT)
         self.last_trace_id = reply_header.get("trace_id")
+        if "update_epoch" in reply_header:
+            self.last_update_epoch = int(reply_header["update_epoch"])
         return decode_array(reply_header, reply_body, expected_ndim=2)
 
     def stats(self) -> Dict:

@@ -17,7 +17,12 @@ replicates to the next ``replication - 1`` distinct ring successors, so
 a hot session is already warm on a secondary when its primary dies.
 ``APPLY``/``APPLY_BATCH`` forward to the primary with headers intact —
 trace ids propagate end to end, and typed errors (``OVERLOADED``,
-``DEADLINE_EXCEEDED``) pass through verbatim.
+``DEADLINE_EXCEEDED``) pass through verbatim. ``UPDATE`` (streamed
+rank-1 updates into a low-rank symk session) forwards to *every*
+owner and the frame is retained in the tensor's update log, so any
+replay — failover rebalance, restarted-shard retry — reproduces the
+stream in epoch order and lands the new owner on byte-identical
+factors.
 
 Failure handling: a connection error to a shard marks it down, removes
 it from the ring, re-registers the affected tensors on their new
@@ -160,11 +165,21 @@ class _Backend:
 
 
 class _TensorRecord:
-    """One registration the gateway can replay: routing identity plus
-    the original frame payload."""
+    """One registration the gateway can replay: routing identity, the
+    original frame payload, and — for streamed-update tensors — every
+    accepted ``UPDATE`` frame in epoch order.
+
+    The update log is what makes failover exact: a shard that inherits
+    the tensor receives the registration replay (epoch 0) followed by
+    the retained updates in order, so its resident factors are
+    byte-identical to the primary's at the log's epoch. ``update_lock``
+    serializes update forwarding per tensor; the list itself is
+    mutated only under the gateway state lock so rebalance reads a
+    consistent prefix."""
 
     __slots__ = (
         "tensor_id", "q", "P", "order", "key", "header", "body", "owners",
+        "updates", "update_lock",
     )
 
     def __init__(
@@ -180,6 +195,8 @@ class _TensorRecord:
         self.header = header
         self.body = body
         self.owners = owners
+        self.updates: List[Tuple[Dict, bytes]] = []
+        self.update_lock = threading.Lock()
 
 
 class STTSVGateway(FrameLoopServer):
@@ -229,6 +246,7 @@ class STTSVGateway(FrameLoopServer):
             "reroutes": 0,
             "rebalanced_registrations": 0,
             "replica_registrations": 0,
+            "replayed_updates": 0,
             "drains": 0,
         }
         for spec in backends:
@@ -307,7 +325,12 @@ class STTSVGateway(FrameLoopServer):
         """Gracefully remove a shard: leave the ring (no new routes),
         wait for its in-flight applies to finish, re-register its
         resident tensors on their successors, close its connections.
-        Returns False if in-flight work outlived ``timeout``."""
+        Returns False if in-flight work outlived ``timeout``.
+
+        Draining the *last* shard raises a typed
+        :class:`~repro.errors.ConfigurationError` (from the ring): a
+        planned removal must place a successor first, unlike a crash,
+        which evicts unconditionally."""
         with self._state:
             backend = self._backends.get(name)
             if backend is None:
@@ -344,15 +367,16 @@ class STTSVGateway(FrameLoopServer):
                 return
             backend.healthy = False
             backend.state = "down"
-            self._ring.remove(name)
+            self._ring.remove(name, allow_empty=True)
             self._events["reroutes"] += 1
             self._rebalance()
         backend.close()
 
     def _rebalance(self) -> None:
         """Recompute every tensor's owners against the current ring and
-        replay registrations on newly-responsible shards. Caller holds
-        the state lock; forwarding failures recurse into
+        replay registrations — then the tensor's retained ``UPDATE``
+        frames, in epoch order — on newly-responsible shards. Caller
+        holds the state lock; forwarding failures recurse into
         :meth:`_backend_down` (re-entrant lock) and the loop re-checks."""
         for record in list(self._tensors.values()):
             for _attempt in range(len(self._backends) + 1):
@@ -365,15 +389,37 @@ class STTSVGateway(FrameLoopServer):
                 ]
                 try:
                     for owner in added:
-                        self._backends[owner].roundtrip(
-                            MessageType.REGISTER, record.header, record.body
-                        )
-                        self._events["rebalanced_registrations"] += 1
+                        self._replay_record(owner, record)
                 except (OSError, ConnectionError):
                     self._backend_down(owner)
                     continue
                 record.owners = new_owners
                 break
+
+    def _replay_record(self, owner: str, record: _TensorRecord) -> None:
+        """Replay one tensor onto one shard: the registration (which
+        resets the shard's session to epoch 0) followed by every
+        retained update frame in order, landing the shard on the log's
+        epoch with factors byte-identical to the original stream.
+
+        The update log is snapshotted first — an update racing the
+        replay can leave the shard one epoch behind the log, which the
+        client's ``min_epoch`` fence converts into a typed retry
+        rather than a stale read."""
+        backend = self._backends[owner]
+        with self._state:
+            updates = list(record.updates)
+        backend.roundtrip(
+            MessageType.REGISTER, record.header, record.body
+        )
+        with self._state:
+            self._events["rebalanced_registrations"] += 1
+        for update_header, update_body in updates:
+            backend.roundtrip(
+                MessageType.UPDATE, update_header, update_body
+            )
+            with self._state:
+                self._events["replayed_updates"] += 1
 
     # -- request dispatch ------------------------------------------------------
 
@@ -384,6 +430,8 @@ class STTSVGateway(FrameLoopServer):
             return self._handle_register(header, body)
         if msg_type in (MessageType.APPLY, MessageType.APPLY_BATCH):
             return self._forward_apply(msg_type, header, body)
+        if msg_type == MessageType.UPDATE:
+            return self._forward_update(header, body)
         if msg_type == MessageType.STATS:
             return self._handle_stats(header)
         if msg_type == MessageType.SHUTDOWN:
@@ -414,7 +462,17 @@ class STTSVGateway(FrameLoopServer):
             raise ServiceError(
                 ErrorCode.BAD_REQUEST, "order must be an integer"
             ) from None
-        if order == 4:
+        if "P" in header:
+            # symk registrations may pin P explicitly (no Steiner
+            # structure constrains it); the routing key must match
+            # whatever the shard will put in its session key.
+            try:
+                P = int(header["P"])
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST, "P must be an integer"
+                ) from None
+        elif order == 4:
             # q is the SQS parameter k of S(2^k, 4, 3).
             points = 2**q
             P = points * (points - 1) * (points - 2) // 24
@@ -545,14 +603,11 @@ class STTSVGateway(FrameLoopServer):
                 and not replayed
             ):
                 # The shard restarted (or evicted the session): replay
-                # the registration we hold and retry once.
+                # the registration we hold — plus the tensor's update
+                # log, in epoch order — and retry once.
                 replayed = True
                 try:
-                    self._backends[target].roundtrip(
-                        MessageType.REGISTER, record.header, record.body
-                    )
-                    with self._state:
-                        self._events["rebalanced_registrations"] += 1
+                    self._replay_record(target, record)
                 except (OSError, ConnectionError):
                     self._backend_down(target)
                 continue
@@ -563,6 +618,101 @@ class STTSVGateway(FrameLoopServer):
             ErrorCode.INTERNAL,
             f"request could not be placed after {attempts} attempts",
         )
+
+    def _forward_update(self, header: Dict, body: bytes) -> Reply:
+        """Forward a rank-1 ``UPDATE`` to *every* owner of the tensor
+        and retain the frame for replay.
+
+        Unlike applies (pure reads, served by any owner), an update
+        mutates session state, so the primary *and* the replicas must
+        all apply it — otherwise a failover would silently rewind the
+        tensor. The per-record lock serializes updates for one tensor,
+        which is what makes "retained list order == epoch order" hold:
+        frame k in the log produced epoch k on every shard that
+        applied the stream. The primary's reply (with its echoed
+        ``update_epoch``) is returned to the client; a replica that
+        fails is evicted like any other outage and the rebalance
+        replays the full log onto its successor."""
+        tensor_id = header.get("tensor_id")
+        if not isinstance(tensor_id, str) or not tensor_id:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "request needs a tensor_id string"
+            )
+        record = self._tensors.get(tensor_id)
+        if record is None:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_TENSOR,
+                f"tensor {tensor_id!r} is not registered with the"
+                " gateway; REGISTER it first",
+            )
+        with record.update_lock:
+            replayed = False
+            with self._state:
+                attempts = len(self._backends) + 2
+            for _attempt in range(attempts):
+                with self._state:
+                    owners = tuple(
+                        self._ring.nodes_for(record.key, self.replication)
+                    )
+                    record.owners = owners or record.owners
+                    healthy = [
+                        name for name in owners
+                        if self._backends[name].healthy
+                    ]
+                if not healthy:
+                    raise ServiceError(
+                        ErrorCode.INTERNAL, "no healthy backend shards"
+                    )
+                try:
+                    reply_type, reply_header, reply_body = self._forward_to(
+                        healthy[0], MessageType.UPDATE, header, body
+                    )
+                except (OSError, ConnectionError):
+                    continue  # primary evicted; ring already rebalanced
+                if (
+                    reply_type == MessageType.ERROR
+                    and reply_header.get("code")
+                    == ErrorCode.UNKNOWN_TENSOR.value
+                    and not replayed
+                ):
+                    # The shard restarted: replay registration plus the
+                    # retained update log, then retry this update once.
+                    replayed = True
+                    try:
+                        self._replay_record(healthy[0], record)
+                    except (OSError, ConnectionError):
+                        self._backend_down(healthy[0])
+                    continue
+                if reply_type == MessageType.ERROR:
+                    return Reply(reply_type, reply_header, reply_body)
+                # Primary applied it: the frame joins the log, then the
+                # replicas apply it before the client sees the new
+                # epoch. A replica that answers UNKNOWN_TENSOR
+                # (restarted, or evicted the session) gets the full log
+                # replayed instead — registration plus every update,
+                # this one included.
+                with self._state:
+                    record.updates.append((dict(header), bytes(body)))
+                for replica in healthy[1:]:
+                    try:
+                        r_type, r_header, _ = self._forward_to(
+                            replica, MessageType.UPDATE, header, body
+                        )
+                        if (
+                            r_type == MessageType.ERROR
+                            and r_header.get("code")
+                            == ErrorCode.UNKNOWN_TENSOR.value
+                        ):
+                            self._replay_record(replica, record)
+                    except (OSError, ConnectionError):
+                        self._backend_down(replica)
+                self.metrics.incr("accepted")
+                self.metrics.incr("updates")
+                return Reply(reply_type, reply_header, reply_body)
+            raise ServiceError(
+                ErrorCode.INTERNAL,
+                f"update could not be placed after {attempts} attempts",
+            )
 
     # -- stats -----------------------------------------------------------------
 

@@ -113,6 +113,7 @@ class SessionMetrics:
         self._counters: Dict[str, int] = {
             "requests": 0,
             "batch_requests": 0,
+            "updates": 0,
             "errors": 0,
             "parallel_runs": 0,
             "comm_rounds": 0,
@@ -167,6 +168,7 @@ class ServerMetrics:
             "internal_errors": 0,
             "connections_opened": 0,
             "registrations": 0,
+            "updates": 0,
         }
 
     def incr(self, name: str, amount: int = 1) -> None:

@@ -19,14 +19,19 @@ vector/matrix payloads verbatim (shape and dtype are pinned in the
 header by :func:`encode_array`), so numerical round-trips are bitwise:
 the bytes a client sends are the bytes the engine sees.
 
-Request types: ``REGISTER`` (resident-tensor upload), ``APPLY`` (one
-vector), ``APPLY_BATCH`` (a pre-batched ``n × s`` matrix), ``STATS``
-(metrics snapshot), ``SHUTDOWN``. Reply types: ``RESULT`` (array
-payload), ``OK`` (JSON payload), and ``ERROR`` with a typed
-:class:`ErrorCode` — backpressure (``OVERLOADED``), per-request
-deadline misses (``DEADLINE_EXCEEDED``), and client mistakes
-(``BAD_REQUEST``, ``UNKNOWN_TENSOR``) are distinct, machine-readable
-outcomes rather than stringly-typed failures.
+Request types: ``REGISTER`` (resident-tensor upload — dense packed
+payloads, or low-rank factors with header ``kind="symk"``), ``APPLY``
+(one vector), ``APPLY_BATCH`` (a pre-batched ``n × s`` matrix),
+``STATS`` (metrics snapshot), ``SHUTDOWN``, and ``UPDATE`` (stream one
+rank-1 term ``(λ_new, v_new)`` into a resident low-rank tensor; the
+reply echoes the session's monotone ``update_epoch``, which ``APPLY``
+replies also carry so clients can fence reads after writes). Reply
+types: ``RESULT`` (array payload), ``OK`` (JSON payload), and
+``ERROR`` with a typed :class:`ErrorCode` — backpressure
+(``OVERLOADED``), per-request deadline misses (``DEADLINE_EXCEEDED``),
+client mistakes (``BAD_REQUEST``, ``UNKNOWN_TENSOR``), and epoch-fence
+violations (``STALE_READ``) are distinct, machine-readable outcomes
+rather than stringly-typed failures.
 """
 
 from __future__ import annotations
@@ -87,6 +92,7 @@ class MessageType(enum.IntEnum):
     APPLY_BATCH = 3
     STATS = 4
     SHUTDOWN = 5
+    UPDATE = 6
     RESULT = 16
     OK = 17
     ERROR = 18
@@ -101,6 +107,7 @@ class ErrorCode(enum.Enum):
     OVERLOADED = "overloaded"
     DEADLINE_EXCEEDED = "deadline-exceeded"
     SHUTTING_DOWN = "shutting-down"
+    STALE_READ = "stale-read"
     INTERNAL = "internal"
 
 

@@ -21,6 +21,8 @@ import bisect
 import hashlib
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ConfigurationError
+
 #: Virtual nodes per backend: enough for ±20-ish% load spread at small
 #: fleet sizes without making membership changes slow.
 DEFAULT_VNODES = 64
@@ -70,8 +72,27 @@ class HashRing:
             points.append(point)
         self._nodes[node] = points
 
-    def remove(self, node: str) -> None:
-        """Remove a backend's virtual nodes (idempotent)."""
+    def remove(self, node: str, allow_empty: bool = False) -> None:
+        """Remove a backend's virtual nodes (idempotent for nodes not
+        on the ring).
+
+        Removing the *last* member raises a typed
+        :class:`~repro.errors.ConfigurationError` unless
+        ``allow_empty=True``: an empty ring routes nothing, and a
+        planned removal (a drain) should place a successor first. The
+        gateway's crash path passes ``allow_empty=True`` — a dead last
+        shard is a fact, not a configuration choice.
+        """
+        if (
+            not allow_empty
+            and node in self._nodes
+            and len(self._nodes) == 1
+        ):
+            raise ConfigurationError(
+                f"removing {node!r} would empty the ring; add a"
+                " replacement backend first (or pass allow_empty=True"
+                " to accept routing nothing)"
+            )
         points = self._nodes.pop(node, None)
         if points is None:
             return

@@ -47,7 +47,7 @@ from repro.obs.metrics import (
     default_registry,
 )
 from repro.obs.tracing import get_tracer, new_trace_id, trace_context
-from repro.planner import Calibration, auto_session_config
+from repro.planner import Calibration, auto_session_config, auto_symk_config
 from repro.planner.pricing import VARIANTS
 from repro.service.batcher import (
     DEFAULT_ADMISSION_CAPACITY,
@@ -318,6 +318,8 @@ class STTSVServer(FrameLoopServer):
             return self._handle_apply(header, body)
         if msg_type == MessageType.APPLY_BATCH:
             return self._handle_apply_batch(header, body)
+        if msg_type == MessageType.UPDATE:
+            return self._handle_update(header, body)
         if msg_type == MessageType.STATS:
             return self._handle_stats(header)
         if msg_type == MessageType.SHUTDOWN:
@@ -337,6 +339,14 @@ class STTSVServer(FrameLoopServer):
         if not isinstance(tensor_id, str) or not tensor_id:
             raise ServiceError(
                 ErrorCode.BAD_REQUEST, "register needs a tensor_id string"
+            )
+        kind = header.get("kind", "dense")
+        if kind == "symk":
+            return self._register_symk(tensor_id, header, body)
+        if kind != "dense":
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"kind must be 'dense' or 'symk', got {kind!r}",
             )
         try:
             n = int(header["n"])
@@ -459,6 +469,128 @@ class STTSVServer(FrameLoopServer):
             },
         )
 
+    def _register_symk(
+        self, tensor_id: str, header: Dict, body: bytes
+    ) -> Reply:
+        """``kind="symk"``: register a low-rank symmetric Kruskal
+        tensor from its factors on the wire.
+
+        The body is the flat float64 concatenation ``[λ (r words), V
+        row-major (n·r words)]``. ``order`` is the tensor order ``m``
+        (any 2..6 — no Steiner structure is involved, so
+        ``accepted_orders`` does not apply) and ``P`` defaults to the
+        dense family's ``q(q²+1)`` so the two representations price
+        side by side.
+        """
+        from repro.tensor.symk import MAX_DENSE_ORDER, SymKTensor
+
+        try:
+            n = int(header["n"])
+            rank = int(header["rank"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "symk register needs integer n and rank",
+            ) from None
+        try:
+            order = int(header.get("order", 3))
+            q = int(header.get("q", 2))
+            P = int(header.get("P", q * (q * q + 1)))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "symk order, q, and P must be integers",
+            ) from None
+        if not 2 <= order <= MAX_DENSE_ORDER:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"symk serving supports orders 2..{MAX_DENSE_ORDER},"
+                f" got {order}",
+            )
+        if n < 1 or rank < 1 or P < 1:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"need n >= 1, rank >= 1, P >= 1; got n={n}, rank={rank},"
+                f" P={P}",
+            )
+        backend = header.get("backend", "simulated")
+        if backend != "auto" and backend not in TRANSPORTS:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown backend {backend!r}; available: auto,"
+                f" {', '.join(sorted(TRANSPORTS))}",
+            )
+        variant = header.get("variant", "point-to-point")
+        if variant != "auto" and variant not in VARIANTS:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown variant {variant!r}; available: auto,"
+                f" {', '.join(VARIANTS)}",
+            )
+        strategy = header.get("strategy", "auto")
+        planned = backend == "auto" or variant == "auto"
+        if planned:
+            calibration = Calibration.load_or_default(self.calibration_path)
+            config = auto_symk_config(
+                n,
+                rank,
+                P,
+                backends=(
+                    tuple(sorted(TRANSPORTS))
+                    if backend == "auto"
+                    else (backend,)
+                ),
+                calibration=calibration,
+                fusion_options=(self.fusion,),
+            )
+            if backend == "auto":
+                backend = config["backend"]
+            if variant == "auto":
+                variant = config["variant"]
+        data = decode_array(header, body, expected_ndim=1)
+        if data.shape[0] != rank + n * rank:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"symk body has {data.shape[0]} entries; rank={rank},"
+                f" n={n} needs {rank + n * rank} (lambda then V"
+                f" row-major)",
+            )
+        tensor = SymKTensor(data[:rank], data[rank:].reshape(n, rank), order)
+        key = SessionKey(
+            tensor_id=tensor_id, q=q, P=P, backend=backend,
+            order=order, kind="symk",
+        )
+        session = EngineSession(
+            key,
+            tensor,
+            strategy=strategy,
+            faults=self.faults,
+            fusion=self.fusion,
+            variant=variant,
+        )
+        with self._routes_lock:
+            self._routes[tensor_id] = key
+        self.pool.put(key, session)
+        self.metrics.incr("registrations")
+        return Reply(
+            MessageType.OK,
+            {
+                "tensor_id": tensor_id,
+                "kind": "symk",
+                "n": n,
+                "rank": rank,
+                "q": q,
+                "P": P,
+                "order": order,
+                "backend": backend,
+                "variant": session.variant.value,
+                "planned": planned,
+                "plan_strategy": session.plan.strategy,
+                "update_epoch": session.update_epoch,
+                "session_bytes": session.nbytes(),
+            },
+        )
+
     def _plan_registration(
         self, n: int, q: int, backend: str, variant: str, strategy: str
     ) -> Tuple[str, str, str]:
@@ -526,12 +658,97 @@ class STTSVServer(FrameLoopServer):
             return trace_id
         return new_trace_id()
 
+    def _handle_update(self, header: Dict, body: bytes) -> Reply:
+        """``UPDATE``: fold one streamed rank-1 term into a resident
+        low-rank tensor under the session lock.
+
+        The body is the flat float64 concatenation ``[λ_new, v_new (n
+        words)]``. The reply echoes the session's new monotone
+        ``update_epoch``; every subsequent apply reply carries the
+        epoch its result reflects, so a client that saw epoch ``e``
+        acknowledged can fence reads with ``min_epoch=e``.
+        """
+        start = time.monotonic()
+        key, session = self._resolve(header)
+        if key.kind != "symk":
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"tensor {key.tensor_id!r} is {key.kind!r}; UPDATE"
+                " applies to kind='symk' registrations only",
+            )
+        data = decode_array(header, body, expected_ndim=1)
+        if data.shape[0] != 1 + session.n:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"update body has {data.shape[0]} entries, needs"
+                f" {1 + session.n} (lambda_new then v_new)",
+            )
+        with session.exec_lock:
+            epoch = session.update_rank1(float(data[0]), data[1:])
+            rank = session.tensor.r
+        session.metrics.latency.record(time.monotonic() - start)
+        self.metrics.incr("updates")
+        self.metrics.incr("accepted")
+        return Reply(
+            MessageType.OK,
+            {
+                "tensor_id": key.tensor_id,
+                "update_epoch": epoch,
+                "rank": rank,
+                "n": session.n,
+            },
+        )
+
+    @staticmethod
+    def _min_epoch(header: Dict) -> Optional[int]:
+        min_epoch = header.get("min_epoch")
+        if min_epoch is None:
+            return None
+        if not isinstance(min_epoch, int) or min_epoch < 0:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"min_epoch must be a non-negative integer, got"
+                f" {min_epoch!r}",
+            )
+        return min_epoch
+
+    @staticmethod
+    def _check_epoch_fence(
+        session: EngineSession, min_epoch: Optional[int]
+    ) -> None:
+        """Caller holds ``exec_lock``: reject reads behind the fence."""
+        if min_epoch is not None and session.update_epoch < min_epoch:
+            raise ServiceError(
+                ErrorCode.STALE_READ,
+                f"session is at update_epoch {session.update_epoch},"
+                f" client fenced at {min_epoch}",
+            )
+
+    def _apply_symk(
+        self, key: SessionKey, session: EngineSession,
+        mode: str, x, min_epoch: Optional[int],
+    ):
+        """Low-rank applies bypass the batcher and serve directly
+        under the session lock: the epoch a result reflects must be
+        captured atomically with the computation (an UPDATE landing
+        between a batched execution and its reply would otherwise
+        mis-stamp the result), which is what makes interleaved
+        UPDATE/APPLY streams linearizable by epoch prefix."""
+        with session.exec_lock:
+            self._check_epoch_fence(session, min_epoch)
+            if x.ndim == 1:
+                y = session.apply(x, mode=mode)
+            else:
+                y = session.apply_batch(x, mode=mode)
+            return y, session.update_epoch
+
     def _handle_apply(self, header: Dict, body: bytes) -> Reply:
         start = time.monotonic()
         trace_id = self._trace_id(header)
         key, session = self._resolve(header)
         mode = self._mode(header)
         deadline_ms = header.get("deadline_ms")
+        min_epoch = self._min_epoch(header)
         x = decode_array(header, body, expected_ndim=1)
         if x.shape[0] != session.n:
             raise ServiceError(
@@ -539,6 +756,7 @@ class STTSVServer(FrameLoopServer):
                 f"vector has {x.shape[0]} entries, tensor has n={session.n}",
             )
         tracer = get_tracer()
+        epoch: Optional[int] = None
         with trace_context(trace_id):
             if tracer.enabled:
                 span_cm = tracer.span(
@@ -549,6 +767,19 @@ class STTSVServer(FrameLoopServer):
             else:
                 span_cm = None
             with span_cm if span_cm is not None else _NULL_SPAN:
+                if key.kind == "symk":
+                    y, epoch = self._apply_symk(
+                        key, session, mode, x, min_epoch
+                    )
+                    session.metrics.incr("requests")
+                    session.metrics.latency.record(time.monotonic() - start)
+                    self.metrics.incr("accepted")
+                    result_header, result_body = encode_array(y)
+                    result_header["trace_id"] = trace_id
+                    result_header["update_epoch"] = epoch
+                    return Reply(
+                        MessageType.RESULT, result_header, result_body
+                    )
                 future = self.batcher.submit(
                     key, mode, session, x,
                     deadline_ms=deadline_ms,
@@ -578,6 +809,7 @@ class STTSVServer(FrameLoopServer):
         trace_id = self._trace_id(header)
         key, session = self._resolve(header)
         mode = self._mode(header)
+        min_epoch = self._min_epoch(header)
         X = decode_array(header, body, expected_ndim=2)
         if X.shape[0] != session.n:
             raise ServiceError(
@@ -585,6 +817,7 @@ class STTSVServer(FrameLoopServer):
                 f"batch rows ({X.shape[0]}) != tensor n ({session.n})",
             )
         tracer = get_tracer()
+        epoch: Optional[int] = None
         with trace_context(trace_id):
             if tracer.enabled:
                 span_cm = tracer.span(
@@ -599,8 +832,13 @@ class STTSVServer(FrameLoopServer):
             else:
                 span_cm = None
             with span_cm if span_cm is not None else _NULL_SPAN:
-                with session.exec_lock:
-                    Y = session.apply_batch(X, mode=mode)
+                if key.kind == "symk":
+                    Y, epoch = self._apply_symk(
+                        key, session, mode, X, min_epoch
+                    )
+                else:
+                    with session.exec_lock:
+                        Y = session.apply_batch(X, mode=mode)
         session.metrics.incr("batch_requests")
         session.metrics.incr("requests", X.shape[1])
         session.metrics.batch_sizes.record(X.shape[1])
@@ -608,6 +846,8 @@ class STTSVServer(FrameLoopServer):
         self.metrics.incr("accepted", X.shape[1])
         result_header, result_body = encode_array(Y)
         result_header["trace_id"] = trace_id
+        if epoch is not None:
+            result_header["update_epoch"] = epoch
         return Reply(MessageType.RESULT, result_header, result_body)
 
     def _handle_stats(self, header: Optional[Dict] = None) -> Reply:

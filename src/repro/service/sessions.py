@@ -61,10 +61,13 @@ class SessionKey(NamedTuple):
     P: int
     backend: str
     order: int = 3
+    kind: str = "dense"
 
     def label(self) -> str:
         """Stable string form used as the stats-snapshot key."""
         suffix = f",order={self.order}" if self.order != 3 else ""
+        if self.kind != "dense":
+            suffix += f",{self.kind}"
         return (
             f"{self.tensor_id}@q={self.q},P={self.P},{self.backend}{suffix}"
         )
@@ -89,6 +92,9 @@ class EngineSession:
         fusion: bool = True,
         variant: str = "point-to-point",
     ):
+        if key.kind == "symk":
+            self._init_symk(key, tensor, strategy, faults, fusion, variant)
+            return
         if key.order == 3:
             partition = TetrahedralPartition(spherical_steiner_system(key.q))
             partition.validate()
@@ -144,6 +150,60 @@ class EngineSession:
             self.algo.load_tensor(self.machine, tensor)
             self.plan = BlockedPlan(tensor)
         self.metrics = SessionMetrics()
+        self.update_epoch = 0
+        self.exec_lock = threading.Lock()
+        self._closed = False
+
+    def _init_symk(
+        self,
+        key: SessionKey,
+        tensor,
+        strategy: str,
+        faults: Optional[FaultPolicy],
+        fusion: bool,
+        variant: str,
+    ) -> None:
+        """Low-rank session: resident factors, O(nr) plan, and a warm
+        :class:`~repro.core.parallel_symk.ParallelSymKTTSV` machine.
+
+        ``key.order`` is the tensor order ``m`` (any ``m >= 2`` — no
+        Steiner structure is involved) and ``key.P`` is a free knob.
+        """
+        from repro.core.parallel_symk import ParallelSymKTTSV
+        from repro.tensor.symk import SymKPlan, SymKTensor
+
+        if not isinstance(tensor, SymKTensor):
+            raise ConfigurationError(
+                f"kind='symk' sessions need a SymKTensor, got"
+                f" {type(tensor).__name__}"
+            )
+        if strategy not in ("auto", "symk"):
+            raise ConfigurationError(
+                f"symk sessions support only the 'symk' plan strategy,"
+                f" got {strategy!r}"
+            )
+        if key.order != tensor.m:
+            raise ConfigurationError(
+                f"key says order {key.order}, tensor is order {tensor.m}"
+            )
+        self.key = key
+        self.tensor = tensor
+        self.n = tensor.n
+        self.faults = faults
+        self.fusion = fusion
+        self.variant = CommBackend(variant)
+        self.machine = Machine(
+            key.P,
+            transport=make_transport(key.backend, key.P, faults=faults),
+            fusion=fusion,
+        )
+        self.algo = ParallelSymKTTSV(
+            key.P, tensor.n, order=tensor.m, backend=self.variant
+        )
+        self.algo.load_factors(self.machine, tensor)
+        self.plan = SymKPlan(tensor)
+        self.metrics = SessionMetrics()
+        self.update_epoch = 0
         self.exec_lock = threading.Lock()
         self._closed = False
 
@@ -185,6 +245,26 @@ class EngineSession:
             f"mode must be one of {MODES}, got {mode!r}"
         )
 
+    def update_rank1(self, weight: float, vector: np.ndarray) -> int:
+        """Fold one streamed rank-1 term into the resident factors
+        (caller holds :attr:`exec_lock`) and advance the update epoch.
+
+        Both the serial plan's tensor and the warm machine's
+        distributed blocks are extended, so the very next apply — on
+        either path — reflects the update, bitwise identical to a
+        rebuild from scratch. Returns the new epoch.
+        """
+        if self.key.kind != "symk":
+            raise ConfigurationError(
+                f"only kind='symk' sessions accept rank-1 updates,"
+                f" this session is {self.key.kind!r}"
+            )
+        self.tensor.rank1_update(weight, vector)
+        self.algo.rank1_update(weight, vector)
+        self.update_epoch += 1
+        self.metrics.incr("updates")
+        return self.update_epoch
+
     def _parallel_apply(self, x: np.ndarray) -> np.ndarray:
         self.algo.load_vector(self.machine, x)
         self.algo.run(self.machine)
@@ -198,8 +278,11 @@ class EngineSession:
     # -- accounting ------------------------------------------------------------
 
     def nbytes(self) -> int:
-        """Resident bytes the pool budgets for: packed tensor data plus
-        compiled plan state (machine buffers are proportional)."""
+        """Resident bytes the pool budgets for: packed tensor data (or
+        low-rank factors) plus compiled plan state (machine buffers are
+        proportional)."""
+        if self.key.kind == "symk":
+            return int(self.tensor.nbytes) + self.plan.nbytes()
         return int(self.tensor.data.nbytes) + self.plan.nbytes()
 
     def snapshot(self) -> Dict:
@@ -212,6 +295,11 @@ class EngineSession:
             "q": self.key.q,
             "P": self.key.P,
             "order": self.key.order,
+            "kind": self.key.kind,
+            "rank": (
+                self.tensor.r if self.key.kind == "symk" else None
+            ),
+            "update_epoch": self.update_epoch,
             "backend": self.key.backend,
             "variant": self.variant.value,
             "plan_strategy": self.plan.strategy,

@@ -1,0 +1,266 @@
+"""Symmetric Kruskal (low-rank) tensors and their O(nr) TTSV.
+
+A rank-``r`` symmetric Kruskal tensor of order ``m`` is
+
+::
+
+    T = sum_l  lambda_l * v_l ⊗ v_l ⊗ ... ⊗ v_l        (m copies)
+
+held as a weight vector ``lambda`` (length ``r``) and a factor matrix
+``V`` (``n × r``, column ``l`` is ``v_l``) — the ``symktensor`` form of
+Kolda's tensor_toolbox. TTSV never materializes the tensor:
+
+* all-but-one-mode contraction (the serving kernel)::
+
+      z = Vᵀx                       # r inner products over n
+      y = V · (lambda ⊙ z^{m−1})    # O(nr) total
+
+* full contraction (scalar): ``lambdaᵀ z^m``;
+* contraction to order ``m − k`` keeps ``V`` and folds the powers into
+  the weights: ``lambda' = lambda ⊙ z^k``.
+
+This is a radically different cost regime from the packed dense path:
+the data is ``nr`` words instead of ``n³/6``, and the parallel exchange
+(:class:`~repro.core.parallel_symk.ParallelSymKTTSV`) moves ``r``-word
+partial sums instead of row-block shards.
+
+**Determinism contract.** ``ttsv`` is a fixed kernel sequence (one
+GEMV, one elementwise power/scale, one GEMV) on the resident arrays;
+identical factors give bitwise-identical results. ``ttsv_batch`` is
+*defined* as the column loop over ``ttsv``, so a coalesced batch is
+bitwise identical to its unbatched requests — the same discipline the
+dense plan strategies are held to. ``rank1_update`` appends a column
+in place; the resident arrays after ``k`` updates are byte-identical
+to the arrays of a tensor rebuilt from scratch with the extended
+factors, so update-then-ttsv equals rebuild-then-ttsv *bitwise* (the
+property suite pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SymKTensor", "SymKPlan", "random_symk"]
+
+#: Orders the dense oracle (`to_dense`) will materialize; the factored
+#: kernels themselves work for any order >= 2.
+MAX_DENSE_ORDER = 6
+
+_LETTERS = "abcdef"
+
+
+class SymKTensor:
+    """Rank-``r`` symmetric Kruskal tensor ``Σ_l λ_l v_l^{⊗m}``.
+
+    Parameters
+    ----------
+    lambda_:
+        Weights, shape ``(r,)``.
+    V:
+        Factor matrix, shape ``(n, r)`` (column ``l`` is ``v_l``).
+    order:
+        Tensor order ``m >= 2`` (default 3, matching the paper's
+        STTSV).
+    """
+
+    def __init__(self, lambda_, V, order: int = 3):
+        lambda_ = np.ascontiguousarray(np.asarray(lambda_, dtype=np.float64))
+        V = np.ascontiguousarray(np.asarray(V, dtype=np.float64))
+        if lambda_.ndim != 1:
+            raise ConfigurationError(
+                f"lambda must be 1-D, got shape {lambda_.shape}"
+            )
+        if V.ndim != 2:
+            raise ConfigurationError(f"V must be n x r, got shape {V.shape}")
+        if V.shape[1] != lambda_.shape[0]:
+            raise ConfigurationError(
+                f"rank mismatch: lambda has {lambda_.shape[0]} weights, V"
+                f" has {V.shape[1]} columns"
+            )
+        if V.shape[0] == 0 or V.shape[1] == 0:
+            raise ConfigurationError("SymKTensor needs n >= 1 and r >= 1")
+        if not isinstance(order, (int, np.integer)) or order < 2:
+            raise ConfigurationError(f"order must be an int >= 2, got {order}")
+        self.lambda_ = lambda_
+        self.V = V
+        self.m = int(order)
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.V.shape[0]
+
+    @property
+    def r(self) -> int:
+        return self.V.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.lambda_.nbytes) + int(self.V.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SymKTensor(n={self.n}, r={self.r}, m={self.m})"
+
+    # -- contraction kernels -----------------------------------------------------
+
+    def _z(self, x: np.ndarray) -> np.ndarray:
+        # Contiguity is part of the determinism contract: BLAS picks a
+        # different (differently-rounded) gemv path for strided input,
+        # so a batch column view and a wire-decoded contiguous vector
+        # would otherwise disagree in the last bits.
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+        if x.shape != (self.n,):
+            raise ConfigurationError(
+                f"x must have shape ({self.n},), got {x.shape}"
+            )
+        return self.V.T @ x
+
+    def ttsv(self, x: np.ndarray) -> np.ndarray:
+        """All-but-one-mode TTSV: ``y = V (λ ⊙ (Vᵀx)^{m−1})``, O(nr)."""
+        z = self._z(x)
+        return self.V @ (self.lambda_ * z ** (self.m - 1))
+
+    def ttsv_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batched TTSV over the columns of an ``n × s`` matrix.
+
+        Defined as the column loop over :meth:`ttsv`, so each column of
+        the result is bitwise identical to the unbatched call — the
+        serving layer's coalescing can never change a result.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ConfigurationError(
+                f"batch must have shape ({self.n}, s), got {X.shape}"
+            )
+        if X.shape[1] == 0:
+            return np.empty((self.n, 0))
+        return np.column_stack(
+            [self.ttsv(X[:, col]) for col in range(X.shape[1])]
+        )
+
+    def ttsv_full(self, x: np.ndarray) -> float:
+        """Full contraction in all ``m`` modes: ``λᵀ (Vᵀx)^m``."""
+        z = self._z(x)
+        return float(self.lambda_ @ z**self.m)
+
+    def contract(self, x: np.ndarray, modes: int = 1) -> "SymKTensor":
+        """Contract ``x`` in ``modes`` modes, keeping the factored form.
+
+        The result is the order-``m − modes`` symmetric Kruskal tensor
+        with the same ``V`` and weights ``λ ⊙ (Vᵀx)^modes`` — the
+        tensor_toolbox lowering that makes repeated TTSV cascades O(nr)
+        per stage.
+        """
+        if not 1 <= modes <= self.m - 2:
+            raise ConfigurationError(
+                f"can contract 1..{self.m - 2} modes of an order-{self.m}"
+                f" tensor, got {modes}"
+            )
+        z = self._z(x)
+        return SymKTensor(self.lambda_ * z**modes, self.V, self.m - modes)
+
+    # -- streaming updates -------------------------------------------------------
+
+    def rank1_update(self, weight: float, vector: np.ndarray) -> int:
+        """Fold one rank-1 term ``weight · vector^{⊗m}`` in, in place.
+
+        Appends a column, so the factors after ``k`` updates are
+        byte-identical to a rebuild from the extended factor list —
+        the streaming analogue of the HLA ``S_t = Σ k_i k_iᵀ``
+        accumulation. Returns the new rank.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.n,):
+            raise ConfigurationError(
+                f"update vector must have shape ({self.n},), got"
+                f" {vector.shape}"
+            )
+        self.lambda_ = np.concatenate(
+            [self.lambda_, np.asarray([float(weight)], dtype=np.float64)]
+        )
+        self.V = np.ascontiguousarray(
+            np.concatenate([self.V, vector[:, None]], axis=1)
+        )
+        return self.r
+
+    # -- oracles -----------------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """The dense order-``m`` tensor (oracle for conformance tests).
+
+        O(r · n^m) memory/time — test sizes only.
+        """
+        if self.m > MAX_DENSE_ORDER:
+            raise ConfigurationError(
+                f"to_dense supports order <= {MAX_DENSE_ORDER}, got {self.m}"
+            )
+        modes = _LETTERS[: self.m]
+        subscripts = "l," + ",".join(f"{ax}l" for ax in modes) + "->" + modes
+        return np.einsum(subscripts, self.lambda_, *([self.V] * self.m))
+
+    def dense_ttsv(self, x: np.ndarray) -> np.ndarray:
+        """Dense-oracle TTSV: ``y_i = Σ T_{i j...k} x_j...x_k`` by
+        explicit contraction of :meth:`to_dense`, last axis first (used
+        by the property suite to bound the fast path's rounding)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ConfigurationError(
+                f"x must have shape ({self.n},), got {x.shape}"
+            )
+        dense = self.to_dense()
+        for _ in range(self.m - 1):
+            dense = dense @ x
+        return dense
+
+
+class SymKPlan:
+    """Sequential serving executor for a resident :class:`SymKTensor`.
+
+    Duck-types the :class:`~repro.core.plans.SequentialPlan` surface the
+    session layer uses (``apply`` / ``apply_batch`` / ``nbytes`` /
+    ``strategy``), so low-rank sessions slot into the pool, batcher,
+    and stats plumbing unchanged.
+    """
+
+    strategy = "symk"
+
+    def __init__(self, tensor: SymKTensor):
+        self.tensor = tensor
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self.tensor.ttsv(x)
+
+    def apply_batch(self, X: np.ndarray) -> np.ndarray:
+        return self.tensor.ttsv_batch(X)
+
+    def nbytes(self) -> int:
+        return self.tensor.nbytes
+
+
+def random_symk(
+    n: int,
+    r: int,
+    order: int = 3,
+    seed: Optional[int] = None,
+    integer: bool = False,
+) -> SymKTensor:
+    """A reproducible random low-rank tensor for tests and benchmarks.
+
+    ``integer=True`` draws small integer-valued factors, for which
+    every kernel in the fast path is exact in float64 (no rounding), so
+    conformance tests can assert strict equality against the dense
+    oracle.
+    """
+    rng = np.random.default_rng(seed)
+    if integer:
+        lam = rng.integers(-3, 4, size=r).astype(np.float64)
+        V = rng.integers(-2, 3, size=(n, r)).astype(np.float64)
+    else:
+        lam = rng.standard_normal(r)
+        V = rng.standard_normal((n, r))
+    return SymKTensor(lam, V, order)

@@ -1,0 +1,407 @@
+"""Property suite for the low-rank symk path: bitwise parallel
+conformance, ULP-bounded oracle agreement, the (P−1)·r ledger closed
+form under faults, and epoch-linearized streaming updates.
+
+Determinism tiers (the repo's discipline, applied to symk):
+
+* **bitwise within a computation graph** — the distributed run and
+  ``serial_reference`` replay the *identical* blocked kernel sequence
+  (per-block GEMVs, rank-order chain sum of the r-vector partials),
+  so their results must agree to the last bit on every transport,
+  fusion setting, communication variant, and fault policy;
+* **ULP-bounded across graphs** — the O(nr) fast path and the dense
+  O(n^m) oracle are *different* summation orders of the same
+  polynomial, so they agree only to a rounding bound (below), and
+  exactly when the factors are small integers (every intermediate is
+  integral and far below 2^53, so float64 arithmetic is exact).
+
+**ULP bound derivation** (first-order, per component ``i``). Write
+``z = Vᵀx`` and ``S = |V| · (|λ| ⊙ (|V|ᵀ|x|)^{m−1})`` — the same
+computation on absolute values, the standard magnitude envelope.
+
+* each ``z_l`` is an n-term dot product: relative error ≤ n·eps
+  against the envelope ``(|V|ᵀ|x|)_l``;
+* raising to the (m−1)-th power multiplies the relative error by
+  (m−1) and adds (m−2) rounding steps: ≤ ((m−1)n + m)·eps;
+* the final r-term GEMV adds ≤ r·eps.
+
+The dense side contracts m−1 times over n terms (≤ (m−1)(n+1)·eps)
+after an r-term einsum (≤ r·eps). Summing both sides and doubling for
+slack gives the suite's tolerance
+
+    |fast_i − dense_i| ≤ 4 · eps · (m·n + m + r) · (S_i + tiny)
+
+with ``tiny`` guarding components whose envelope underflows to 0.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel_symk import (
+    ParallelSymKTTSV,
+    symk_words_per_processor,
+)
+from repro.core.parallel_sttsv import CommBackend
+from repro.machine.machine import Machine
+from repro.machine.transport import (
+    FaultPolicy,
+    SharedMemoryTransport,
+    make_transport,
+)
+from repro.tensor.symk import SymKTensor, random_symk
+
+_EPS = np.finfo(np.float64).eps
+
+
+def _ulp_tolerance(tensor: SymKTensor, x: np.ndarray) -> np.ndarray:
+    """The derived per-component bound (see module docstring)."""
+    envelope = np.abs(tensor.V) @ (
+        np.abs(tensor.lambda_)
+        * (np.abs(tensor.V).T @ np.abs(x)) ** (tensor.m - 1)
+    )
+    scale = tensor.m * tensor.n + tensor.m + tensor.r
+    return 4.0 * _EPS * scale * (envelope + np.finfo(np.float64).tiny)
+
+
+def _run_parallel(tensor, x, P, variant, fusion=True, faults=None):
+    algo = ParallelSymKTTSV(P, tensor.n, order=tensor.m, backend=variant)
+    with Machine(
+        P,
+        transport=make_transport("simulated", P, faults=faults),
+        fusion=fusion,
+    ) as machine:
+        algo.load(machine, tensor, x)
+        algo.run(machine)
+        y = algo.gather_result(machine)
+        ledger = machine.ledger
+        return algo, y, ledger
+
+
+class TestParallelBitwiseConformance:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        r=st.integers(min_value=1, max_value=6),
+        P=st.sampled_from([1, 2, 3, 5, 8]),
+        m=st.integers(min_value=2, max_value=5),
+        variant=st.sampled_from(list(CommBackend)),
+        fusion=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_parallel_equals_serial_replay_bitwise(
+        self, n, r, P, m, variant, fusion, seed
+    ):
+        """Random (n, r, P, m): the distributed TTSV is bitwise the
+        serial replay of the same blocked kernel sequence, under either
+        communication variant, fused or not."""
+        tensor = random_symk(n, r, order=m, seed=seed)
+        x = np.random.default_rng(seed + 1).standard_normal(n)
+        algo, y, _ = _run_parallel(tensor, x, P, variant, fusion=fusion)
+        serial = algo.serial_reference(x)
+        assert np.array_equal(y, serial), (
+            f"bitwise mismatch at n={n} r={r} P={P} m={m}"
+            f" variant={variant.value} fusion={fusion} seed={seed}"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        r=st.integers(min_value=1, max_value=5),
+        P=st.sampled_from([2, 3, 5]),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_variants_agree_bitwise(self, n, r, P, seed):
+        """The relayed partials are identical bytes either way and the
+        reduction is rank-ordered, so the two communication variants
+        produce the same bits."""
+        tensor = random_symk(n, r, seed=seed)
+        x = np.random.default_rng(seed + 1).standard_normal(n)
+        _, y_p2p, _ = _run_parallel(
+            tensor, x, P, CommBackend.POINT_TO_POINT
+        )
+        _, y_a2a, _ = _run_parallel(tensor, x, P, CommBackend.ALL_TO_ALL)
+        assert np.array_equal(y_p2p, y_a2a), f"seed={seed}"
+
+
+class TestOracleAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        r=st.integers(min_value=1, max_value=5),
+        m=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_fast_path_within_derived_ulp_bound(self, n, r, m, seed):
+        """|ttsv − dense oracle| stays under the documented
+        first-order bound at every component."""
+        tensor = random_symk(n, r, order=m, seed=seed)
+        x = np.random.default_rng(seed + 1).standard_normal(n)
+        gap = np.abs(tensor.ttsv(x) - tensor.dense_ttsv(x))
+        tol = _ulp_tolerance(tensor, x)
+        assert np.all(gap <= tol), (
+            f"ULP bound violated at n={n} r={r} m={m} seed={seed}:"
+            f" max gap {gap.max():.3e} vs tol {tol[gap.argmax()]:.3e}"
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        r=st.integers(min_value=1, max_value=4),
+        m=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_integer_factors_exact_against_oracle(self, n, r, m, seed):
+        """Integer factors keep every intermediate integral and far
+        below 2^53, so fast path == dense oracle with zero rounding —
+        and the parallel run matches both bitwise."""
+        tensor = random_symk(n, r, order=m, seed=seed, integer=True)
+        x = np.arange(n, dtype=np.float64) % 5 - 2.0
+        fast = tensor.ttsv(x)
+        assert np.array_equal(fast, tensor.dense_ttsv(x)), f"seed={seed}"
+        _, y, _ = _run_parallel(tensor, x, 3, CommBackend.POINT_TO_POINT)
+        assert np.array_equal(y, fast), f"seed={seed}"
+
+
+class TestLedgerClosedForm:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        r=st.integers(min_value=1, max_value=6),
+        P=st.sampled_from([2, 3, 5, 8]),
+        variant=st.sampled_from(list(CommBackend)),
+        fusion=st.booleans(),
+        drop=st.floats(min_value=0.0, max_value=0.1),
+        corrupt=st.floats(min_value=0.0, max_value=0.05),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_faulty_ledger_matches_closed_form(
+        self, n, r, P, variant, fusion, drop, corrupt, seed
+    ):
+        """Every processor sends exactly (P−1)·r words in P−1 rounds —
+        independent of n, the variant, fusion, and fault injection
+        (recovery cost is confined to the retry side-channel)."""
+        tensor = random_symk(n, r, seed=seed)
+        x = np.random.default_rng(seed + 1).standard_normal(n)
+        faults = FaultPolicy(drop=drop, corrupt=corrupt, seed=seed % 1000)
+        algo, y, ledger = _run_parallel(
+            tensor, x, P, variant, fusion=fusion, faults=faults
+        )
+        expected = symk_words_per_processor(P, r)
+        assert expected == (P - 1) * r
+        assert ledger.words_sent == [expected] * P, (
+            f"ledger mismatch at n={n} r={r} P={P}"
+            f" variant={variant.value} fusion={fusion} seed={seed}"
+        )
+        assert ledger.round_count() == algo.expected_rounds() == P - 1
+        assert expected == algo.expected_words_per_processor()
+        assert np.array_equal(y, algo.serial_reference(x)), f"seed={seed}"
+        if drop == 0.0 and corrupt == 0.0:
+            assert ledger.retry_rounds == 0
+
+    def test_faulty_shm_ledger_matches_closed_form(self):
+        """The same conformance claim on the real shared-memory
+        backend (one case: worker processes are expensive)."""
+        from repro.machine.transport import FaultInjectingTransport
+
+        P, r, n = 5, 4, 23
+        tensor = random_symk(n, r, seed=3)
+        x = np.random.default_rng(4).standard_normal(n)
+        inner = SharedMemoryTransport(P, n_workers=2)
+        transport = FaultInjectingTransport(
+            inner, FaultPolicy(drop=0.15, corrupt=0.05, seed=11)
+        )
+        algo = ParallelSymKTTSV(
+            P, n, backend=CommBackend.POINT_TO_POINT
+        )
+        try:
+            with Machine(P, transport=transport) as machine:
+                algo.load(machine, tensor, x)
+                algo.run(machine)
+                y = algo.gather_result(machine)
+                ledger = machine.ledger
+                expected = symk_words_per_processor(P, r)
+                assert ledger.words_sent == [expected] * P
+                assert ledger.words_received == [expected] * P
+        finally:
+            transport.close()
+        assert np.array_equal(y, algo.serial_reference(x))
+
+    def test_rank_one_sends_one_word_per_round(self):
+        """Boundary: r=1 moves a single word per neighbor — the
+        smallest possible exchange, still exactly (P−1)·1."""
+        tensor = random_symk(9, 1, seed=0)
+        x = np.random.default_rng(1).standard_normal(9)
+        _, _, ledger = _run_parallel(
+            tensor, x, 4, CommBackend.POINT_TO_POINT
+        )
+        assert ledger.words_sent == [3] * 4
+
+    def test_single_processor_sends_nothing(self):
+        tensor = random_symk(7, 3, seed=0)
+        x = np.random.default_rng(1).standard_normal(7)
+        _, y, ledger = _run_parallel(
+            tensor, x, 1, CommBackend.ALL_TO_ALL
+        )
+        assert ledger.words_sent == [0]
+        assert ledger.round_count() == 0
+        assert np.array_equal(y, tensor.ttsv(x))
+
+
+class TestStreamingUpdates:
+    @settings(max_examples=35, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        r=st.integers(min_value=1, max_value=4),
+        P=st.sampled_from([1, 2, 4]),
+        updates=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_update_then_ttsv_equals_rebuild_bitwise(
+        self, n, r, P, updates, seed
+    ):
+        """Streaming k rank-1 updates into the resident blocks, then
+        running, is bitwise a fresh load of the rebuilt tensor."""
+        tensor = random_symk(n, r, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.standard_normal(n)
+        stream = [
+            (float(rng.standard_normal()), rng.standard_normal(n))
+            for _ in range(updates)
+        ]
+
+        streamed = ParallelSymKTTSV(P, n)
+        with Machine(
+            P, transport=make_transport("simulated", P)
+        ) as machine:
+            streamed.load(machine, tensor, x)
+            for weight, vector in stream:
+                streamed.rank1_update(weight, vector)
+            streamed.run(machine)
+            y_streamed = streamed.gather_result(machine)
+
+        rebuilt_tensor = SymKTensor(
+            np.concatenate([tensor.lambda_, [w for w, _ in stream]]),
+            np.concatenate(
+                [tensor.V] + [v[:, None] for _, v in stream], axis=1
+            ),
+            tensor.m,
+        )
+        rebuilt = ParallelSymKTTSV(P, n)
+        with Machine(
+            P, transport=make_transport("simulated", P)
+        ) as machine:
+            rebuilt.load(machine, rebuilt_tensor, x)
+            rebuilt.run(machine)
+            y_rebuilt = rebuilt.gather_result(machine)
+
+        assert np.array_equal(y_streamed, y_rebuilt), (
+            f"update/rebuild divergence at n={n} r={r} P={P}"
+            f" updates={updates} seed={seed}"
+        )
+        assert np.array_equal(
+            y_streamed, streamed.serial_reference(x)
+        ), f"seed={seed}"
+
+
+class TestServedEpochLinearization:
+    def test_interleaved_updates_and_applies_linearize_by_epoch(self):
+        """Concurrent UPDATE and APPLY streams against a live server:
+        every reply's echoed epoch e identifies the exact update
+        prefix it reflects — the result is bitwise the rebuild from
+        that prefix, for every read."""
+        from repro.service.client import ServiceClient
+        from repro.service.server import STTSVServer
+
+        n, r, k_updates = 18, 3, 10
+        base = random_symk(n, r, seed=21)
+        rng = np.random.default_rng(22)
+        stream = [
+            (float(rng.standard_normal()), rng.standard_normal(n))
+            for _ in range(k_updates)
+        ]
+        x = rng.standard_normal(n)
+        reads = []
+        with STTSVServer(port=0) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as setup:
+                setup.register_symk("lin", base, q=2)
+
+            def updater():
+                with ServiceClient(host, port) as client:
+                    for weight, vector in stream:
+                        client.update("lin", weight, vector)
+
+            def reader():
+                with ServiceClient(host, port) as client:
+                    for _ in range(3 * k_updates):
+                        y = client.apply("lin", x, mode="plan")
+                        reads.append((client.last_update_epoch, y))
+
+            threads = [
+                threading.Thread(target=updater),
+                threading.Thread(target=reader),
+                threading.Thread(target=reader),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with ServiceClient(host, port) as final:
+                y_final = final.apply(
+                    "lin", x, mode="plan", min_epoch=k_updates
+                )
+                reads.append((final.last_update_epoch, y_final))
+
+        assert reads, "no reads recorded"
+        oracles = {}
+        for epoch in range(k_updates + 1):
+            prefix = stream[:epoch]
+            oracles[epoch] = SymKTensor(
+                np.concatenate(
+                    [base.lambda_, [w for w, _ in prefix]]
+                ),
+                np.concatenate(
+                    [base.V] + [v[:, None] for _, v in prefix], axis=1
+                ),
+                base.m,
+            ).ttsv(x)
+        seen_epochs = set()
+        for epoch, y in reads:
+            assert epoch is not None and 0 <= epoch <= k_updates
+            assert np.array_equal(y, oracles[epoch]), (
+                f"read at epoch {epoch} is not the prefix rebuild"
+            )
+            seen_epochs.add(epoch)
+        assert k_updates in seen_epochs  # the fenced final read
+
+    def test_stale_fence_rejects_then_admits(self):
+        """min_epoch ahead of the session is a typed STALE_READ; after
+        enough updates the same fence admits the read."""
+        from repro.service.client import ServiceClient
+        from repro.service.protocol import ErrorCode, ServiceError
+        from repro.service.server import STTSVServer
+
+        tensor = random_symk(10, 2, seed=31)
+        rng = np.random.default_rng(32)
+        x = rng.standard_normal(10)
+        with STTSVServer(port=0) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                client.register_symk("fence", tensor, q=2)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.apply("fence", x, min_epoch=1)
+                assert excinfo.value.code == ErrorCode.STALE_READ
+                epoch = client.update(
+                    "fence", 0.25, rng.standard_normal(10)
+                )
+                assert epoch == 1
+                y = client.apply("fence", x, min_epoch=1)
+                expected = SymKTensor(
+                    tensor.lambda_, tensor.V, tensor.m
+                ).ttsv(x)
+                assert y.shape == expected.shape
+                client.shutdown()

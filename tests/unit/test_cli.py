@@ -157,3 +157,33 @@ class TestAnalyzeAudit:
         out = capsys.readouterr().out
         assert "all runs PASS" in out
         assert "[PASS]" in out
+
+
+class TestLowRank:
+    def test_analyze_rank_pins_closed_form(self, capsys):
+        assert main(["analyze", "--q", "2", "--rank", "4", "--n", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "(P-1)*r" in out
+        assert "36 words/proc" in out  # (10-1)*4
+        assert "bitwise" in out
+        assert "MISMATCH" not in out
+
+    def test_analyze_rank_rejects_sqs(self, capsys):
+        assert main(["analyze", "--sqs", "3", "--rank", "4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_plan_rank_prices_symk(self, capsys):
+        assert main(["plan", "--q", "2", "--rank", "4", "--n", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "symk" in out
+        assert "repr" in out
+
+    def test_plan_order4_is_actionable_typed_exit_2(self, capsys):
+        """The planner prices order 3 only; asking for order 4 must be
+        a typed error with a recovery path on stderr and exit code 2,
+        not a silent fallback or a traceback."""
+        assert main(["plan", "--order", "4", "--q", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "prices order 3 only" in err
+        assert "repro load --order 4 --backend" in err

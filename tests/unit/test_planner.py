@@ -137,6 +137,100 @@ class TestPredictedLedger:
             predicted_ledger(_partition(2), 20, variant="carrier-pigeon")
 
 
+class TestPredictedSymkLedger:
+    @pytest.mark.parametrize("variant", ["point-to-point", "all-to-all"])
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_matches_executed_ledger(self, variant, fusion):
+        """The symk pricing ledger is field-for-field the ledger a real
+        ParallelSymKTTSV run produces — labels, per-round volumes, and
+        fusion flags included, so the (P−1)·r closed form the planner
+        prices is exactly what execution pays."""
+        from repro.core.parallel_symk import ParallelSymKTTSV
+        from repro.planner.pricing import predicted_symk_ledger
+        from repro.tensor.symk import random_symk
+
+        P, n, rank = 6, 25, 4
+        predicted = predicted_symk_ledger(
+            P, rank, variant=variant, fusion=fusion
+        )
+        tensor = random_symk(n, rank, seed=0)
+        x = np.random.default_rng(1).normal(size=n)
+        with Machine(P, fusion=fusion) as machine:
+            algo = ParallelSymKTTSV(P, n, backend=CommBackend(variant))
+            algo.load(machine, tensor, x)
+            algo.run(machine)
+            actual = machine.ledger
+            assert predicted.round_count() == actual.round_count()
+            assert predicted.words_sent == actual.words_sent
+            assert predicted.words_received == actual.words_received
+            assert predicted.messages_sent == actual.messages_sent
+            assert [r.label for r in predicted.rounds] == [
+                r.label for r in actual.rounds
+            ]
+            assert [r.max_words() for r in predicted.rounds] == [
+                r.max_words() for r in actual.rounds
+            ]
+            assert [r.fused for r in predicted.rounds] == [
+                r.fused for r in actual.rounds
+            ]
+            assert predicted.fusion_summary() == actual.fusion_summary()
+            assert actual.max_words_sent() == (P - 1) * rank
+
+    def test_single_processor_prices_empty(self):
+        from repro.planner.pricing import predicted_symk_ledger
+
+        predicted = predicted_symk_ledger(1, 5)
+        assert predicted.round_count() == 0
+        assert predicted.max_words_sent() == 0
+
+    def test_rejects_bad_inputs(self):
+        from repro.planner.pricing import predicted_symk_ledger
+
+        with pytest.raises(ConfigurationError):
+            predicted_symk_ledger(4, 3, variant="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            predicted_symk_ledger(0, 3)
+        with pytest.raises(ConfigurationError):
+            predicted_symk_ledger(4, 0)
+
+
+class TestSymkPlanning:
+    def test_rank_adds_symk_candidates(self):
+        decision = plan_sttsv(40, qs=(2,), rank=4)
+        representations = {
+            priced.candidate.representation
+            for priced in decision.candidates
+        }
+        assert representations == {"dense", "symk"}
+        symk_parallel = [
+            priced for priced in decision.candidates
+            if priced.candidate.representation == "symk"
+            and priced.candidate.mode == "parallel"
+        ]
+        assert symk_parallel
+        for priced in symk_parallel:
+            P = priced.candidate.P
+            assert priced.words_per_processor == (P - 1) * 4
+
+    def test_low_rank_beats_dense_at_large_n(self):
+        """The regime the representation exists for: comm (P−1)·r
+        independent of n must beat the dense Θ(n) schedule once n is
+        large."""
+        decision = plan_sttsv(400, qs=(2,), rank=4)
+        best_parallel = decision.best_parallel.candidate
+        assert best_parallel.representation == "symk"
+
+    def test_auto_symk_config_is_complete(self):
+        from repro.planner import auto_symk_config
+
+        config = auto_symk_config(60, 4, 10)
+        assert config["strategy"] == "symk"
+        assert config["P"] == 10
+        assert config["variant"] in ("point-to-point", "all-to-all")
+        assert config["backend"] == "simulated"
+        assert isinstance(config["fusion"], bool)
+
+
 class TestPlanSelection:
     def test_alpha_inflated_prefers_all_to_all(self):
         # High latency: All-to-All's 2 fused exchanges beat the

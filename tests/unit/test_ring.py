@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.service.ring import (
     HashRing,
     placement_moves,
@@ -132,6 +133,60 @@ class TestBalanceAndMovement:
         ring.remove("b")
         ring.add("b")
         assert [ring.nodes_for(key, 2) for key in keys] == original
+
+
+class TestEdgeCases:
+    def test_single_backend_ring_serves_all_replica_requests(self):
+        """A one-shard fleet degrades gracefully: every key's owner
+        list is that shard, at any requested replication."""
+        ring = HashRing()
+        ring.add("only")
+        for key in _keys(50):
+            assert ring.nodes_for(key, 1) == ["only"]
+            assert ring.nodes_for(key, 3) == ["only"]
+        assert ring.spread(_keys(100)) == {"only": 100}
+
+    def test_removing_last_backend_is_a_typed_error(self):
+        """Emptying the ring on purpose must be explicit: the typed
+        error tells the operator to place a successor first — it is
+        never a bare KeyError out of the internals."""
+        ring = HashRing()
+        ring.add("only")
+        with pytest.raises(ConfigurationError, match="empty the ring"):
+            ring.remove("only")
+        # the refused removal left the member in place
+        assert ring.nodes() == ["only"]
+        ring.remove("only", allow_empty=True)  # the crash path
+        assert ring.nodes() == []
+        assert ring.node_for("k") is None
+
+    def test_remove_unknown_from_singleton_stays_noop(self):
+        """Idempotent removal of a ghost is not confused with removing
+        the last member."""
+        ring = HashRing()
+        ring.add("only")
+        ring.remove("ghost")
+        assert ring.nodes() == ["only"]
+
+    def test_vnode_count_changes_preserve_pinned_placements(self):
+        """Growing vnodes 64 -> 96 is a membership-shaped change: the
+        first 64 virtual nodes of every member are the *same* points
+        (positions hash ``name#i`` independent of the count), so most
+        keys keep their owner and a pinned placement stays pinned."""
+        small = HashRing(vnodes=64)
+        large = HashRing(vnodes=96)
+        for name in ("a", "b", "c", "d"):
+            small.add(name)
+            large.add(name)
+        keys = _keys(1000)
+        before = {key: (small.node_for(key),) for key in keys}
+        after = {key: (large.node_for(key),) for key in keys}
+        moved = placement_moves(before, after)
+        assert moved < 500  # far below a full reshuffle
+        # A pinned digest pins its placement: same ring, same owner,
+        # across processes and vnode growth.
+        pinned = ring_key("pinned-tensor", 2, 10)
+        assert small.node_for(pinned) == large.node_for(pinned)
 
 
 class TestRingKey:

@@ -1,0 +1,188 @@
+"""Unit tests for the low-rank symmetric Kruskal tensor.
+
+The fast path (`ttsv`, O(nr)) is checked against the dense oracle
+(`to_dense` + explicit contraction, O(r n^m)); determinism contracts
+(batch == column loop bitwise, update == rebuild bitwise) get their
+exhaustive randomized treatment in ``tests/properties/test_prop_symk``
+— here each contract is pinned once at fixed shapes, next to the
+validation surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.symk import (
+    MAX_DENSE_ORDER,
+    SymKPlan,
+    SymKTensor,
+    random_symk,
+)
+
+
+class TestConstruction:
+    def test_shapes_and_properties(self):
+        t = random_symk(7, 3, seed=0)
+        assert (t.n, t.r, t.m) == (7, 3, 3)
+        assert t.lambda_.shape == (3,)
+        assert t.V.shape == (7, 3)
+        assert t.nbytes == 8 * (3 + 21)
+
+    def test_lambda_must_be_1d(self):
+        with pytest.raises(ConfigurationError, match="lambda"):
+            SymKTensor(np.ones((2, 2)), np.ones((4, 2)))
+
+    def test_v_must_be_2d(self):
+        with pytest.raises(ConfigurationError, match="n x r"):
+            SymKTensor(np.ones(2), np.ones(4))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ConfigurationError, match="rank mismatch"):
+            SymKTensor(np.ones(3), np.ones((4, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="n >= 1"):
+            SymKTensor(np.empty(0), np.empty((4, 0)))
+
+    def test_order_validated(self):
+        with pytest.raises(ConfigurationError, match="order"):
+            SymKTensor(np.ones(2), np.ones((4, 2)), order=1)
+
+    def test_inputs_coerced_to_float64(self):
+        t = SymKTensor([1, 2], [[1, 2], [3, 4], [5, 6]])
+        assert t.lambda_.dtype == np.float64
+        assert t.V.dtype == np.float64
+
+
+class TestTTSV:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_matches_dense_oracle(self, order):
+        t = random_symk(6, 3, order=order, seed=order)
+        x = np.random.default_rng(1).standard_normal(6)
+        assert np.allclose(t.ttsv(x), t.dense_ttsv(x))
+
+    def test_integer_factors_are_exact(self):
+        """Small integer factors make every kernel exact in float64:
+        fast path == dense oracle with zero rounding."""
+        t = random_symk(8, 3, seed=5, integer=True)
+        x = np.arange(8, dtype=np.float64) - 3.0
+        assert np.array_equal(t.ttsv(x), t.dense_ttsv(x))
+
+    def test_order2_is_symmetric_matvec(self):
+        t = random_symk(6, 2, order=2, seed=3)
+        x = np.random.default_rng(4).standard_normal(6)
+        A = (t.V * t.lambda_) @ t.V.T
+        assert np.allclose(t.ttsv(x), A @ x)
+
+    def test_shape_validation(self):
+        t = random_symk(5, 2, seed=0)
+        with pytest.raises(ConfigurationError, match="shape"):
+            t.ttsv(np.ones(4))
+        with pytest.raises(ConfigurationError, match="shape"):
+            t.dense_ttsv(np.ones(4))
+
+    def test_full_contraction(self):
+        t = random_symk(5, 2, seed=7)
+        x = np.random.default_rng(8).standard_normal(5)
+        assert t.ttsv_full(x) == pytest.approx(float(t.ttsv(x) @ x))
+
+
+class TestBatch:
+    def test_batch_is_bitwise_the_column_loop(self):
+        t = random_symk(9, 4, seed=2)
+        X = np.random.default_rng(3).standard_normal((9, 5))
+        Y = t.ttsv_batch(X)
+        for col in range(5):
+            assert np.array_equal(Y[:, col], t.ttsv(X[:, col]))
+
+    def test_empty_batch(self):
+        t = random_symk(4, 2, seed=0)
+        assert t.ttsv_batch(np.empty((4, 0))).shape == (4, 0)
+
+    def test_batch_shape_validation(self):
+        t = random_symk(4, 2, seed=0)
+        with pytest.raises(ConfigurationError, match="batch"):
+            t.ttsv_batch(np.ones((5, 2)))
+
+
+class TestContract:
+    def test_contract_lowers_order_and_folds_weights(self):
+        t = random_symk(6, 3, order=4, seed=9)
+        x = np.random.default_rng(10).standard_normal(6)
+        lowered = t.contract(x, modes=2)
+        assert lowered.m == 2
+        assert lowered.V is t.V
+        z = t.V.T @ x
+        assert np.array_equal(lowered.lambda_, t.lambda_ * z**2)
+        # contracting down to order 2 then applying once more equals
+        # the direct order-4 TTSV (same kernels, same z)
+        assert np.allclose(lowered.ttsv(x), t.ttsv(x))
+
+    def test_contract_modes_validated(self):
+        t = random_symk(5, 2, order=3, seed=0)
+        with pytest.raises(ConfigurationError, match="contract"):
+            t.contract(np.ones(5), modes=2)
+
+
+class TestRank1Update:
+    def test_update_equals_rebuild_bytewise(self):
+        t = random_symk(6, 2, seed=11)
+        lam0, V0 = t.lambda_.copy(), t.V.copy()
+        w, v = 0.5, np.random.default_rng(12).standard_normal(6)
+        assert t.rank1_update(w, v) == 3
+        rebuilt = SymKTensor(
+            np.concatenate([lam0, [w]]),
+            np.concatenate([V0, v[:, None]], axis=1),
+        )
+        assert t.lambda_.tobytes() == rebuilt.lambda_.tobytes()
+        assert t.V.tobytes() == rebuilt.V.tobytes()
+        x = np.random.default_rng(13).standard_normal(6)
+        assert np.array_equal(t.ttsv(x), rebuilt.ttsv(x))
+
+    def test_update_keeps_contiguity(self):
+        t = random_symk(5, 2, seed=0)
+        t.rank1_update(1.0, np.ones(5))
+        assert t.V.flags["C_CONTIGUOUS"]
+
+    def test_update_vector_validated(self):
+        t = random_symk(5, 2, seed=0)
+        with pytest.raises(ConfigurationError, match="update vector"):
+            t.rank1_update(1.0, np.ones(4))
+
+
+class TestDenseOracle:
+    def test_dense_is_symmetric(self):
+        t = random_symk(4, 2, seed=14)
+        T = t.to_dense()
+        assert T.shape == (4, 4, 4)
+        assert np.allclose(T, T.transpose(1, 0, 2))
+        assert np.allclose(T, T.transpose(0, 2, 1))
+
+    def test_dense_order_capped(self):
+        t = random_symk(3, 2, order=MAX_DENSE_ORDER + 1, seed=0)
+        with pytest.raises(ConfigurationError, match="to_dense"):
+            t.to_dense()
+
+
+class TestSymKPlan:
+    def test_duck_types_sequential_plan(self):
+        t = random_symk(6, 3, seed=15)
+        plan = SymKPlan(t)
+        assert plan.strategy == "symk"
+        assert plan.nbytes() == t.nbytes
+        x = np.random.default_rng(16).standard_normal(6)
+        assert np.array_equal(plan.apply(x), t.ttsv(x))
+        X = np.column_stack([x, -x])
+        assert np.array_equal(plan.apply_batch(X), t.ttsv_batch(X))
+
+
+class TestRandomSymk:
+    def test_seeded_reproducibility(self):
+        a, b = random_symk(6, 3, seed=42), random_symk(6, 3, seed=42)
+        assert np.array_equal(a.V, b.V)
+        assert np.array_equal(a.lambda_, b.lambda_)
+
+    def test_integer_draws_are_integral(self):
+        t = random_symk(10, 4, seed=1, integer=True)
+        assert np.array_equal(t.V, np.round(t.V))
+        assert np.array_equal(t.lambda_, np.round(t.lambda_))
